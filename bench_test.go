@@ -1,0 +1,170 @@
+package consumergrid_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/dsp"
+	"consumergrid/internal/engine"
+	"consumergrid/internal/experiments"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+)
+
+// --- experiment benches: one per paper artefact ------------------------------
+//
+// Each BenchmarkF*/E*/T*/A* regenerates the corresponding DESIGN.md
+// experiment once per iteration through the shared harness, so
+// `go test -bench .` re-derives every figure and table. Shape failures
+// fail the bench: a benchmark that silently measured the wrong behaviour
+// would be worse than one that errors.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(experiments.Config{Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !res.ShapeOK {
+			b.Fatalf("%s shape failed: %s", id, res.ShapeNote)
+		}
+	}
+}
+
+func BenchmarkF1TaskGraphRoundTrip(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2SpectrumAveraging(b *testing.B)  { benchExperiment(b, "F2") }
+func BenchmarkF3ControlRoundTrip(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkE1GalaxyFarm(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2InspiralSearch(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3DBPipeline(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkT1SizingTable(b *testing.B)        { benchExperiment(b, "T1") }
+func BenchmarkT2Discovery(b *testing.B)          { benchExperiment(b, "T2") }
+func BenchmarkT3CodeDistribution(b *testing.B)   { benchExperiment(b, "T3") }
+func BenchmarkT4Policies(b *testing.B)           { benchExperiment(b, "T4") }
+func BenchmarkT5Gateway(b *testing.B)            { benchExperiment(b, "T5") }
+func BenchmarkA1Checkpoint(b *testing.B)         { benchExperiment(b, "A1") }
+func BenchmarkA2OnDemandCode(b *testing.B)       { benchExperiment(b, "A2") }
+
+// --- kernel micro-benches ----------------------------------------------------
+//
+// The hot paths under the experiments, measured in isolation so
+// regressions are attributable.
+
+func BenchmarkKernelFFT(b *testing.B) {
+	for _, n := range []int{1024, 16384, 262144} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]complex128, n)
+			rng := rand.New(rand.NewSource(1))
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), 0)
+			}
+			buf := make([]complex128, n)
+			b.SetBytes(int64(n * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, x)
+				dsp.FFT(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelMatchedFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := dsp.GaussianNoise(65536, 1, rng)
+	tpl := dsp.TemplateBank(1, 2048, 40, 200, 400, 2000)[0]
+	b.SetBytes(65536 * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.CrossCorrelate(data, tpl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSPHRender(b *testing.B) {
+	gen, err := newGalaxyGen(8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := gen.SnapshotAt(5)
+	cd, err := newRenderer(128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cd.Render(ps)
+	}
+}
+
+func BenchmarkCodecSampleSetRoundTrip(b *testing.B) {
+	s := types.NewSampleSet(2000, make([]float64, 16384))
+	b.SetBytes(16384 * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := types.Marshal(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := types.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphXMLRoundTrip(b *testing.B) {
+	g := core.Figure1Workflow(core.Figure1Options{})
+	g.AssignLabels("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := g.EncodeXML()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := taskgraph.ParseXML(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFigure1Local(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wf := core.Figure1Workflow(core.Figure1Options{
+			Samples: 1024, Policy: policy.NameLocal})
+		if _, err := engine.Run(context.Background(), wf, engine.Options{
+			Iterations: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridDistributedFigure1(b *testing.B) {
+	grid, err := core.NewGrid(core.GridOptions{Peers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer grid.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.Run(context.Background(),
+			core.Figure1Workflow(core.Figure1Options{Samples: 512}),
+			controller.RunOptions{Iterations: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA3LiveChurn(b *testing.B) { benchExperiment(b, "A3") }

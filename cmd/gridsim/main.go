@@ -1,0 +1,119 @@
+// Command gridsim regenerates the paper's figures and tables: every
+// experiment in DESIGN.md's index (F1-F3 figures, E1-E3 application
+// scenarios, T1-T5 tables, A1-A2 ablations) prints its rows plus a shape
+// verdict — whether the qualitative claim the paper makes held in this
+// run. EXPERIMENTS.md records a reference output.
+//
+//	gridsim                 # run everything
+//	gridsim -exp T2,E2      # run a subset
+//	gridsim -scale 4        # larger workloads
+//	gridsim -csv out/       # also dump each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"consumergrid/internal/experiments"
+	"consumergrid/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scale   = flag.Int("scale", 1, "workload scale multiplier")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		verbose = flag.Bool("v", false, "progress logging")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				log.Fatalf("gridsim: unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Verbose: *verbose,
+		Logf:    log.Printf,
+	}
+
+	failures := 0
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			log.Printf("gridsim: %s failed: %v", e.ID, err)
+			failures++
+			continue
+		}
+		for _, tab := range res.Tables {
+			fmt.Println()
+			tab.Render(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, tab); err != nil {
+					log.Printf("gridsim: csv: %v", err)
+				}
+			}
+		}
+		verdict := "SHAPE OK"
+		if !res.ShapeOK {
+			verdict = "SHAPE FAILED"
+			failures++
+		}
+		fmt.Printf("\n%s (%v): %s — %s\n\n", e.ID, time.Since(start).Round(time.Millisecond),
+			verdict, res.ShapeNote)
+	}
+	if failures > 0 {
+		log.Fatalf("gridsim: %d experiment(s) failed", failures)
+	}
+}
+
+func writeCSV(dir, id string, tab *metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.ToLower(strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, tab.Title))
+	if len(slug) > 48 {
+		slug = slug[:48]
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-%s.csv", id, slug)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.RenderCSV(f)
+}

@@ -1,0 +1,375 @@
+// Command trianactl is the command-line Triana Controller (§3.2: "The
+// Triana controller can be based either on a command line or a GUI user
+// interface"). It loads an XML task graph, discovers peers through the
+// rendezvous network, plans and enacts the graph's distribution policy,
+// and prints the sink units' results.
+//
+// Subcommands:
+//
+//	trianactl units                          # list the unit toolbox
+//	trianactl describe triana.signal.Wave    # one unit's metadata
+//	trianactl validate -workflow wf.xml      # structural + type check
+//	trianactl peers -rendezvous host:port    # discover enrolled services
+//	trianactl ping -addr host:port           # probe one daemon
+//	trianactl run -workflow wf.xml -rendezvous host:port -iterations 20
+//	trianactl export -example figure1        # write a canonical workflow XML
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/service"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/unitio"
+
+	_ "consumergrid/internal/units/astro"
+	_ "consumergrid/internal/units/convert"
+	_ "consumergrid/internal/units/dbase"
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/imaging"
+	_ "consumergrid/internal/units/mathx"
+	_ "consumergrid/internal/units/signal"
+	_ "consumergrid/internal/units/textproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "units":
+		err = cmdUnits(args)
+	case "describe":
+		err = cmdDescribe(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "peers":
+		err = cmdPeers(args)
+	case "ping":
+		err = cmdPing(args)
+	case "billing":
+		err = cmdBilling(args)
+	case "run":
+		err = cmdRun(args)
+	case "export":
+		err = cmdExport(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("trianactl %s: %v", cmd, err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|run|export} [flags]")
+}
+
+func cmdUnits(args []string) error {
+	for _, n := range units.Names() {
+		m, _ := units.Lookup(n)
+		fmt.Printf("%-36s %d in / %d out  %s\n", n, m.In, m.Out, m.Description)
+	}
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: trianactl describe <unit>")
+	}
+	m, ok := units.Lookup(args[0])
+	if !ok {
+		return fmt.Errorf("unknown unit %q", args[0])
+	}
+	fmt.Printf("%s (version %s)\n  %s\n", m.Name, m.Version, m.Description)
+	fmt.Printf("  inputs: %d  outputs: %d  stateful: %v\n", m.In, m.Out, m.Stateful)
+	for i, ins := range m.InTypes {
+		fmt.Printf("  in[%d] accepts %s\n", i, strings.Join(ins, ", "))
+	}
+	for i, out := range m.OutTypes {
+		fmt.Printf("  out[%d] emits %s\n", i, out)
+	}
+	for _, p := range m.Params {
+		def := p.Default
+		if def == "" {
+			def = "(required)"
+		}
+		fmt.Printf("  param %-14s default %-10s %s\n", p.Name, def, p.Description)
+	}
+	return nil
+}
+
+func loadWorkflow(path string) (*taskgraph.Graph, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.Contains(string(b), "<flowModel"):
+		return taskgraph.ParseWSFL(b)
+	case strings.Contains(string(b), "<pnml"):
+		return taskgraph.ParsePNML(b)
+	default:
+		return taskgraph.ParseXML(b)
+	}
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	wfPath := fs.String("workflow", "", "task graph XML (taskgraph or WSFL dialect)")
+	fs.Parse(args)
+	if *wfPath == "" {
+		return fmt.Errorf("-workflow required")
+	}
+	g, err := loadWorkflow(*wfPath)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(units.Resolver()); err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid (%d tasks, %d connections)\n",
+		g.Name, g.CountTasks(), len(g.Connections))
+	return nil
+}
+
+// newControlPeer builds the controller's own service over TCP, attached
+// to the given rendezvous addresses.
+func newControlPeer(rendezvous string) (*service.Service, error) {
+	var rdvAddrs []string
+	for _, a := range strings.Split(rendezvous, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			rdvAddrs = append(rdvAddrs, a)
+		}
+	}
+	if len(rdvAddrs) == 0 {
+		return nil, fmt.Errorf("-rendezvous required")
+	}
+	host, _ := os.Hostname()
+	return service.New(service.Options{
+		PeerID:    fmt.Sprintf("ctl-%s-%d", host, os.Getpid()),
+		Transport: jxtaserve.TCP{},
+		Addr:      "127.0.0.1:0",
+		Discovery: discovery.Config{
+			Mode: discovery.ModeRendezvous, Rendezvous: rdvAddrs,
+		},
+	})
+}
+
+func cmdPeers(args []string) error {
+	fs := flag.NewFlagSet("peers", flag.ExitOnError)
+	rendezvous := fs.String("rendezvous", "", "rendezvous addresses")
+	minCPU := fs.Float64("min-cpu", 0, "minimum advertised CPU MHz")
+	fs.Parse(args)
+	svc, err := newControlPeer(*rendezvous)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ctl := controller.New(svc, nil)
+	peers, err := ctl.DiscoverPeers(controller.RunOptions{MinCPUMHz: *minCPU})
+	if err != nil {
+		return err
+	}
+	if len(peers) == 0 {
+		fmt.Println("no peers enrolled")
+		return nil
+	}
+	for _, p := range peers {
+		fmt.Printf("%-24s %s\n", p.ID, p.Addr)
+	}
+	return nil
+}
+
+func cmdPing(args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	host, err := jxtaserve.NewHost("ping", jxtaserve.TCP{}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	start := time.Now()
+	reply, err := host.Request(*addr, service.MethodPing, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("peer %s: rm=%s cpu=%s MHz ram=%s MB units=%s rtt=%v\n",
+		reply.Header("peer"), reply.Header("rm"), reply.Header("cpuMHz"),
+		reply.Header("freeRAMMB"), reply.Header("units"), time.Since(start))
+	return nil
+}
+
+// cmdBilling fetches a daemon's resource-usage ledger — what each
+// requester consumed on that donated machine (§2).
+func cmdBilling(args []string) error {
+	fs := flag.NewFlagSet("billing", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	svc, err := service.New(service.Options{
+		PeerID:    fmt.Sprintf("audit-%d", os.Getpid()),
+		Transport: jxtaserve.TCP{},
+		Addr:      "127.0.0.1:0",
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	entries, err := svc.FetchBilling(*addr)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("ledger empty")
+		return nil
+	}
+	fmt.Printf("%-24s %6s %14s %10s\n", "requester", "jobs", "cpu", "processed")
+	for _, e := range entries {
+		fmt.Printf("%-24s %6d %14v %10d\n", e.Requester, e.Jobs, e.CPU, e.Processed)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	wfPath := fs.String("workflow", "", "task graph XML")
+	rendezvous := fs.String("rendezvous", "", "rendezvous addresses")
+	iterations := fs.Int("iterations", 1, "source iterations")
+	seed := fs.Int64("seed", 1, "random seed")
+	minCPU := fs.Float64("min-cpu", 0, "minimum peer CPU MHz")
+	local := fs.Bool("local", false, "force local execution (no distribution)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "run timeout")
+	fs.Parse(args)
+	if *wfPath == "" {
+		return fmt.Errorf("-workflow required")
+	}
+	g, err := loadWorkflow(*wfPath)
+	if err != nil {
+		return err
+	}
+	svc, err := newControlPeer(*rendezvous)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ctl := controller.New(svc, log.Printf)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := ctl.Run(ctx, g, controller.RunOptions{
+		Iterations: *iterations, Seed: *seed,
+		MinCPUMHz: *minCPU, ForceLocal: *local,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	return nil
+}
+
+// printReport renders the run outcome: plan, per-peer work, and every
+// Grapher/Animator sink's contents.
+func printReport(rep *controller.Report) {
+	if rep.Plan != nil {
+		fmt.Printf("plan: %s over %d peer(s) %v\n", rep.Plan.Kind, len(rep.Peers), rep.Peers)
+	} else {
+		fmt.Println("plan: local")
+	}
+	fmt.Printf("local elapsed: %v\n", rep.Result().Elapsed)
+	peerIDs := make([]string, 0, len(rep.Dist.Remote))
+	for id := range rep.Dist.Remote {
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Strings(peerIDs)
+	for _, id := range peerIDs {
+		total := 0
+		for _, n := range rep.Dist.Remote[id] {
+			total += n
+		}
+		fmt.Printf("remote %s: %d task executions\n", id, total)
+	}
+	taskNames := make([]string, 0, len(rep.Result().Processed))
+	for name := range rep.Result().Processed {
+		taskNames = append(taskNames, name)
+	}
+	sort.Strings(taskNames)
+	for _, name := range taskNames {
+		switch u := rep.Result().Unit(name).(type) {
+		case *unitio.Grapher:
+			fmt.Printf("\n== %s (saw %d data) ==\n", name, u.Seen())
+			if last := u.Last(); last != nil {
+				fmt.Printf("last datum: %s\n", describeDatum(last))
+				if _, plottable := types.Floats(last); plottable {
+					fmt.Println(u.RenderASCII(12, 72))
+				}
+			}
+		case *unitio.Animator:
+			frames := u.Frames()
+			fmt.Printf("\n== %s: %d frames collected ==\n", name, len(frames))
+		}
+	}
+}
+
+func describeDatum(d types.Data) string {
+	switch v := d.(type) {
+	case *types.Table:
+		return fmt.Sprintf("%s (%d rows x %d cols)", v.TypeName(), v.NumRows(), len(v.Columns))
+	case *types.Spectrum:
+		return fmt.Sprintf("%s (%d bins, peak %.1f Hz)", v.TypeName(), len(v.Amplitudes), v.PeakFrequency())
+	default:
+		return d.TypeName()
+	}
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	example := fs.String("example", "figure1", "figure1|galaxy|inspiral|dbpipeline")
+	out := fs.String("out", "", "output path (default stdout)")
+	fs.Parse(args)
+	var g *taskgraph.Graph
+	switch *example {
+	case "figure1":
+		g = core.Figure1Workflow(core.Figure1Options{})
+	case "galaxy":
+		g = core.GalaxyWorkflow(core.GalaxyOptions{})
+	case "inspiral":
+		g = core.InspiralWorkflow(core.InspiralOptions{InjectOffset: 5000})
+	case "dbpipeline":
+		g = core.DBPipelineWorkflow(core.DBPipelineOptions{})
+	default:
+		return fmt.Errorf("unknown example %q", *example)
+	}
+	b, err := g.EncodeXML()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*out, b, 0o644)
+}

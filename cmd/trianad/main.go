@@ -1,0 +1,168 @@
+// Command trianad runs a Triana peer on this machine — the paper's
+// "point-and-click method to instantiate a service daemon" (§2). A
+// resource owner starts it, the daemon enrols with the rendezvous
+// network, advertises the machine's capabilities, and then accepts
+// workflow fragments from controllers, executing them inside the sandbox
+// with the owner's limits.
+//
+// Run a rendezvous peer (the bootstrap node other daemons enrol with):
+//
+//	trianad -listen 127.0.0.1:7100 -rendezvous-server
+//
+// Run donor peers against it:
+//
+//	trianad -listen 127.0.0.1:7101 -id alice -rendezvous 127.0.0.1:7100 -cpu 2600 -ram 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/gateway"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/sandbox"
+	"consumergrid/internal/service"
+	"consumergrid/internal/units"
+	"consumergrid/internal/webstatus"
+
+	_ "consumergrid/internal/units/astro"
+	_ "consumergrid/internal/units/convert"
+	_ "consumergrid/internal/units/dbase"
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/imaging"
+	_ "consumergrid/internal/units/mathx"
+	_ "consumergrid/internal/units/signal"
+	_ "consumergrid/internal/units/textproc"
+	_ "consumergrid/internal/units/unitio"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		id         = flag.String("id", "", "peer ID (default: host-derived)")
+		rendezvous = flag.String("rendezvous", "", "comma-separated rendezvous addresses to enrol with")
+		rdvServer  = flag.Bool("rendezvous-server", false, "run as a rendezvous peer instead of a donor")
+		cpuMHz     = flag.Int("cpu", 2000, "advertised CPU capability (MHz)")
+		ramMB      = flag.Int("ram", 512, "advertised free memory (MB)")
+		group      = flag.String("group", "", "virtual peer group to join")
+		memLimit   = flag.Int64("mem-limit", 512<<20, "sandbox memory budget for hosted workflows (bytes, 0=unlimited)")
+		fsRoot     = flag.String("fs-root", "", "grant hosted workflows file access under this directory (default: none)")
+		batchSlots = flag.Int("batch-slots", 0, "run jobs through a slot-limited batch gateway instead of fork (0=fork)")
+		codeBudget = flag.Int64("code-budget", 0, "module cache budget in bytes (0=unlimited; small values model handhelds)")
+		require    = flag.Bool("require-code", false, "refuse units whose module bundles have not been downloaded")
+		ttl        = flag.Duration("advert-ttl", time.Hour, "service advertisement lifetime")
+		httpAddr   = flag.String("http", "", "serve browser status pages on this address (e.g. 127.0.0.1:8080)")
+		certified  = flag.String("certified", "", "comma-separated certified unit names; empty allows everything")
+	)
+	flag.Parse()
+
+	if *id == "" {
+		host, _ := os.Hostname()
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	if *rdvServer {
+		runRendezvous(*id, *listen)
+		return
+	}
+
+	pol := sandbox.Policy{MaxMemory: *memLimit}
+	if *fsRoot != "" {
+		pol.Allow = []sandbox.Permission{sandbox.FSRead, sandbox.FSWrite}
+		pol.FSRoot = *fsRoot
+	}
+	var rm gateway.ResourceManager
+	if *batchSlots > 0 {
+		b, err := gateway.NewBatch(*batchSlots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rm = b
+	}
+	var rdvAddrs []string
+	for _, a := range strings.Split(*rendezvous, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			rdvAddrs = append(rdvAddrs, a)
+		}
+	}
+	var certifiedList []string
+	for _, u := range strings.Split(*certified, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			certifiedList = append(certifiedList, u)
+		}
+	}
+	svc, err := service.New(service.Options{
+		PeerID:    *id,
+		Transport: jxtaserve.TCP{},
+		Addr:      *listen,
+		Discovery: discovery.Config{
+			Mode:       discovery.ModeRendezvous,
+			Rendezvous: rdvAddrs,
+		},
+		Sandbox:     pol,
+		RM:          rm,
+		CodeBudget:  *codeBudget,
+		CPUMHz:      *cpuMHz,
+		FreeRAMMB:   *ramMB,
+		PeerGroup:   *group,
+		RequireCode: *require,
+		Certified:   certifiedList,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
+	defer svc.Close()
+	if len(rdvAddrs) > 0 {
+		if err := svc.Advertise(*ttl); err != nil {
+			log.Fatalf("trianad: enrolment failed: %v", err)
+		}
+		// Keep the advertisement fresh at half its lifetime so rendezvous
+		// caches age out peers that vanish.
+		stop := svc.StartAdvertising(*ttl/2, *ttl)
+		defer stop()
+	}
+	if *httpAddr != "" {
+		srv, err := webstatus.Serve(*httpAddr, svc)
+		if err != nil {
+			log.Fatalf("trianad: status server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("trianad: browser status at http://%s/", *httpAddr)
+	}
+	log.Printf("trianad: peer %s listening at %s (%d units, cpu %d MHz, ram %d MB)",
+		*id, svc.Addr(), len(units.Names()), *cpuMHz, *ramMB)
+
+	wait()
+	log.Printf("trianad: shutting down")
+}
+
+// runRendezvous hosts a bare rendezvous peer: a discovery cache that
+// other daemons publish to and query.
+func runRendezvous(id, listen string) {
+	host, err := jxtaserve.NewHost(id, jxtaserve.TCP{}, listen)
+	if err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
+	defer host.Close()
+	discovery.NewNode(host, advert.NewCache(), discovery.Config{
+		Mode: discovery.ModeRendezvous, IsRendezvous: true,
+	})
+	log.Printf("trianad: rendezvous %s listening at %s", id, host.Addr())
+	wait()
+	log.Printf("trianad: rendezvous shutting down")
+}
+
+func wait() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

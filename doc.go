@@ -1,0 +1,18 @@
+// Package consumergrid is a Go reproduction of "Supporting Peer-2-Peer
+// Interactions in the Consumer Grid" (Taylor, Rana, Philp, Wang, Shields;
+// IPPS/IPDPS workshops 2003): the Triana visual-workflow system deployed
+// as a peer-to-peer network of donated consumer machines.
+//
+// The library lives under internal/ (one package per subsystem — task
+// graphs, unit toolboxes, dataflow engine, pipes, discovery, mobile code,
+// sandbox, gateways, distribution policies, churn model) with the
+// assembled system in internal/core. Executables are under cmd/
+// (trianad, trianactl, gridsim) and runnable scenarios under examples/.
+// See DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every figure and table of
+// the paper's evaluation via the internal/experiments harness:
+//
+//	go test -bench=. -benchmem
+package consumergrid

@@ -1,0 +1,120 @@
+package consumergrid_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndToEndProcesses drives the real binaries the way a user would: a
+// rendezvous peer, two donor daemons and the trianactl controller, each
+// in its own OS process talking TCP — the deployment story of §3.5.
+func TestEndToEndProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, b)
+		}
+		return out
+	}
+	trianad := build("trianad", "./cmd/trianad")
+	trianactl := build("trianactl", "./cmd/trianactl")
+
+	rdvAddr := freePort(t)
+	d1Addr := freePort(t)
+	d2Addr := freePort(t)
+
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(trianad, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting trianad %v: %v", args, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		return cmd
+	}
+	spawn("-listen", rdvAddr, "-rendezvous-server")
+	waitListening(t, rdvAddr)
+	spawn("-listen", d1Addr, "-id", "donor-1", "-rendezvous", rdvAddr, "-cpu", "2600")
+	spawn("-listen", d2Addr, "-id", "donor-2", "-rendezvous", rdvAddr, "-cpu", "1400")
+	waitListening(t, d1Addr)
+	waitListening(t, d2Addr)
+
+	run := func(args ...string) string {
+		cmd := exec.Command(trianactl, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("trianactl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Enrolment is visible through discovery.
+	peers := run("peers", "-rendezvous", rdvAddr)
+	if !strings.Contains(peers, "donor-1") || !strings.Contains(peers, "donor-2") {
+		t.Fatalf("peers output missing donors:\n%s", peers)
+	}
+	// Probe one daemon directly.
+	ping := run("ping", "-addr", d1Addr)
+	if !strings.Contains(ping, "donor-1") {
+		t.Fatalf("ping output:\n%s", ping)
+	}
+	// Export, validate and run the Figure 1 workflow across the donors.
+	wf := filepath.Join(bin, "fig1.xml")
+	run("export", "-example", "figure1", "-out", wf)
+	validate := run("validate", "-workflow", wf)
+	if !strings.Contains(validate, "valid") {
+		t.Fatalf("validate output:\n%s", validate)
+	}
+	result := run("run", "-workflow", wf, "-rendezvous", rdvAddr, "-iterations", "8", "-seed", "3")
+	if !strings.Contains(result, "plan: parallel over 2 peer(s)") {
+		t.Fatalf("run output missing plan:\n%s", result)
+	}
+	if !strings.Contains(result, "remote donor-1") || !strings.Contains(result, "remote donor-2") {
+		t.Fatalf("run output missing donor work:\n%s", result)
+	}
+	if !strings.Contains(result, "peak") && !strings.Contains(result, "Grapher") {
+		t.Fatalf("run output missing grapher section:\n%s", result)
+	}
+}
+
+// freePort reserves a localhost TCP port and returns host:port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never started listening", addr)
+}

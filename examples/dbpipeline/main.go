@@ -1,0 +1,69 @@
+// DBPipeline: the §3.6.3 scenario. A user composes the four-stage
+// pipeline — data access, data manipulation, data visualisation, data
+// verification — and the manipulate/verify pair is bound to discovered
+// peers with the peer-to-peer policy, each stage on its own resource.
+//
+//	go run ./examples/dbpipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units/dbase"
+	"consumergrid/internal/units/unitio"
+)
+
+func main() {
+	grid, err := core.NewGrid(core.GridOptions{Peers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+
+	wf := core.DBPipelineWorkflow(core.DBPipelineOptions{
+		Dataset:         "stars",
+		Rows:            1200,
+		MinFilter:       "distance_pc:800", // keep the distant stars
+		VisualiseColumn: "distance_pc",
+		NumericColumns:  "magnitude,distance_pc",
+	})
+	rep, err := grid.Run(context.Background(), wf, controller.RunOptions{
+		Iterations: 1, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pipeline plan: %s\n", rep.Plan.Kind)
+	body := rep.Annotated.Find("ServiceGroup").Group
+	for _, stage := range []string{"Manipulate", "Verify"} {
+		fmt.Printf("  stage %-10s -> peer %s\n", stage, body.Find(stage).Placement)
+	}
+
+	verdict := rep.Result().Unit("Verdicts").(*unitio.Grapher).Last().(*types.Table)
+	fmt.Println("\nverification service verdicts:")
+	for _, row := range verdict.Rows {
+		fmt.Printf("  %-22s ok=%-5s %s\n", row[0], row[1], row[2])
+	}
+	fmt.Printf("overall: passed=%v\n", dbase.Passed(verdict))
+
+	hist := rep.Result().Unit("Chart").(*unitio.Grapher).Last().(*types.Histogram)
+	fmt.Println("\nvisualisation service: distance distribution (parsecs):")
+	peak := 0.0
+	for _, c := range hist.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range hist.Counts {
+		lo := hist.Lo + float64(i)*hist.Width
+		bar := strings.Repeat("#", int(c/peak*40))
+		fmt.Printf("  %7.0f-%7.0f | %-40s %4.0f\n", lo, lo+hist.Width, bar, c)
+	}
+}

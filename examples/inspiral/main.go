@@ -1,0 +1,80 @@
+// Inspiral: the §3.6.2 GEO600 scenario at laptop scale. Detector noise
+// chunks with one injected chirp flow through a matched-filter bank
+// distributed across peers; the run reports which template fired, where,
+// and at what SNR — then sizes the full-scale farm with the measured
+// kernel cost and the paper's numbers.
+//
+//	go run ./examples/inspiral
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/dsp"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units/unitio"
+)
+
+func main() {
+	grid, err := core.NewGrid(core.GridOptions{Peers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+
+	const injectAt = 5000
+	wf := core.InspiralWorkflow(core.InspiralOptions{
+		ChunkSamples: 16384, SamplingRate: 2000,
+		Templates: 9, TemplateLen: 1024,
+		InjectOffset: injectAt, InjectAmplitude: 3,
+		NoiseSigma: 1,
+	})
+	rep, err := grid.Run(context.Background(), wf, controller.RunOptions{
+		Iterations: 4, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := rep.Result().Unit("Results").(*unitio.Grapher).Last().(*types.Table)
+	fmt.Println("matched-filter report for the final chunk:")
+	fmt.Printf("%-10s %-8s %-9s %s\n", "template", "f0(Hz)", "peakLag", "SNR")
+	snrCol, lagCol := tab.ColumnIndex("snr"), tab.ColumnIndex("peakLag")
+	bestSNR := 0.0
+	bestLag := 0
+	for _, row := range tab.Rows {
+		fmt.Printf("%-10s %-8s %-9s %s\n", row[0], row[1], row[2], row[3])
+		if snr, _ := strconv.ParseFloat(row[snrCol], 64); snr > bestSNR {
+			bestSNR = snr
+			bestLag, _ = strconv.Atoi(row[lagCol])
+		}
+	}
+	fmt.Printf("\nloudest response: SNR %.1f at sample %d (injection was at %d)\n",
+		bestSNR, bestLag, injectAt)
+
+	// Size the real search with this machine's kernel: the paper's 7.2 MB
+	// chunks (900 s x 2000 S/s) against 5,000-10,000 templates.
+	data := dsp.GaussianNoise(65536, 1, rand.New(rand.NewSource(3)))
+	tpl := dsp.TemplateBank(1, 2048, 40, 200, 400, 2000)[0]
+	start := time.Now()
+	if _, err := dsp.CrossCorrelate(data, tpl); err != nil {
+		log.Fatal(err)
+	}
+	perTpl := time.Since(start)
+	// O(n log n) scaling from 65,536 samples to the 1.8 M-sample chunk.
+	perTplFull := time.Duration(float64(perTpl) * (1800000.0 / 65536) * 1.24)
+	fmt.Println("\nfull-scale sizing with this machine's kernel:")
+	for _, bank := range []int{5000, 10000} {
+		chunkTime := perTplFull * time.Duration(bank)
+		peers := (chunkTime + 900*time.Second - 1) / (900 * time.Second)
+		fmt.Printf("  %6d templates: %7.1f min per 15-minute chunk -> >= %d always-on peers\n",
+			bank, chunkTime.Minutes(), peers)
+	}
+	fmt.Println("(the paper: ~5 h per chunk on a 2 GHz PC in 2003 C code -> 20 PCs, more under churn)")
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's Figure 1 workflow programmatically, run
+// it on the local engine (no networking), and watch AccumStat pull the
+// 1 kHz sine out of heavy Gaussian noise — the Figure 2 result — on an
+// ASCII plot.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"consumergrid/internal/core"
+	"consumergrid/internal/engine"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units/unitio"
+)
+
+func main() {
+	// The workflow of Code Segment 1: Wave -> [Gaussian -> PowerSpec] ->
+	// AccumStat -> Grapher. Policy Local keeps everything in-process.
+	wf := core.Figure1Workflow(core.Figure1Options{
+		Frequency:    1000,
+		SamplingRate: 8000,
+		Samples:      1024,
+		NoiseSigma:   5, // bury the signal, as in Figure 2
+		Policy:       policy.NameLocal,
+	})
+
+	for _, iterations := range []int{1, 20} {
+		res, err := engine.Run(context.Background(), wf, engine.Options{
+			Iterations: iterations,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		grapher := res.Unit("Grapher").(*unitio.Grapher)
+		spec := grapher.Last().(*types.Spectrum)
+		fmt.Printf("\nAveraged power spectrum after %d iteration(s) — peak at %.0f Hz:\n",
+			iterations, spec.PeakFrequency())
+		fmt.Println(grapher.RenderASCII(12, 72))
+	}
+	fmt.Println("After 1 iteration the 1 kHz line is buried; after 20 the noise floor")
+	fmt.Println("has averaged flat and the peak stands out — the paper's Figure 2.")
+}

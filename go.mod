@@ -1,0 +1,3 @@
+module consumergrid
+
+go 1.22

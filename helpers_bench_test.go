@@ -1,0 +1,32 @@
+package consumergrid_test
+
+import (
+	"fmt"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/astro"
+	"consumergrid/internal/units/imaging"
+)
+
+// newGalaxyGen and newRenderer give the kernel benches typed access to
+// the toolbox units without reaching into their internals.
+func newGalaxyGen(particles int) (*astro.GalaxyGen, error) {
+	u, err := units.New(astro.NameGalaxyGen,
+		units.Params{"particles": fmt.Sprintf("%d", particles)})
+	if err != nil {
+		return nil, err
+	}
+	return u.(*astro.GalaxyGen), nil
+}
+
+func newRenderer(w, h int) (*imaging.ColumnDensity, error) {
+	u, err := units.New(imaging.NameColumnDensity,
+		units.Params{"width": fmt.Sprintf("%d", w), "height": fmt.Sprintf("%d", h)})
+	if err != nil {
+		return nil, err
+	}
+	return u.(*imaging.ColumnDensity), nil
+}
+
+var _ types.Data = (*types.SampleSet)(nil)

@@ -1,0 +1,466 @@
+// Package advert implements JXTA-style advertisements for the Consumer
+// Grid: small signed-ish XML documents by which peers announce themselves,
+// their pipes, their hosted module bundles and their services (§3.4 "It
+// advertises its input and output nodes as JXTA pipes"; §4 "Peer naming,
+// grouping, and advertising is achieved using JXTA").
+//
+// An advertisement carries free-form string attributes; discovery matches
+// on them either exactly or with numeric lower bounds (the paper's
+// "discovered based on very simple attributes – such as CPU capability
+// and available free memory").
+package advert
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an advertisement.
+type Kind string
+
+// The advertisement kinds used by the Consumer Grid.
+const (
+	KindPeer    Kind = "peer"
+	KindPipe    Kind = "pipe"
+	KindModule  Kind = "module"
+	KindService Kind = "service"
+)
+
+// Well-known attribute names.
+const (
+	// AttrCPUMHz advertises peer CPU capability in MHz.
+	AttrCPUMHz = "cpuMHz"
+	// AttrFreeRAMMB advertises available memory in MB.
+	AttrFreeRAMMB = "freeRAMMB"
+	// AttrGroup names the virtual peer group the publisher belongs to.
+	AttrGroup = "group"
+	// AttrDirection marks pipe adverts as "input" or "output".
+	AttrDirection = "direction"
+)
+
+// Advertisement is one published document.
+type Advertisement struct {
+	Kind Kind
+	// ID is unique per advertisement (publisher-assigned).
+	ID string
+	// PeerID identifies the publishing peer.
+	PeerID string
+	// Name is the advertised object's name: the pipe's unique connection
+	// label, the module's unit name, the service's type.
+	Name string
+	// Version pins module bundles.
+	Version string
+	// Addr is the endpoint to contact for binding (host:port for TCP,
+	// node name for simnet transports).
+	Addr string
+	// Expires is the wall-clock expiry; zero means never.
+	Expires time.Time
+	// Attributes carries discovery attributes.
+	Attributes map[string]string
+}
+
+// Attr returns the named attribute or "".
+func (a *Advertisement) Attr(key string) string {
+	if a.Attributes == nil {
+		return ""
+	}
+	return a.Attributes[key]
+}
+
+// SetAttr assigns an attribute, allocating the map on first use.
+func (a *Advertisement) SetAttr(key, val string) {
+	if a.Attributes == nil {
+		a.Attributes = make(map[string]string)
+	}
+	a.Attributes[key] = val
+}
+
+// Expired reports whether the advert is past its expiry at time now.
+func (a *Advertisement) Expired(now time.Time) bool {
+	return !a.Expires.IsZero() && now.After(a.Expires)
+}
+
+// Clone deep-copies the advertisement.
+func (a *Advertisement) Clone() *Advertisement {
+	c := *a
+	if a.Attributes != nil {
+		c.Attributes = make(map[string]string, len(a.Attributes))
+		for k, v := range a.Attributes {
+			c.Attributes[k] = v
+		}
+	}
+	return &c
+}
+
+// Validate reports structural problems.
+func (a *Advertisement) Validate() error {
+	switch a.Kind {
+	case KindPeer, KindPipe, KindModule, KindService:
+	default:
+		return fmt.Errorf("advert: unknown kind %q", a.Kind)
+	}
+	if a.ID == "" {
+		return fmt.Errorf("advert: missing ID")
+	}
+	if a.PeerID == "" {
+		return fmt.Errorf("advert: missing PeerID")
+	}
+	if a.Kind != KindPeer && a.Name == "" {
+		return fmt.Errorf("advert: %s advert missing Name", a.Kind)
+	}
+	return nil
+}
+
+// --- XML codec --------------------------------------------------------------
+
+type xmlAdvert struct {
+	XMLName xml.Name  `xml:"advertisement"`
+	Kind    string    `xml:"kind,attr"`
+	ID      string    `xml:"id,attr"`
+	PeerID  string    `xml:"peer,attr"`
+	Name    string    `xml:"name,attr,omitempty"`
+	Version string    `xml:"version,attr,omitempty"`
+	Addr    string    `xml:"addr,attr,omitempty"`
+	Expires string    `xml:"expires,attr,omitempty"`
+	Attrs   []xmlAttr `xml:"attr"`
+}
+
+type xmlAttr struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// MarshalText renders the advertisement as an XML document fragment.
+func (a *Advertisement) MarshalText() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	x := xmlAdvert{
+		Kind: string(a.Kind), ID: a.ID, PeerID: a.PeerID,
+		Name: a.Name, Version: a.Version, Addr: a.Addr,
+	}
+	if !a.Expires.IsZero() {
+		x.Expires = a.Expires.UTC().Format(time.RFC3339Nano)
+	}
+	keys := make([]string, 0, len(a.Attributes))
+	for k := range a.Attributes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Attrs = append(x.Attrs, xmlAttr{Name: k, Value: a.Attributes[k]})
+	}
+	return xml.Marshal(x)
+}
+
+// UnmarshalText parses an XML advertisement.
+func (a *Advertisement) UnmarshalText(b []byte) error {
+	var x xmlAdvert
+	if err := xml.Unmarshal(b, &x); err != nil {
+		return fmt.Errorf("advert: bad XML: %w", err)
+	}
+	*a = Advertisement{
+		Kind: Kind(x.Kind), ID: x.ID, PeerID: x.PeerID,
+		Name: x.Name, Version: x.Version, Addr: x.Addr,
+	}
+	if x.Expires != "" {
+		t, err := time.Parse(time.RFC3339Nano, x.Expires)
+		if err != nil {
+			return fmt.Errorf("advert: bad expiry: %w", err)
+		}
+		a.Expires = t
+	}
+	for _, at := range x.Attrs {
+		a.SetAttr(at.Name, at.Value)
+	}
+	return a.Validate()
+}
+
+// --- queries ----------------------------------------------------------------
+
+// Query selects advertisements. Zero fields match everything of the kind.
+type Query struct {
+	Kind Kind
+	// Name matches exactly, or by prefix when it ends in '*'.
+	Name string
+	// PeerID restricts to one publisher when non-empty.
+	PeerID string
+	// Attrs must match exactly.
+	Attrs map[string]string
+	// MinAttrs require the advert attribute to parse as a number >= the
+	// bound ("cpuMHz >= 500").
+	MinAttrs map[string]float64
+}
+
+// Matches reports whether ad satisfies the query.
+func (q Query) Matches(ad *Advertisement) bool {
+	if q.Kind != "" && ad.Kind != q.Kind {
+		return false
+	}
+	if q.PeerID != "" && ad.PeerID != q.PeerID {
+		return false
+	}
+	if q.Name != "" {
+		if strings.HasSuffix(q.Name, "*") {
+			if !strings.HasPrefix(ad.Name, strings.TrimSuffix(q.Name, "*")) {
+				return false
+			}
+		} else if ad.Name != q.Name {
+			return false
+		}
+	}
+	for k, v := range q.Attrs {
+		if ad.Attr(k) != v {
+			return false
+		}
+	}
+	for k, bound := range q.MinAttrs {
+		f, err := strconv.ParseFloat(ad.Attr(k), 64)
+		if err != nil || f < bound {
+			return false
+		}
+	}
+	return true
+}
+
+// --- codec for queries (they travel inside discovery messages) --------------
+
+type xmlQuery struct {
+	XMLName xml.Name  `xml:"query"`
+	Kind    string    `xml:"kind,attr,omitempty"`
+	Name    string    `xml:"name,attr,omitempty"`
+	PeerID  string    `xml:"peer,attr,omitempty"`
+	Attrs   []xmlAttr `xml:"attr"`
+	Mins    []xmlAttr `xml:"min"`
+}
+
+// MarshalText renders the query as XML.
+func (q Query) MarshalText() ([]byte, error) {
+	x := xmlQuery{Kind: string(q.Kind), Name: q.Name, PeerID: q.PeerID}
+	keys := make([]string, 0, len(q.Attrs))
+	for k := range q.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Attrs = append(x.Attrs, xmlAttr{Name: k, Value: q.Attrs[k]})
+	}
+	keys = keys[:0]
+	for k := range q.MinAttrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Mins = append(x.Mins, xmlAttr{Name: k,
+			Value: strconv.FormatFloat(q.MinAttrs[k], 'g', -1, 64)})
+	}
+	return xml.Marshal(x)
+}
+
+// UnmarshalText parses a query from XML.
+func (q *Query) UnmarshalText(b []byte) error {
+	var x xmlQuery
+	if err := xml.Unmarshal(b, &x); err != nil {
+		return fmt.Errorf("advert: bad query XML: %w", err)
+	}
+	*q = Query{Kind: Kind(x.Kind), Name: x.Name, PeerID: x.PeerID}
+	for _, at := range x.Attrs {
+		if q.Attrs == nil {
+			q.Attrs = make(map[string]string)
+		}
+		q.Attrs[at.Name] = at.Value
+	}
+	for _, at := range x.Mins {
+		f, err := strconv.ParseFloat(at.Value, 64)
+		if err != nil {
+			return fmt.Errorf("advert: bad min bound %q: %w", at.Value, err)
+		}
+		if q.MinAttrs == nil {
+			q.MinAttrs = make(map[string]float64)
+		}
+		q.MinAttrs[at.Name] = f
+	}
+	return nil
+}
+
+// --- cache ------------------------------------------------------------------
+
+// Cache is a peer's local advertisement store with expiry. Rendezvous
+// peers keep large caches; edge peers keep what they have published and
+// learned.
+type Cache struct {
+	mu  sync.RWMutex
+	ads map[string]*Advertisement // by ID
+	// Now is injectable for tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{ads: make(map[string]*Advertisement), Now: time.Now}
+}
+
+// Put stores (a clone of) the advertisement, replacing any previous
+// version with the same ID.
+func (c *Cache) Put(ad *Advertisement) error {
+	if err := ad.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ads[ad.ID] = ad.Clone()
+	c.mu.Unlock()
+	return nil
+}
+
+// Remove deletes the advertisement with the given ID, reporting whether
+// it was present.
+func (c *Cache) Remove(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.ads[id]
+	delete(c.ads, id)
+	return ok
+}
+
+// RemovePeer deletes every advertisement from one publisher (used when a
+// peer is observed to have left), returning the number removed.
+func (c *Cache) RemovePeer(peerID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, ad := range c.ads {
+		if ad.PeerID == peerID {
+			delete(c.ads, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Find returns up to limit matching, unexpired advertisements (limit <= 0
+// means unlimited), sorted by ID for determinism.
+func (c *Cache) Find(q Query, limit int) []*Advertisement {
+	now := c.Now()
+	c.mu.RLock()
+	var out []*Advertisement
+	for _, ad := range c.ads {
+		if ad.Expired(now) || !q.Matches(ad) {
+			continue
+		}
+		out = append(out, ad.Clone())
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Purge drops expired advertisements, returning the number removed.
+func (c *Cache) Purge() int {
+	now := c.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, ad := range c.ads {
+		if ad.Expired(now) {
+			delete(c.ads, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of stored advertisements (including expired ones
+// not yet purged).
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ads)
+}
+
+// --- list codec ---------------------------------------------------------
+
+// EncodeList frames a slice of advertisements for transport payloads
+// (each item XML-encoded, length-prefixed).
+func EncodeList(ads []*Advertisement) ([]byte, error) {
+	var out []byte
+	var tmp [10]byte
+	n := putUvarint(tmp[:], uint64(len(ads)))
+	out = append(out, tmp[:n]...)
+	for _, ad := range ads {
+		b, err := ad.MarshalText()
+		if err != nil {
+			return nil, err
+		}
+		n := putUvarint(tmp[:], uint64(len(b)))
+		out = append(out, tmp[:n]...)
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// DecodeList parses a payload written by EncodeList.
+func DecodeList(b []byte) ([]*Advertisement, error) {
+	count, n := getUvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("advert: bad list header")
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("advert: list too large (%d)", count)
+	}
+	b = b[n:]
+	out := make([]*Advertisement, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := getUvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < l {
+			return nil, fmt.Errorf("advert: truncated list")
+		}
+		b = b[n:]
+		ad := new(Advertisement)
+		if err := ad.UnmarshalText(b[:l]); err != nil {
+			return nil, err
+		}
+		b = b[l:]
+		out = append(out, ad)
+	}
+	return out, nil
+}
+
+// putUvarint and getUvarint mirror encoding/binary to keep the import
+// list stable.
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+func getUvarint(buf []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range buf {
+		if i == 10 {
+			return 0, -(i + 1)
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, -(i + 1)
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,256 @@
+// Package churn models the availability of consumer peers — the paper's
+// "various types of downtime e.g. connection lost, user intervenes,
+// computational bandwidth not reached" (§3.6.2) and the Condor/SETI
+// screensaver model of §3.7 (CPU donated only while the machine is idle).
+//
+// A Trace is a deterministic alternating up/down timeline drawn from
+// exponential holding times. The virtual-time farm simulator executes a
+// bag of tasks over a set of traces, with or without the checkpointing
+// the paper proposes for migrating interrupted computations, and reports
+// makespan, wasted work and migrations. Experiments E2, T1 and A1 are
+// built on it.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Interval is one up or down period.
+type Interval struct {
+	Start, End float64
+	Up         bool
+}
+
+// Trace is a peer's availability timeline over [0, Horizon).
+type Trace struct {
+	Intervals []Interval
+	Horizon   float64
+}
+
+// GenTrace draws a timeline of exponential up/down holding times with
+// the given means, starting up with probability meanUp/(meanUp+meanDown).
+// meanDown <= 0 yields an always-up trace.
+func GenTrace(seed int64, horizon, meanUp, meanDown float64) *Trace {
+	if horizon <= 0 || meanUp <= 0 {
+		return &Trace{Horizon: math.Max(horizon, 0)}
+	}
+	tr := &Trace{Horizon: horizon}
+	if meanDown <= 0 {
+		tr.Intervals = []Interval{{Start: 0, End: horizon, Up: true}}
+		return tr
+	}
+	rng := rand.New(rand.NewSource(seed))
+	up := rng.Float64() < meanUp/(meanUp+meanDown)
+	t := 0.0
+	for t < horizon {
+		mean := meanUp
+		if !up {
+			mean = meanDown
+		}
+		d := rng.ExpFloat64() * mean
+		end := math.Min(t+d, horizon)
+		tr.Intervals = append(tr.Intervals, Interval{Start: t, End: end, Up: up})
+		t = end
+		up = !up
+	}
+	return tr
+}
+
+// AlwaysUp returns a fully-available trace.
+func AlwaysUp(horizon float64) *Trace {
+	return &Trace{Horizon: horizon,
+		Intervals: []Interval{{Start: 0, End: horizon, Up: true}}}
+}
+
+// Availability reports the fraction of the horizon the peer is up.
+func (t *Trace) Availability() float64 {
+	if t.Horizon <= 0 {
+		return 0
+	}
+	var up float64
+	for _, iv := range t.Intervals {
+		if iv.Up {
+			up += iv.End - iv.Start
+		}
+	}
+	return up / t.Horizon
+}
+
+// UpAt reports whether the peer is up at time x.
+func (t *Trace) UpAt(x float64) bool {
+	i := sort.Search(len(t.Intervals), func(i int) bool { return t.Intervals[i].End > x })
+	if i >= len(t.Intervals) {
+		return false
+	}
+	iv := t.Intervals[i]
+	return iv.Up && x >= iv.Start
+}
+
+// NextUp returns the first up interval whose end is after time x,
+// clipped so Start >= x. ok is false past the horizon.
+func (t *Trace) NextUp(x float64) (Interval, bool) {
+	i := sort.Search(len(t.Intervals), func(i int) bool { return t.Intervals[i].End > x })
+	for ; i < len(t.Intervals); i++ {
+		iv := t.Intervals[i]
+		if !iv.Up {
+			continue
+		}
+		if iv.Start < x {
+			iv.Start = x
+		}
+		if iv.End > iv.Start {
+			return iv, true
+		}
+	}
+	return Interval{}, false
+}
+
+// FarmOptions configures a simulation run.
+type FarmOptions struct {
+	// Checkpoint enables periodic state saves: on interruption only the
+	// work since the last checkpoint is lost and the remainder migrates.
+	Checkpoint bool
+	// CheckpointInterval is the virtual time between saves (required
+	// when Checkpoint is set).
+	CheckpointInterval float64
+	// Releases gives each task an arrival time before which it cannot
+	// start (aligned with the tasks slice); nil means all available at 0.
+	// This models a data stream: the GEO600 chunks of §3.6.2 arrive every
+	// 900 s rather than all at once.
+	Releases []float64
+}
+
+// FarmResult summarises a simulated run.
+type FarmResult struct {
+	// Completed counts tasks finished within the horizon.
+	Completed int
+	// Makespan is the finish time of the last completed task (0 when
+	// nothing completed).
+	Makespan float64
+	// Wasted is the total work redone due to interruptions.
+	Wasted float64
+	// Migrations counts task moves between peers.
+	Migrations int
+	// Interrupted counts interruption events.
+	Interrupted int
+}
+
+// SimulateFarm executes tasks (each with a work requirement in seconds of
+// CPU) over the peer traces in FIFO order, assigning each ready task to
+// the peer that can start it earliest. Tasks interrupted by downtime lose
+// their uncheckpointed progress and are re-queued. Tasks that cannot
+// finish within the traces' horizon are left incomplete.
+func SimulateFarm(tasks []float64, peers []*Trace, opts FarmOptions) (FarmResult, error) {
+	if len(peers) == 0 {
+		return FarmResult{}, fmt.Errorf("churn: no peers")
+	}
+	if opts.Checkpoint && opts.CheckpointInterval <= 0 {
+		return FarmResult{}, fmt.Errorf("churn: checkpointing needs a positive interval")
+	}
+	if opts.Releases != nil && len(opts.Releases) != len(tasks) {
+		return FarmResult{}, fmt.Errorf("churn: %d releases for %d tasks",
+			len(opts.Releases), len(tasks))
+	}
+	for i, w := range tasks {
+		if w <= 0 {
+			return FarmResult{}, fmt.Errorf("churn: task %d has non-positive work %g", i, w)
+		}
+	}
+
+	type pending struct {
+		remaining float64
+		readyAt   float64
+		lastPeer  int // -1 before first placement
+	}
+	queue := make([]*pending, len(tasks))
+	for i, w := range tasks {
+		p := &pending{remaining: w, lastPeer: -1}
+		if opts.Releases != nil {
+			p.readyAt = opts.Releases[i]
+		}
+		queue[i] = p
+	}
+	freeAt := make([]float64, len(peers))
+
+	var res FarmResult
+	for len(queue) > 0 {
+		task := queue[0]
+		queue = queue[1:]
+
+		// Pick the peer that can start this task earliest.
+		best, bestStart := -1, math.Inf(1)
+		var bestIv Interval
+		for p, tr := range peers {
+			at := math.Max(freeAt[p], task.readyAt)
+			iv, ok := tr.NextUp(at)
+			if !ok {
+				continue
+			}
+			if iv.Start < bestStart {
+				best, bestStart, bestIv = p, iv.Start, iv
+			}
+		}
+		if best == -1 {
+			continue // no peer can ever run it: incomplete
+		}
+		if task.lastPeer >= 0 && task.lastPeer != best {
+			res.Migrations++
+		}
+		task.lastPeer = best
+
+		span := bestIv.End - bestIv.Start
+		if task.remaining <= span {
+			// Finishes within this up interval.
+			end := bestIv.Start + task.remaining
+			freeAt[best] = end
+			res.Completed++
+			if end > res.Makespan {
+				res.Makespan = end
+			}
+			continue
+		}
+		// Interrupted at the end of the interval.
+		res.Interrupted++
+		done := span
+		if opts.Checkpoint {
+			saved := math.Floor(done/opts.CheckpointInterval) * opts.CheckpointInterval
+			res.Wasted += done - saved
+			task.remaining -= saved
+		} else {
+			res.Wasted += done
+		}
+		freeAt[best] = bestIv.End
+		task.readyAt = bestIv.End
+		queue = append(queue, task)
+	}
+	return res, nil
+}
+
+// RequiredPeers performs the T1 sizing search: the smallest peer count
+// (up to maxPeers) whose simulated farm completes all tasks within
+// deadline. Each peer's trace is generated from (seedBase+i, horizon,
+// meanUp, meanDown). It returns maxPeers+1 when even maxPeers peers are
+// insufficient.
+func RequiredPeers(tasks []float64, deadline float64, maxPeers int,
+	seedBase int64, meanUp, meanDown float64, opts FarmOptions) (int, FarmResult, error) {
+	horizon := deadline
+	var last FarmResult
+	for k := 1; k <= maxPeers; k++ {
+		peers := make([]*Trace, k)
+		for i := range peers {
+			peers[i] = GenTrace(seedBase+int64(i), horizon, meanUp, meanDown)
+		}
+		res, err := SimulateFarm(tasks, peers, opts)
+		if err != nil {
+			return 0, FarmResult{}, err
+		}
+		last = res
+		if res.Completed == len(tasks) && res.Makespan <= deadline {
+			return k, res, nil
+		}
+	}
+	return maxPeers + 1, last, nil
+}

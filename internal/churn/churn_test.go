@@ -1,0 +1,280 @@
+package churn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenTraceStructure(t *testing.T) {
+	tr := GenTrace(1, 1000, 50, 10)
+	if tr.Horizon != 1000 || len(tr.Intervals) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// Intervals tile [0, horizon) contiguously, alternating up/down.
+	prevEnd := 0.0
+	for i, iv := range tr.Intervals {
+		if iv.Start != prevEnd {
+			t.Fatalf("gap before interval %d", i)
+		}
+		if iv.End <= iv.Start && iv.End != tr.Horizon {
+			t.Fatalf("empty interval %d: %+v", i, iv)
+		}
+		if i > 0 && iv.Up == tr.Intervals[i-1].Up {
+			t.Fatalf("intervals %d and %d both up=%v", i-1, i, iv.Up)
+		}
+		prevEnd = iv.End
+	}
+	if math.Abs(prevEnd-1000) > 1e-9 {
+		t.Errorf("trace ends at %g", prevEnd)
+	}
+	// Determinism.
+	tr2 := GenTrace(1, 1000, 50, 10)
+	if len(tr2.Intervals) != len(tr.Intervals) {
+		t.Error("same seed produced different trace")
+	}
+}
+
+func TestGenTraceAvailabilityMatchesMeans(t *testing.T) {
+	// meanUp 90, meanDown 10 -> ~0.9 availability over a long horizon.
+	tr := GenTrace(7, 1e6, 90, 10)
+	if a := tr.Availability(); math.Abs(a-0.9) > 0.03 {
+		t.Errorf("availability = %g, want ~0.9", a)
+	}
+	if a := AlwaysUp(100).Availability(); a != 1 {
+		t.Errorf("AlwaysUp availability = %g", a)
+	}
+	if GenTrace(1, 0, 10, 10).Availability() != 0 {
+		t.Error("zero-horizon availability")
+	}
+	// meanDown <= 0 yields always-up.
+	if a := GenTrace(1, 100, 10, 0).Availability(); a != 1 {
+		t.Errorf("no-downtime availability = %g", a)
+	}
+}
+
+func TestUpAtAndNextUp(t *testing.T) {
+	tr := &Trace{Horizon: 100, Intervals: []Interval{
+		{0, 10, true}, {10, 30, false}, {30, 60, true}, {60, 100, false},
+	}}
+	cases := map[float64]bool{0: true, 5: true, 10: false, 29: false, 30: true, 59.9: true, 60: false, 99: false}
+	for x, want := range cases {
+		if got := tr.UpAt(x); got != want {
+			t.Errorf("UpAt(%g) = %v", x, got)
+		}
+	}
+	if tr.UpAt(500) {
+		t.Error("up past horizon")
+	}
+	iv, ok := tr.NextUp(5)
+	if !ok || iv.Start != 5 || iv.End != 10 {
+		t.Errorf("NextUp(5) = %+v", iv)
+	}
+	iv, ok = tr.NextUp(15)
+	if !ok || iv.Start != 30 || iv.End != 60 {
+		t.Errorf("NextUp(15) = %+v", iv)
+	}
+	if _, ok := tr.NextUp(60); ok {
+		t.Error("NextUp found interval past last up period")
+	}
+}
+
+func TestSimulateFarmPerfectPeers(t *testing.T) {
+	// 8 tasks of 10s on 4 always-up peers: two waves, makespan 20.
+	tasks := make([]float64, 8)
+	for i := range tasks {
+		tasks[i] = 10
+	}
+	peers := make([]*Trace, 4)
+	for i := range peers {
+		peers[i] = AlwaysUp(1000)
+	}
+	res, err := SimulateFarm(tasks, peers, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 || res.Makespan != 20 || res.Wasted != 0 || res.Migrations != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSimulateFarmLinearSpeedup(t *testing.T) {
+	tasks := make([]float64, 32)
+	for i := range tasks {
+		tasks[i] = 5
+	}
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		peers := make([]*Trace, k)
+		for i := range peers {
+			peers[i] = AlwaysUp(10000)
+		}
+		res, err := SimulateFarm(tasks, peers, FarmOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 32.0 * 5 / float64(k)
+		if math.Abs(res.Makespan-want) > 1e-9 {
+			t.Errorf("k=%d makespan=%g want %g", k, res.Makespan, want)
+		}
+		if res.Makespan >= prev && k > 1 {
+			t.Errorf("no speedup at k=%d", k)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestSimulateFarmInterruptionWithoutCheckpointRestarts(t *testing.T) {
+	// One peer, up 0-10, down 10-20, up 20-100. Task of 15s: first
+	// attempt does 10s (wasted), second attempt runs 20-35.
+	tr := &Trace{Horizon: 100, Intervals: []Interval{
+		{0, 10, true}, {10, 20, false}, {20, 100, true},
+	}}
+	res, err := SimulateFarm([]float64{15}, []*Trace{tr}, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Interrupted != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Wasted != 10 {
+		t.Errorf("wasted = %g, want 10", res.Wasted)
+	}
+	if res.Makespan != 35 {
+		t.Errorf("makespan = %g, want 35", res.Makespan)
+	}
+}
+
+func TestSimulateFarmCheckpointLimitsWaste(t *testing.T) {
+	tr := &Trace{Horizon: 100, Intervals: []Interval{
+		{0, 10, true}, {10, 20, false}, {20, 100, true},
+	}}
+	res, err := SimulateFarm([]float64{15}, []*Trace{tr},
+		FarmOptions{Checkpoint: true, CheckpointInterval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10s done, checkpoints at 3,6,9 -> only 1s lost; 6s remain.
+	if res.Wasted != 1 {
+		t.Errorf("wasted = %g, want 1", res.Wasted)
+	}
+	if res.Makespan != 26 {
+		t.Errorf("makespan = %g, want 26", res.Makespan)
+	}
+}
+
+func TestSimulateFarmCheckpointMigratesToOtherPeer(t *testing.T) {
+	// Peer 0 dies at t=10 forever; peer 1 is up from t=0. A 30s task
+	// started on peer 0 (both free at 0; peer 0 listed first wins ties)
+	// must migrate.
+	p0 := &Trace{Horizon: 100, Intervals: []Interval{{0, 10, true}, {10, 100, false}}}
+	p1 := AlwaysUp(100)
+	res, err := SimulateFarm([]float64{30}, []*Trace{p0, p1},
+		FarmOptions{Checkpoint: true, CheckpointInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Migrations != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	// 10 done on p0 (all checkpointed), 20 remain; p1 free at 0 but task
+	// ready at 10 -> finishes at 30.
+	if res.Makespan != 30 {
+		t.Errorf("makespan = %g, want 30", res.Makespan)
+	}
+}
+
+func TestSimulateFarmIncompleteWhenHorizonTooShort(t *testing.T) {
+	res, err := SimulateFarm([]float64{50, 50}, []*Trace{AlwaysUp(60)}, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", res.Completed)
+	}
+}
+
+func TestSimulateFarmValidation(t *testing.T) {
+	if _, err := SimulateFarm([]float64{1}, nil, FarmOptions{}); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := SimulateFarm([]float64{0}, []*Trace{AlwaysUp(1)}, FarmOptions{}); err == nil {
+		t.Error("zero-work task accepted")
+	}
+	if _, err := SimulateFarm([]float64{1}, []*Trace{AlwaysUp(1)},
+		FarmOptions{Checkpoint: true}); err == nil {
+		t.Error("checkpoint without interval accepted")
+	}
+}
+
+func TestRequiredPeersMonotoneInAvailability(t *testing.T) {
+	// 40 tasks x 5h of work, deadline 15h (in hours). Perfect peers need
+	// ceil(200/15) = 14; lower availability must need at least as many.
+	tasks := make([]float64, 40)
+	for i := range tasks {
+		tasks[i] = 5
+	}
+	perfect, _, err := RequiredPeers(tasks, 15, 200, 1, 1, 0, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect != 14 {
+		t.Errorf("perfect peers = %d, want 14", perfect)
+	}
+	churny, _, err := RequiredPeers(tasks, 15, 200, 1, 8, 2, FarmOptions{}) // ~80% up
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churny < perfect {
+		t.Errorf("churny %d < perfect %d", churny, perfect)
+	}
+	veryChurny, _, err := RequiredPeers(tasks, 15, 200, 1, 5, 5, FarmOptions{}) // ~50%
+	if err != nil {
+		t.Fatal(err)
+	}
+	if veryChurny < churny {
+		t.Errorf("50%% availability needs %d < 80%%'s %d", veryChurny, churny)
+	}
+}
+
+func TestRequiredPeersInsufficientCap(t *testing.T) {
+	k, _, err := RequiredPeers([]float64{100}, 10, 3, 1, 1, 0, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 { // maxPeers+1 signals "not achievable"
+		t.Errorf("k = %d, want 4", k)
+	}
+}
+
+// Property: for a single task on a single peer — where both variants see
+// the identical outage sequence — checkpointing never increases wasted
+// work and never delays completion. (With multiple tasks/peers the two
+// schedules diverge and pathwise dominance genuinely does not hold.)
+func TestQuickCheckpointNeverWorseSinglePath(t *testing.T) {
+	f := func(seed int64, workRaw uint8) bool {
+		work := 1 + float64(workRaw%40)
+		peer := GenTrace(seed, 2000, 20, 5)
+		plain, err := SimulateFarm([]float64{work}, []*Trace{peer}, FarmOptions{})
+		if err != nil {
+			return false
+		}
+		ckpt, err := SimulateFarm([]float64{work}, []*Trace{peer},
+			FarmOptions{Checkpoint: true, CheckpointInterval: 0.5})
+		if err != nil {
+			return false
+		}
+		if ckpt.Wasted > plain.Wasted+1e-9 {
+			return false
+		}
+		if plain.Completed == 1 && ckpt.Completed == 1 &&
+			ckpt.Makespan > plain.Makespan+1e-9 {
+			return false
+		}
+		// Checkpointing can only help completion, never hurt it.
+		return ckpt.Completed >= plain.Completed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package controller implements the Triana Controller of §3.2: "a user
+// interface to Triana service daemons ... [that] acts as a scheduling
+// manager for the complete application being run over a Triana network."
+//
+// A Controller wraps its own Service peer (the client component that
+// pipes modules, programs and data to the other Triana service daemons)
+// and adds the scheduling layer: discover candidate peers by capability,
+// instantiate the group's distribution policy, annotate the task graph
+// with the placement decision, and enact the plan.
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/engine"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/service"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/units"
+)
+
+// Controller drives applications over a Triana network.
+type Controller struct {
+	svc  *service.Service
+	logf func(format string, args ...any)
+}
+
+// New wraps a service peer as a controller. The service's host despatches
+// subgraphs and owns the module bundles the workers fetch.
+func New(svc *service.Service, logf func(string, ...any)) *Controller {
+	return &Controller{svc: svc, logf: logf}
+}
+
+// Service exposes the controller's own peer.
+func (c *Controller) Service() *service.Service { return c.svc }
+
+// RunOptions configures one application run.
+type RunOptions struct {
+	// Iterations drives the graph's source units.
+	Iterations int
+	// Seed makes runs reproducible.
+	Seed int64
+	// MinCPUMHz / MinFreeRAMMB filter candidate peers by the advertised
+	// attributes (§4: peers "discovered based on very simple attributes
+	// – such as CPU capability and available free memory").
+	MinCPUMHz    float64
+	MinFreeRAMMB float64
+	// PeerGroup restricts candidates to a virtual peer group.
+	PeerGroup string
+	// MaxPeers bounds the candidate list (0 = unbounded).
+	MaxPeers int
+	// ForceLocal skips discovery and runs everything in-process.
+	ForceLocal bool
+}
+
+// Report describes a completed run.
+type Report struct {
+	// Dist carries the local engine result plus remote per-task counts.
+	Dist *service.DistResult
+	// Plan is the enacted distribution plan (nil for plain local runs).
+	Plan *policy.Plan
+	// GroupName is the distributed group ("" for plain local runs).
+	GroupName string
+	// Peers lists the peer IDs that participated.
+	Peers []string
+	// Annotated is the placement-annotated copy of the input graph.
+	Annotated *taskgraph.Graph
+}
+
+// Result is a convenience accessor for the local engine result.
+func (r *Report) Result() *engine.Result { return r.Dist.Local }
+
+// DiscoverPeers queries the discovery layer for usable Triana services,
+// excluding this controller's own peer. Results are sorted by descending
+// advertised CPU so the policy gets the strongest peers first.
+func (c *Controller) DiscoverPeers(opts RunOptions) ([]service.PeerRef, error) {
+	q := advert.Query{Kind: advert.KindService, Name: service.ServiceType}
+	if opts.MinCPUMHz > 0 || opts.MinFreeRAMMB > 0 {
+		q.MinAttrs = map[string]float64{}
+		if opts.MinCPUMHz > 0 {
+			q.MinAttrs[advert.AttrCPUMHz] = opts.MinCPUMHz
+		}
+		if opts.MinFreeRAMMB > 0 {
+			q.MinAttrs[advert.AttrFreeRAMMB] = opts.MinFreeRAMMB
+		}
+	}
+	if opts.PeerGroup != "" {
+		q.Attrs = map[string]string{advert.AttrGroup: opts.PeerGroup}
+	}
+	ads, err := c.svc.Discovery().Discover(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(ads, func(i, j int) bool {
+		ci, _ := strconv.ParseFloat(ads[i].Attr(advert.AttrCPUMHz), 64)
+		cj, _ := strconv.ParseFloat(ads[j].Attr(advert.AttrCPUMHz), 64)
+		if ci != cj {
+			return ci > cj
+		}
+		return ads[i].PeerID < ads[j].PeerID
+	})
+	var peers []service.PeerRef
+	for _, ad := range ads {
+		if ad.PeerID == c.svc.PeerID() {
+			continue
+		}
+		peers = append(peers, service.PeerRef{ID: ad.PeerID, Addr: ad.Addr})
+		if opts.MaxPeers > 0 && len(peers) >= opts.MaxPeers {
+			break
+		}
+	}
+	return peers, nil
+}
+
+// distributableGroups lists top-level groups carrying a non-local
+// control unit.
+func distributableGroups(g *taskgraph.Graph) []string {
+	var out []string
+	for _, t := range g.Tasks {
+		if t.IsGroup() && t.ControlUnit != "" && t.ControlUnit != policy.NameLocal {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Run executes the application: it validates the graph, plans the
+// distribution of its control-unit-bearing group (at most one per run in
+// this implementation), annotates the plan into the graph, and enacts it.
+// With no distributable group — or none of the required peers — the graph
+// runs locally, which is always correct because groups are semantically
+// transparent.
+func (c *Controller) Run(ctx context.Context, g *taskgraph.Graph, opts RunOptions) (*Report, error) {
+	if opts.Iterations < 1 {
+		return nil, fmt.Errorf("controller: Iterations must be >= 1")
+	}
+	if err := g.Validate(units.Resolver()); err != nil {
+		return nil, err
+	}
+	annotated := g.Clone()
+
+	groups := distributableGroups(annotated)
+	if len(groups) > 1 {
+		return nil, fmt.Errorf("controller: %d distributable groups; one per run is supported (nest or merge them)", len(groups))
+	}
+
+	if len(groups) == 0 || opts.ForceLocal {
+		res, err := c.svc.RunLocal(ctx, annotated, engine.Options{
+			Iterations: opts.Iterations, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Dist:      &service.DistResult{Local: res, Remote: map[string]map[string]int{}},
+			Annotated: annotated,
+		}, nil
+	}
+
+	groupName := groups[0]
+	gt := annotated.Find(groupName)
+	pol, err := policy.New(gt.ControlUnit)
+	if err != nil {
+		return nil, err
+	}
+	peerRefs, err := c.DiscoverPeers(opts)
+	if err != nil {
+		c.log("controller: discovery failed (%v); running locally", err)
+		peerRefs = nil
+	}
+	ids := make([]string, len(peerRefs))
+	byID := make(map[string]service.PeerRef, len(peerRefs))
+	for i, p := range peerRefs {
+		ids[i] = p.ID
+		byID[p.ID] = p
+	}
+	plan, err := pol.Plan(gt, ids)
+	if err != nil {
+		return nil, err
+	}
+	if err := policy.Annotate(annotated, groupName, plan); err != nil {
+		return nil, err
+	}
+	c.log("controller: group %s planned as %s over %d peers", groupName, plan.Kind, len(ids))
+
+	dist, err := c.svc.RunDistributed(ctx, annotated, groupName, plan, byID, service.DistOptions{
+		Iterations: opts.Iterations,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var used []string
+	for id := range dist.Remote {
+		used = append(used, id)
+	}
+	sort.Strings(used)
+	return &Report{
+		Dist: dist, Plan: plan, GroupName: groupName,
+		Peers: used, Annotated: annotated,
+	}, nil
+}
+
+func (c *Controller) log(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}

@@ -1,0 +1,5 @@
+package controller
+
+import "consumergrid/internal/advert"
+
+func newCache() *advert.Cache { return advert.NewCache() }

@@ -1,0 +1,172 @@
+// Package core assembles the Consumer Grid: it stands up a network of
+// Triana peers (rendezvous, worker services, a controller), provides the
+// canonical workflow builders for the paper's scenarios, and is the
+// public surface the examples, the gridsim experiment driver and the
+// benchmarks program against.
+//
+// The paper's deployment story — "a user would need to have the Triana
+// peer installed locally ... [the controller] only needs to have a single
+// instantiation for a particular application" (§3.5) — maps to NewGrid:
+// one call enrols N donated peers and returns the controller that drives
+// applications over them.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/sandbox"
+	"consumergrid/internal/service"
+	"consumergrid/internal/taskgraph"
+
+	// The full unit toolbox registers on import: a Consumer Grid peer
+	// hosts "several hundred units" it can instantiate once the matching
+	// module bundle arrives.
+	_ "consumergrid/internal/units/astro"
+	_ "consumergrid/internal/units/convert"
+	_ "consumergrid/internal/units/dbase"
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/imaging"
+	_ "consumergrid/internal/units/mathx"
+	_ "consumergrid/internal/units/signal"
+	_ "consumergrid/internal/units/textproc"
+	_ "consumergrid/internal/units/unitio"
+)
+
+// GridOptions configures NewGrid.
+type GridOptions struct {
+	// Transport carries all traffic; nil uses a fresh in-process network
+	// (the single-machine testbed). Use jxtaserve.TCP{} for real sockets.
+	Transport jxtaserve.Transport
+	// Peers is the number of worker services to enrol.
+	Peers int
+	// PeerOptions customises each worker; the returned Options' PeerID,
+	// Transport, Addr and Discovery fields are overridden by the grid.
+	// nil gives every peer 2000 MHz / 512 MB and a deny-all sandbox
+	// (compute-only donation).
+	PeerOptions func(i int) service.Options
+	// Rendezvous is the rendezvous peer count (default 1).
+	Rendezvous int
+	// AdvertTTL is the service advertisement lifetime (default 1h).
+	AdvertTTL time.Duration
+	// RequireCode makes workers insist on on-demand module download
+	// (strict mobile-code semantics).
+	RequireCode bool
+	// Logf receives diagnostics from every component; may be nil.
+	Logf func(format string, args ...any)
+}
+
+// Grid is a running Consumer Grid testbed.
+type Grid struct {
+	// Controller drives applications over the grid.
+	Controller *controller.Controller
+	// Workers are the enrolled donor peers.
+	Workers []*service.Service
+
+	transport  jxtaserve.Transport
+	rendezvous []*jxtaserve.Host
+}
+
+// NewGrid stands up rendezvous peers, worker services and a controller.
+func NewGrid(opts GridOptions) (*Grid, error) {
+	if opts.Peers < 0 {
+		return nil, fmt.Errorf("core: negative peer count")
+	}
+	if opts.Rendezvous <= 0 {
+		opts.Rendezvous = 1
+	}
+	if opts.AdvertTTL <= 0 {
+		opts.AdvertTTL = time.Hour
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = jxtaserve.NewInProc()
+	}
+	listenAddr := ""
+	if _, isTCP := tr.(jxtaserve.TCP); isTCP {
+		listenAddr = "127.0.0.1:0"
+	}
+
+	g := &Grid{transport: tr}
+	var rdvAddrs []string
+	for i := 0; i < opts.Rendezvous; i++ {
+		host, err := jxtaserve.NewHost(fmt.Sprintf("rendezvous-%d", i), tr, listenAddr)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		discovery.NewNode(host, newAdvertCache(), discovery.Config{
+			Mode: discovery.ModeRendezvous, IsRendezvous: true})
+		g.rendezvous = append(g.rendezvous, host)
+		rdvAddrs = append(rdvAddrs, host.Addr())
+	}
+	dcfg := discovery.Config{Mode: discovery.ModeRendezvous, Rendezvous: rdvAddrs}
+
+	for i := 0; i < opts.Peers; i++ {
+		var sOpts service.Options
+		if opts.PeerOptions != nil {
+			sOpts = opts.PeerOptions(i)
+		} else {
+			sOpts = service.Options{
+				CPUMHz: 2000, FreeRAMMB: 512,
+				Sandbox: sandbox.AllowCompute(512 << 20),
+			}
+		}
+		sOpts.PeerID = fmt.Sprintf("peer-%03d", i)
+		sOpts.Transport = tr
+		sOpts.Addr = listenAddr
+		sOpts.Discovery = dcfg
+		if opts.RequireCode {
+			sOpts.RequireCode = true
+		}
+		if sOpts.Logf == nil {
+			sOpts.Logf = opts.Logf
+		}
+		w, err := service.New(sOpts)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Workers = append(g.Workers, w)
+		if err := w.Advertise(opts.AdvertTTL); err != nil {
+			g.Close()
+			return nil, err
+		}
+	}
+
+	ctlSvc, err := service.New(service.Options{
+		PeerID:    "controller",
+		Transport: tr,
+		Addr:      listenAddr,
+		Discovery: dcfg,
+		Logf:      opts.Logf,
+	})
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.Controller = controller.New(ctlSvc, opts.Logf)
+	return g, nil
+}
+
+// Run drives a workflow over the grid.
+func (g *Grid) Run(ctx context.Context, graph *taskgraph.Graph, opts controller.RunOptions) (*controller.Report, error) {
+	return g.Controller.Run(ctx, graph, opts)
+}
+
+// Close tears the whole testbed down.
+func (g *Grid) Close() {
+	if g.Controller != nil {
+		g.Controller.Service().Close()
+	}
+	for _, w := range g.Workers {
+		w.Close()
+	}
+	for _, h := range g.rendezvous {
+		h.Close()
+	}
+}

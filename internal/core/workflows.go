@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/astro"
+	"consumergrid/internal/units/dbase"
+	"consumergrid/internal/units/imaging"
+	"consumergrid/internal/units/signal"
+	"consumergrid/internal/units/unitio"
+)
+
+func newAdvertCache() *advert.Cache { return advert.NewCache() }
+
+// mustTask builds a registry-backed task or panics: the workflow builders
+// only reference toolbox units imported above, so failure is programmer
+// error.
+func mustTask(g *taskgraph.Graph, name, unit string, params map[string]string) *taskgraph.Task {
+	t, err := units.NewTask(name, unit)
+	if err != nil {
+		panic(err)
+	}
+	for k, v := range params {
+		t.SetParam(k, v)
+	}
+	g.MustAdd(t)
+	return t
+}
+
+// Figure1Options sizes the paper's Figure 1 workflow.
+type Figure1Options struct {
+	// Frequency of the sine wave in Hz (paper: a kHz-range tone).
+	Frequency float64
+	// SamplingRate in samples/second.
+	SamplingRate float64
+	// Samples per iteration.
+	Samples int
+	// NoiseSigma is the contamination level; Figure 2 buries the signal,
+	// so sigma is several times the amplitude.
+	NoiseSigma float64
+	// Policy is the group control unit (default policy.Parallel).
+	Policy string
+}
+
+func (o *Figure1Options) defaults() {
+	if o.Frequency <= 0 {
+		o.Frequency = 1000
+	}
+	if o.SamplingRate <= 0 {
+		o.SamplingRate = 8000
+	}
+	if o.Samples <= 0 {
+		o.Samples = 1024
+	}
+	if o.NoiseSigma <= 0 {
+		o.NoiseSigma = 5
+	}
+	if o.Policy == "" {
+		o.Policy = policy.NameParallel
+	}
+}
+
+// Figure1Workflow builds the paper's Figure 1 network: a sine wave,
+// contaminated with Gaussian noise, power spectrum, and AccumStat
+// averaging into a Grapher; the noisy-processing stage is the
+// distributable GroupTask of Code Segment 1.
+func Figure1Workflow(o Figure1Options) *taskgraph.Graph {
+	o.defaults()
+	g := taskgraph.New("GroupTest")
+	mustTask(g, "Wave", signal.NameWave, map[string]string{
+		"frequency":    fmt.Sprintf("%g", o.Frequency),
+		"samplingRate": fmt.Sprintf("%g", o.SamplingRate),
+		"samples":      strconv.Itoa(o.Samples),
+	})
+	mustTask(g, "Gaussian", signal.NameGaussianNoise, map[string]string{
+		"sigma": fmt.Sprintf("%g", o.NoiseSigma),
+	})
+	mustTask(g, "PowerSpec", signal.NamePowerSpectrum, nil)
+	mustTask(g, "AccumStat", signal.NameAccumStat, nil)
+	mustTask(g, "Grapher", unitio.NameGrapher, nil)
+	g.ConnectNamed("Wave", 0, "Gaussian", 0)
+	g.ConnectNamed("Gaussian", 0, "PowerSpec", 0)
+	g.ConnectNamed("PowerSpec", 0, "AccumStat", 0)
+	g.ConnectNamed("AccumStat", 0, "Grapher", 0)
+	gt, err := g.GroupTasks("GroupTask", []string{"Gaussian", "PowerSpec"})
+	if err != nil {
+		panic(err)
+	}
+	gt.ControlUnit = o.Policy
+	return g
+}
+
+// GalaxyOptions sizes the §3.6.1 galaxy-formation workflow.
+type GalaxyOptions struct {
+	// Particles per snapshot (the Cardiff runs used large N; defaults
+	// stay laptop-friendly).
+	Particles int
+	// Clusters is the number of proto-clusters.
+	Clusters int
+	// Width/Height of the rendered frames.
+	Width, Height int
+	// Azimuth/Elevation select the 2D slice ("vary the perspective of
+	// view ... and re-run the animation").
+	Azimuth, Elevation float64
+	// Seed fixes the initial conditions.
+	Seed int64
+	// Policy for the render group (default parallel: "the implementation
+	// used the parallel distribution policy for groups for farming out
+	// the individual sections of the animation").
+	Policy string
+}
+
+func (o *GalaxyOptions) defaults() {
+	if o.Particles <= 0 {
+		o.Particles = 2000
+	}
+	if o.Clusters <= 0 {
+		o.Clusters = 3
+	}
+	if o.Width <= 0 {
+		o.Width = 96
+	}
+	if o.Height <= 0 {
+		o.Height = 96
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Policy == "" {
+		o.Policy = policy.NameParallel
+	}
+}
+
+// GalaxyWorkflow builds GalaxyGen -> [ViewProject -> ColumnDensity] ->
+// Animator: frames are farmed out per snapshot and re-ordered on return.
+func GalaxyWorkflow(o GalaxyOptions) *taskgraph.Graph {
+	o.defaults()
+	g := taskgraph.New("GalaxyFormation")
+	mustTask(g, "GalaxyGen", astro.NameGalaxyGen, map[string]string{
+		"particles": strconv.Itoa(o.Particles),
+		"clusters":  strconv.Itoa(o.Clusters),
+		"seed":      strconv.FormatInt(o.Seed, 10),
+	})
+	mustTask(g, "View", astro.NameViewProject, map[string]string{
+		"azimuth":   fmt.Sprintf("%g", o.Azimuth),
+		"elevation": fmt.Sprintf("%g", o.Elevation),
+	})
+	mustTask(g, "Render", imaging.NameColumnDensity, map[string]string{
+		"width":  strconv.Itoa(o.Width),
+		"height": strconv.Itoa(o.Height),
+	})
+	mustTask(g, "Animator", unitio.NameAnimator, nil)
+	g.ConnectNamed("GalaxyGen", 0, "View", 0)
+	g.ConnectNamed("View", 0, "Render", 0)
+	g.ConnectNamed("Render", 0, "Animator", 0)
+	gt, err := g.GroupTasks("RenderGroup", []string{"View", "Render"})
+	if err != nil {
+		panic(err)
+	}
+	gt.ControlUnit = o.Policy
+	return g
+}
+
+// InspiralOptions sizes the §3.6.2 inspiral-search workflow. The paper's
+// full scale is ChunkSamples = 1,800,000 (900 s at 2000 S/s) against
+// 5,000-10,000 templates; defaults are laptop-scale with the same shape.
+type InspiralOptions struct {
+	// ChunkSamples per data chunk at 2000 S/s.
+	ChunkSamples int
+	// SamplingRate in samples/second (paper: 2000).
+	SamplingRate float64
+	// Templates in the bank.
+	Templates int
+	// TemplateLen in samples.
+	TemplateLen int
+	// InjectOffset places a synthetic chirp in the chunk (-1 disables).
+	InjectOffset int
+	// InjectAmplitude scales the buried signal.
+	InjectAmplitude float64
+	// NoiseSigma is the detector noise level.
+	NoiseSigma float64
+	// Threshold filters reported templates by SNR.
+	Threshold float64
+	// Policy for the matched-filter group (default parallel).
+	Policy string
+}
+
+func (o *InspiralOptions) defaults() {
+	if o.ChunkSamples <= 0 {
+		o.ChunkSamples = 16384
+	}
+	if o.SamplingRate <= 0 {
+		o.SamplingRate = 2000
+	}
+	if o.Templates <= 0 {
+		o.Templates = 16
+	}
+	if o.TemplateLen <= 0 {
+		o.TemplateLen = 2048
+	}
+	if o.InjectAmplitude == 0 {
+		o.InjectAmplitude = 3
+	}
+	if o.NoiseSigma <= 0 {
+		o.NoiseSigma = 1
+	}
+	if o.Policy == "" {
+		o.Policy = policy.NameParallel
+	}
+}
+
+// InspiralWorkflow builds the GEO600 search: a zero signal plus detector
+// noise, an injected chirp, and a matched-filter bank distributed as a
+// group; verdict tables flow to a Grapher sink.
+func InspiralWorkflow(o InspiralOptions) *taskgraph.Graph {
+	o.defaults()
+	g := taskgraph.New("InspiralSearch")
+	mustTask(g, "Source", signal.NameWave, map[string]string{
+		"frequency": "0", "amplitude": "0",
+		"samplingRate": fmt.Sprintf("%g", o.SamplingRate),
+		"samples":      strconv.Itoa(o.ChunkSamples),
+	})
+	mustTask(g, "Noise", signal.NameGaussianNoise, map[string]string{
+		"sigma": fmt.Sprintf("%g", o.NoiseSigma),
+	})
+	next := "Noise"
+	if o.InjectOffset >= 0 {
+		mustTask(g, "Inject", signal.NameInjectChirp, map[string]string{
+			"offset":    strconv.Itoa(o.InjectOffset),
+			"length":    strconv.Itoa(o.TemplateLen),
+			"amplitude": fmt.Sprintf("%g", o.InjectAmplitude),
+			"f0":        "120", "f1": "400",
+		})
+		g.ConnectNamed("Noise", 0, "Inject", 0)
+		next = "Inject"
+	}
+	mustTask(g, "Filter", signal.NameMatchedFilter, map[string]string{
+		"templates":    strconv.Itoa(o.Templates),
+		"templateLen":  strconv.Itoa(o.TemplateLen),
+		"samplingRate": fmt.Sprintf("%g", o.SamplingRate),
+		"threshold":    fmt.Sprintf("%g", o.Threshold),
+		"f0Lo":         "40", "f0Hi": "200", "f1": "400",
+	})
+	mustTask(g, "Results", unitio.NameGrapher, nil)
+	g.ConnectNamed("Source", 0, "Noise", 0)
+	g.ConnectNamed(next, 0, "Filter", 0)
+	g.ConnectNamed("Filter", 0, "Results", 0)
+	gt, err := g.GroupTasks("SearchGroup", []string{"Filter"})
+	if err != nil {
+		panic(err)
+	}
+	gt.ControlUnit = o.Policy
+	return g
+}
+
+// DBPipelineOptions sizes the §3.6.3 database workflow.
+type DBPipelineOptions struct {
+	// Dataset is "stars" or "observations".
+	Dataset string
+	// Rows in the synthetic dataset.
+	Rows int
+	// MinFilter is the manipulation stage's numeric filter (col:value).
+	MinFilter string
+	// VisualiseColumn is binned by the visualisation stage.
+	VisualiseColumn string
+	// NumericColumns are verified by the verification stage.
+	NumericColumns string
+	// Policy for the manipulation/verification group (default p2p:
+	// "Each of these services may now be provided by different Triana
+	// Peers – which may be located at different geographic sites").
+	Policy string
+}
+
+func (o *DBPipelineOptions) defaults() {
+	if o.Dataset == "" {
+		o.Dataset = "stars"
+	}
+	if o.Rows <= 0 {
+		o.Rows = 1000
+	}
+	if o.MinFilter == "" {
+		o.MinFilter = "distance_pc:500"
+	}
+	if o.VisualiseColumn == "" {
+		o.VisualiseColumn = "distance_pc"
+	}
+	if o.NumericColumns == "" {
+		o.NumericColumns = "magnitude,distance_pc"
+	}
+	if o.Policy == "" {
+		o.Policy = policy.NamePeerToPeer
+	}
+}
+
+// DBPipelineWorkflow builds the Case-3 pipeline: (1) data access, (2)
+// data manipulation, (3) data visualisation, (4) data verification. The
+// manipulate/verify pair forms the distributed group; visualisation taps
+// the verified stream locally.
+func DBPipelineWorkflow(o DBPipelineOptions) *taskgraph.Graph {
+	o.defaults()
+	g := taskgraph.New("DatabasePipeline")
+	mustTask(g, "Access", dbase.NameDataAccess, map[string]string{
+		"dataset": o.Dataset, "rows": strconv.Itoa(o.Rows),
+	})
+	mustTask(g, "Manipulate", dbase.NameDataManip, map[string]string{
+		"min": o.MinFilter,
+	})
+	mustTask(g, "Verify", dbase.NameDataVerify, map[string]string{
+		"numeric": o.NumericColumns,
+	})
+	mustTask(g, "Duplicate", "triana.flow.Duplicate", nil)
+	mustTask(g, "Visualise", dbase.NameDataVisualise, map[string]string{
+		"column": o.VisualiseColumn,
+	})
+	mustTask(g, "Verdicts", unitio.NameGrapher, nil)
+	mustTask(g, "Chart", unitio.NameGrapher, nil)
+	g.ConnectNamed("Access", 0, "Duplicate", 0)
+	g.ConnectNamed("Duplicate", 0, "Manipulate", 0)
+	g.ConnectNamed("Manipulate", 0, "Verify", 0)
+	g.ConnectNamed("Verify", 0, "Verdicts", 0)
+	g.ConnectNamed("Duplicate", 1, "Visualise", 0)
+	g.ConnectNamed("Visualise", 0, "Chart", 0)
+	gt, err := g.GroupTasks("ServiceGroup", []string{"Manipulate", "Verify"})
+	if err != nil {
+		panic(err)
+	}
+	gt.ControlUnit = o.Policy
+	return g
+}

@@ -1,0 +1,269 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			theta := sign * 2 * math.Pi * float64(k*j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func randComplex(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 64, 100, 128, 255, 256} {
+		x := randComplex(n, rng)
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 6, 8, 15, 64, 129, 1024} {
+		x := randComplex(n, rng)
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		if e := maxErr(x, y); e > 1e-9*float64(n+1) {
+			t.Errorf("n=%d: round-trip error %g", n, e)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	FFT(nil)  // must not panic
+	IFFT(nil) // must not panic
+	x := []complex128{complex(3, 4)}
+	FFT(x)
+	if x[0] != complex(3, 4) {
+		t.Error("length-1 FFT should be identity")
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		a := randComplex(n, rng)
+		b := randComplex(n, rng)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalEnergyConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := GaussianNoise(512, 1, rng)
+	var timeE float64
+	for _, v := range x {
+		timeE += v * v
+	}
+	c := FFTReal(x)
+	var freqE float64
+	for _, v := range c {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= float64(len(x))
+	if math.Abs(timeE-freqE)/timeE > 1e-10 {
+		t.Errorf("Parseval violated: time %g freq %g", timeE, freqE)
+	}
+}
+
+func TestPowerSpectrumPeakAtSineFrequency(t *testing.T) {
+	// 1 kHz sine at 8 kHz sampling, as in the paper's Figure 1 workflow.
+	const rate, freq = 8000.0, 1000.0
+	x := Generate(Sine, freq, 1, rate, 1024, 0)
+	ps := PowerSpectrum(x)
+	best, bestV := 0, 0.0
+	for i, v := range ps {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	gotFreq := float64(best) * rate / 1024
+	if math.Abs(gotFreq-freq) > rate/1024 {
+		t.Errorf("peak at %g Hz, want %g", gotFreq, freq)
+	}
+	if PowerSpectrum(nil) != nil {
+		t.Error("empty power spectrum should be nil")
+	}
+}
+
+func TestPowerSpectrumTotalEnergy(t *testing.T) {
+	// One-sided power spectrum sums to signal energy / n ... verify the
+	// folding bookkeeping against the two-sided sum.
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{16, 17} { // even (Nyquist bin) and odd
+		x := GaussianNoise(n, 1, rng)
+		var twoSided float64
+		c := FFTReal(x)
+		for _, v := range c {
+			twoSided += (real(v)*real(v) + imag(v)*imag(v)) / float64(n)
+		}
+		var oneSided float64
+		for _, v := range PowerSpectrum(x) {
+			oneSided += v
+		}
+		if math.Abs(twoSided-oneSided)/twoSided > 1e-10 {
+			t.Errorf("n=%d: one-sided %g vs two-sided %g", n, oneSided, twoSided)
+		}
+	}
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5}
+	got := Convolve(a, b)
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, b) != nil || Convolve(a, nil) != nil {
+		t.Error("empty convolution should be nil")
+	}
+}
+
+func TestCrossCorrelateMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ nx, nh int }{{64, 8}, {100, 33}, {50, 50}, {129, 1}} {
+		x := GaussianNoise(c.nx, 1, rng)
+		h := GaussianNoise(c.nh, 1, rng)
+		got, err := CrossCorrelate(x, h)
+		if err != nil {
+			t.Fatalf("nx=%d nh=%d: %v", c.nx, c.nh, err)
+		}
+		want := CrossCorrelateDirect(x, h)
+		if len(got) != len(want) {
+			t.Fatalf("length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				t.Errorf("nx=%d nh=%d lag %d: %g vs %g", c.nx, c.nh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCrossCorrelateErrors(t *testing.T) {
+	if _, err := CrossCorrelate(nil, []float64{1}); err == nil {
+		t.Error("empty signal should fail")
+	}
+	if _, err := CrossCorrelate([]float64{1}, nil); err == nil {
+		t.Error("empty template should fail")
+	}
+	if _, err := CrossCorrelate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("template longer than signal should fail")
+	}
+}
+
+func TestMatchedFilterFindsBuriedChirp(t *testing.T) {
+	// The core E2 behaviour: a chirp buried in noise at 10x its amplitude
+	// is recovered by correlation against the matching template, with the
+	// peak at the injection offset.
+	const rate = 2000.0
+	rng := rand.New(rand.NewSource(6))
+	tpl := Chirp(50, 300, rate, 2048)
+	normalizeEnergy(tpl)
+	noise := GaussianNoise(16384, 1.0, rng)
+	const inject = 5000
+	x := append([]float64(nil), noise...)
+	for i, v := range Chirp(50, 300, rate, 2048) {
+		x[inject+i] += 3 * v // SNR well below visual threshold per-sample
+	}
+	corr, err := CrossCorrelate(x, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakV := 0, 0.0
+	for i, v := range corr {
+		if a := math.Abs(v); a > peakV {
+			peak, peakV = i, a
+		}
+	}
+	if peak != inject {
+		t.Errorf("peak at lag %d, want %d", peak, inject)
+	}
+	if snr := SNR(corr); snr < 5 {
+		t.Errorf("SNR = %g, want >= 5", snr)
+	}
+	// A badly mismatched template must not produce a comparable peak.
+	wrong := Chirp(600, 900, rate, 2048)
+	normalizeEnergy(wrong)
+	corrWrong, err := CrossCorrelate(x, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SNR(corrWrong) > SNR(corr)/2 {
+		t.Errorf("mismatched template SNR %g too close to matched %g",
+			SNR(corrWrong), SNR(corr))
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowPassFIR designs a windowed-sinc low-pass filter with the given
+// number of taps (forced odd for a symmetric, linear-phase kernel) and
+// normalised cutoff frequency in (0, 0.5) — cycles per sample. The Hamming
+// window bounds the sidelobes; the kernel is normalised to unit DC gain.
+func LowPassFIR(taps int, cutoff float64) ([]float64, error) {
+	if taps < 3 {
+		return nil, fmt.Errorf("dsp: FIR needs >= 3 taps, got %d", taps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: cutoff %g outside (0, 0.5)", cutoff)
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	win := Hamming.Coefficients(taps)
+	var sum float64
+	for i := range h {
+		n := float64(i - mid)
+		var s float64
+		if n == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*n) / (math.Pi * n)
+		}
+		h[i] = s * win[i]
+		sum += h[i]
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// HighPassFIR designs the spectral inversion of LowPassFIR: unit gain at
+// Nyquist, zero at DC.
+func HighPassFIR(taps int, cutoff float64) ([]float64, error) {
+	h, err := LowPassFIR(taps, cutoff)
+	if err != nil {
+		return nil, err
+	}
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[len(h)/2] += 1
+	return h, nil
+}
+
+// FilterFIR applies kernel h to x in "same" mode: the output has len(x)
+// samples, delay-compensated by the kernel's group delay (h must be the
+// symmetric output of LowPassFIR/HighPassFIR for the compensation to be
+// exact). Edges see an implicitly zero-padded signal.
+func FilterFIR(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	full := Convolve(x, h)
+	out := make([]float64, len(x))
+	offset := len(h) / 2
+	copy(out, full[offset:offset+len(x)])
+	return out
+}
+
+// MovingAverage smooths x with a centred window of the given width
+// (forced odd), zero-padded at the edges with shrink-to-fit averaging so
+// edge samples average only over real data.
+func MovingAverage(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := make([]float64, len(x))
+	// Prefix sums give O(n) for any window.
+	prefix := make([]float64, len(x)+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}
+
+// GainAt measures a kernel's magnitude response at normalised frequency
+// f (cycles/sample) by direct evaluation of its DTFT.
+func GainAt(h []float64, f float64) float64 {
+	var re, im float64
+	for n, v := range h {
+		theta := -2 * math.Pi * f * float64(n)
+		re += v * math.Cos(theta)
+		im += v * math.Sin(theta)
+	}
+	return math.Hypot(re, im)
+}

@@ -1,0 +1,114 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowPassFIRResponse(t *testing.T) {
+	h, err := LowPassFIR(63, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 63 {
+		t.Fatalf("taps = %d", len(h))
+	}
+	// Unit DC gain, strong stopband attenuation, ~-6 dB at cutoff.
+	if g := GainAt(h, 0); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain = %g", g)
+	}
+	if g := GainAt(h, 0.05); g < 0.95 {
+		t.Errorf("passband gain at 0.05 = %g", g)
+	}
+	if g := GainAt(h, 0.25); g > 0.01 {
+		t.Errorf("stopband gain at 0.25 = %g", g)
+	}
+	if g := GainAt(h, 0.1); math.Abs(g-0.5) > 0.1 {
+		t.Errorf("cutoff gain = %g, want ~0.5", g)
+	}
+	// Symmetric (linear phase).
+	for i := 0; i < len(h)/2; i++ {
+		if math.Abs(h[i]-h[len(h)-1-i]) > 1e-12 {
+			t.Fatalf("kernel asymmetric at %d", i)
+		}
+	}
+	// Even tap counts are bumped to odd.
+	h2, err := LowPassFIR(10, 0.2)
+	if err != nil || len(h2)%2 == 0 {
+		t.Errorf("even taps = %d, %v", len(h2), err)
+	}
+}
+
+func TestHighPassFIRResponse(t *testing.T) {
+	h, err := HighPassFIR(63, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := GainAt(h, 0); g > 0.01 {
+		t.Errorf("DC gain = %g, want ~0", g)
+	}
+	if g := GainAt(h, 0.4); g < 0.95 {
+		t.Errorf("highband gain = %g, want ~1", g)
+	}
+}
+
+func TestFIRValidation(t *testing.T) {
+	if _, err := LowPassFIR(1, 0.1); err == nil {
+		t.Error("too few taps accepted")
+	}
+	for _, c := range []float64{0, 0.5, -1, 0.7} {
+		if _, err := LowPassFIR(9, c); err == nil {
+			t.Errorf("cutoff %g accepted", c)
+		}
+	}
+}
+
+func TestFilterFIRSeparatesTones(t *testing.T) {
+	// 0.02 + 0.3 cycles/sample tones; a 0.1 low-pass keeps only the slow one.
+	n := 2048
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*0.02*float64(i)) + math.Sin(2*math.Pi*0.3*float64(i))
+	}
+	h, _ := LowPassFIR(101, 0.1)
+	y := FilterFIR(x, h)
+	if len(y) != n {
+		t.Fatalf("same-mode length = %d", len(y))
+	}
+	// Compare against the pure slow tone away from the edges; the delay
+	// compensation must align them.
+	var maxErr float64
+	for i := 200; i < n-200; i++ {
+		want := math.Sin(2 * math.Pi * 0.02 * float64(i))
+		if e := math.Abs(y[i] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.05 {
+		t.Errorf("residual after low-pass = %g", maxErr)
+	}
+	if FilterFIR(nil, h) != nil || FilterFIR(x, nil) != nil {
+		t.Error("empty filter inputs")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(x, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5} // edges shrink to available data
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ma[%d] = %g, want %g (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Window 1 (and evens bumped to odd) are identity-ish.
+	id := MovingAverage(x, 1)
+	for i := range x {
+		if id[i] != x[i] {
+			t.Fatal("window-1 not identity")
+		}
+	}
+	if len(MovingAverage(nil, 5)) != 0 {
+		t.Error("empty input")
+	}
+}

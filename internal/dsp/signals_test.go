@@ -1,0 +1,242 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateSineProperties(t *testing.T) {
+	x := Generate(Sine, 125, 2, 1000, 1000, 0)
+	if len(x) != 1000 {
+		t.Fatalf("len = %d", len(x))
+	}
+	var max float64
+	var sum float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+		sum += v
+	}
+	if math.Abs(max-2) > 0.01 {
+		t.Errorf("amplitude = %g, want ~2", max)
+	}
+	if math.Abs(sum)/1000 > 0.01 {
+		t.Errorf("mean = %g, want ~0", sum/1000)
+	}
+	// Period = 8 samples at 125 Hz / 1 kHz: x[0] == x[8].
+	if math.Abs(x[0]-x[8]) > 1e-9 {
+		t.Error("periodicity violated")
+	}
+}
+
+func TestGenerateSquareSawtoothTriangle(t *testing.T) {
+	sq := Generate(Square, 1, 1, 8, 8, 0)
+	for i := 0; i < 4; i++ {
+		if sq[i] != 1 {
+			t.Errorf("square[%d] = %g, want 1", i, sq[i])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if sq[i] != -1 {
+			t.Errorf("square[%d] = %g, want -1", i, sq[i])
+		}
+	}
+	saw := Generate(Sawtooth, 1, 1, 4, 4, 0)
+	if saw[0] != -1 || math.Abs(saw[2]) > 1e-12 {
+		t.Errorf("sawtooth = %v", saw)
+	}
+	tri := Generate(Triangle, 1, 1, 4, 4, 0)
+	if math.Abs(tri[2]-1) > 1e-12 { // peak at half period
+		t.Errorf("triangle = %v", tri)
+	}
+}
+
+func TestGenerateStartOffsetContinuity(t *testing.T) {
+	// Generating in two chunks with Start continuation must equal one shot.
+	whole := Generate(Sine, 7, 1, 100, 200, 0)
+	a := Generate(Sine, 7, 1, 100, 100, 0)
+	b := Generate(Sine, 7, 1, 100, 100, 1.0) // second second
+	for i := range a {
+		if math.Abs(whole[i]-a[i]) > 1e-12 || math.Abs(whole[100+i]-b[i]) > 1e-9 {
+			t.Fatalf("chunked generation diverges at %d", i)
+		}
+	}
+}
+
+func TestWaveformStringAndParse(t *testing.T) {
+	for _, w := range []Waveform{Sine, Square, Sawtooth, Triangle} {
+		if ParseWaveform(w.String()) != w {
+			t.Errorf("ParseWaveform(%q) != %v", w.String(), w)
+		}
+	}
+	if ParseWaveform("nonsense") != Sine {
+		t.Error("unknown waveform should default to sine")
+	}
+	if Waveform(99).String() != "unknown" {
+		t.Error("unknown String wrong")
+	}
+}
+
+func TestGaussianNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := GaussianNoise(100000, 2.0, rng)
+	var sum, sq float64
+	for _, v := range x {
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(len(x))
+	std := math.Sqrt(sq/float64(len(x)) - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %g", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("std = %g, want ~2", std)
+	}
+}
+
+func TestAddGaussianNoiseLeavesInputIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := []float64{1, 2, 3}
+	y := AddGaussianNoise(x, 1, rng)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Error("input mutated")
+	}
+	if y[0] == x[0] && y[1] == x[1] {
+		t.Error("no noise added")
+	}
+}
+
+func TestChirpFrequencyIncreases(t *testing.T) {
+	// Estimate instantaneous frequency from zero crossings in the first
+	// and last quarter; the chirp must sweep upward.
+	const rate = 2000.0
+	x := Chirp(50, 400, rate, 8000)
+	crossings := func(seg []float64) int {
+		n := 0
+		for i := 1; i < len(seg); i++ {
+			if (seg[i-1] < 0) != (seg[i] < 0) {
+				n++
+			}
+		}
+		return n
+	}
+	early := crossings(x[:2000])
+	late := crossings(x[6000:])
+	if late <= early*2 {
+		t.Errorf("chirp not sweeping: early %d crossings, late %d", early, late)
+	}
+	if len(Chirp(1, 2, 10, 0)) != 0 {
+		t.Error("zero-length chirp should be empty")
+	}
+}
+
+func TestTemplateBankNormalisedAndDistinct(t *testing.T) {
+	bank := TemplateBank(5, 1024, 50, 200, 400, 2000)
+	if len(bank) != 5 {
+		t.Fatalf("bank size %d", len(bank))
+	}
+	for i, tpl := range bank {
+		var e float64
+		for _, v := range tpl {
+			e += v * v
+		}
+		if math.Abs(e-1) > 1e-9 {
+			t.Errorf("template %d energy %g, want 1", i, e)
+		}
+	}
+	// Neighbouring templates must differ.
+	var diff float64
+	for j := range bank[0] {
+		d := bank[0][j] - bank[4][j]
+		diff += d * d
+	}
+	if diff < 0.1 {
+		t.Error("templates 0 and 4 nearly identical")
+	}
+	one := TemplateBank(1, 64, 50, 200, 400, 2000)
+	if len(one) != 1 {
+		t.Error("single-template bank")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		c := w.Coefficients(64)
+		if len(c) != 64 {
+			t.Fatalf("window %d length", w)
+		}
+		for i, v := range c {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("window %d coeff[%d] = %g out of [0,1]", w, i, v)
+			}
+		}
+		// Symmetry.
+		for i := 0; i < 32; i++ {
+			if math.Abs(c[i]-c[63-i]) > 1e-12 {
+				t.Errorf("window %d asymmetric at %d", w, i)
+			}
+		}
+	}
+	if Hann.Coefficients(1)[0] != 1 {
+		t.Error("length-1 window should be 1")
+	}
+	// Rectangular is identity under Apply.
+	x := []float64{1, 2, 3}
+	Rectangular.Apply(x)
+	if x[1] != 2 {
+		t.Error("rectangular window modified signal")
+	}
+	// Hann endpoints are zero.
+	h := Hann.Coefficients(9)
+	if h[0] != 0 || h[8] != 0 {
+		t.Error("hann endpoints nonzero")
+	}
+	if ParseWindow("hann") != Hann || ParseWindow("hamming") != Hamming ||
+		ParseWindow("blackman") != Blackman || ParseWindow("x") != Rectangular {
+		t.Error("ParseWindow wrong")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	got := Decimate(x, 4, false)
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Errorf("Decimate = %v", got)
+	}
+	sm := Decimate(x, 4, true)
+	if sm[0] != 1.5 || sm[1] != 5.5 {
+		t.Errorf("smoothed Decimate = %v", sm)
+	}
+	same := Decimate(x, 1, false)
+	same[0] = 99
+	if x[0] == 99 {
+		t.Error("factor-1 Decimate aliases input")
+	}
+	// The paper's 8 kHz -> 2 kHz reduction.
+	eight := make([]float64, 8000)
+	if got := Decimate(eight, 4, true); len(got) != 2000 {
+		t.Errorf("8k->2k decimation length %d", len(got))
+	}
+}
+
+func TestSNRDegenerate(t *testing.T) {
+	if SNR(nil) != 0 || SNR([]float64{1, 2}) != 0 {
+		t.Error("short series SNR should be 0")
+	}
+	if SNR(make([]float64, 100)) != 0 {
+		t.Error("all-zero SNR should be 0")
+	}
+	// A lone spike in silence has huge SNR... but zero noise means 0 by
+	// our convention; add tiny noise to check the spike dominates.
+	series := make([]float64, 1000)
+	for i := range series {
+		series[i] = 0.001 * math.Sin(float64(i))
+	}
+	series[500] = 10
+	if snr := SNR(series); snr < 1000 {
+		t.Errorf("spike SNR = %g, want large", snr)
+	}
+}

@@ -1,0 +1,369 @@
+// Package engine executes a Triana task graph on the local resource: it
+// is the "Triana engine" of the paper's two-layer architecture (§3.1),
+// shared by the GUI-less controller and by every service daemon. One
+// goroutine runs per task; connections are Go channels; a run drives the
+// source units for a fixed number of iterations and drains the graph.
+//
+// Groups are inlined before execution when run locally. When a service
+// executes a distributed group body, the graph's ExternalIn/ExternalOut
+// endpoints are wired to caller-supplied channels, which the jxtaserve
+// pipe layer connects to the remote peer.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"consumergrid/internal/sandbox"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Options configures a run.
+type Options struct {
+	// Iterations is how many times each source unit fires. Non-source
+	// units run until their inputs close. Must be >= 1.
+	Iterations int
+	// Sandbox applied to every unit; nil means a deny-all sandbox.
+	Sandbox *sandbox.Sandbox
+	// Seed makes the run deterministic: each task's random source is
+	// derived from Seed and the task name.
+	Seed int64
+	// BufferSize is the per-connection channel depth (default 4). A depth
+	// of >= 1 lets a pipeline stream rather than lock-step.
+	BufferSize int
+	// Logf receives unit diagnostics; may be nil.
+	Logf func(format string, args ...any)
+	// ExternalIn supplies data for the graph's ExternalIn endpoints when
+	// executing a distributed group body: index i feeds external input
+	// node i. The engine reads one datum per iteration of the consuming
+	// task and finishes when the channel closes.
+	ExternalIn map[int]<-chan types.Data
+	// ExternalOut receives data leaving the graph's ExternalOut
+	// endpoints. The engine closes each channel when its producer
+	// finishes.
+	ExternalOut map[int]chan<- types.Data
+	// RestoreState re-primes Checkpointable units before the run, keyed
+	// by task name: the migration path of §3.6.2.
+	RestoreState map[string][]byte
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Processed counts Process invocations per task name.
+	Processed map[string]int
+	// State holds the post-run checkpoints of every Checkpointable unit,
+	// keyed by task name.
+	State map[string][]byte
+
+	instances map[string]units.Unit
+}
+
+// Unit returns the unit instance that executed the named task, letting
+// callers read sink state (Grapher.Last, Animator.Frames) after a run.
+func (r *Result) Unit(taskName string) units.Unit { return r.instances[taskName] }
+
+// connKey identifies one input endpoint.
+type connKey struct {
+	task string
+	node int
+}
+
+// Run executes the graph and blocks until every task finishes or the
+// context is cancelled. The graph is cloned and groups are inlined, so
+// the caller's graph is never modified.
+func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error) {
+	if opts.Iterations < 1 {
+		return nil, fmt.Errorf("engine: Iterations must be >= 1")
+	}
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = 4
+	}
+	if opts.Sandbox == nil {
+		opts.Sandbox = sandbox.New(sandbox.Deny())
+	}
+
+	work := g.Clone()
+	for {
+		groups := work.GroupNames()
+		if len(groups) == 0 {
+			break
+		}
+		for _, name := range groups {
+			if err := work.Inline(name); err != nil {
+				return nil, fmt.Errorf("engine: inlining %s: %w", name, err)
+			}
+		}
+	}
+	if err := work.Validate(units.Resolver()); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if work.HasCycle() {
+		return nil, fmt.Errorf("engine: graph %q has a data-flow cycle", work.Name)
+	}
+
+	// Instantiate units.
+	instances := make(map[string]units.Unit, len(work.Tasks))
+	for _, t := range work.Tasks {
+		u, err := units.New(t.Unit, units.Params(t.Params))
+		if err != nil {
+			return nil, fmt.Errorf("engine: task %s: %w", t.Name, err)
+		}
+		if blob, ok := opts.RestoreState[t.Name]; ok {
+			cp, isCp := u.(units.Checkpointable)
+			if !isCp {
+				return nil, fmt.Errorf("engine: task %s has restore state but unit %s is not checkpointable",
+					t.Name, t.Unit)
+			}
+			if err := cp.Restore(blob); err != nil {
+				return nil, fmt.Errorf("engine: restoring %s: %w", t.Name, err)
+			}
+		}
+		instances[t.Name] = u
+	}
+
+	// Wire channels. Every data connection gets one channel owned by its
+	// producer side; input endpoints map 1:1 to a channel (validated).
+	inChans := make(map[connKey]chan types.Data)
+	outFan := make(map[string]map[int][]chan types.Data) // task -> out node -> consumers
+	for _, t := range work.Tasks {
+		outFan[t.Name] = make(map[int][]chan types.Data)
+	}
+	for _, c := range work.Connections {
+		if c.Control {
+			continue // control traffic is a policy-layer concern
+		}
+		ch := make(chan types.Data, opts.BufferSize)
+		inChans[connKey{c.To.Task, c.To.Node}] = ch
+		outFan[c.From.Task][c.From.Node] = append(outFan[c.From.Task][c.From.Node], ch)
+	}
+
+	// External boundary wiring for group-body execution.
+	extReaders := make(map[connKey]<-chan types.Data)
+	for i, ch := range opts.ExternalIn {
+		if i < 0 || i >= len(work.ExternalIn) {
+			return nil, fmt.Errorf("engine: external input %d out of range (%d declared)",
+				i, len(work.ExternalIn))
+		}
+		e := work.ExternalIn[i]
+		key := connKey{e.Task, e.Node}
+		if _, taken := inChans[key]; taken {
+			return nil, fmt.Errorf("engine: external input %d collides with internal connection at %s", i, e)
+		}
+		extReaders[key] = ch
+	}
+	extWriters := make(map[string]map[int][]chan<- types.Data)
+	for i, ch := range opts.ExternalOut {
+		if i < 0 || i >= len(work.ExternalOut) {
+			return nil, fmt.Errorf("engine: external output %d out of range (%d declared)",
+				i, len(work.ExternalOut))
+		}
+		e := work.ExternalOut[i]
+		if extWriters[e.Task] == nil {
+			extWriters[e.Task] = make(map[int][]chan<- types.Data)
+		}
+		extWriters[e.Task][e.Node] = append(extWriters[e.Task][e.Node], ch)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	processed := make(map[string]int, len(work.Tasks))
+	var procMu sync.Mutex
+
+	for _, t := range work.Tasks {
+		t := t
+		u := instances[t.Name]
+
+		// Ordered input channels for this task.
+		type inputSrc struct {
+			node int
+			ch   <-chan types.Data
+		}
+		var inputs []inputSrc
+		for node := 0; node < t.In; node++ {
+			key := connKey{t.Name, node}
+			if ch, ok := inChans[key]; ok {
+				inputs = append(inputs, inputSrc{node, ch})
+			} else if ch, ok := extReaders[key]; ok {
+				inputs = append(inputs, inputSrc{node, ch})
+			}
+			// Unconnected input nodes are legal: the unit simply receives
+			// fewer data (units check arity against *connected* inputs via
+			// the graph shape, so we pass exactly the connected ones).
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i].node < inputs[j].node })
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Close everything this task produces when it finishes.
+			defer func() {
+				for _, consumers := range outFan[t.Name] {
+					for _, ch := range consumers {
+						close(ch)
+					}
+				}
+				for _, writers := range extWriters[t.Name] {
+					for _, ch := range writers {
+						close(ch)
+					}
+				}
+			}()
+
+			uctx := &units.Context{
+				Ctx:      runCtx,
+				Sandbox:  opts.Sandbox,
+				Rand:     rand.New(rand.NewSource(taskSeed(opts.Seed, t.Name))),
+				TaskName: t.Name,
+				Logf:     opts.Logf,
+			}
+
+			send := func(node int, d types.Data) bool {
+				consumers := outFan[t.Name][node]
+				writers := extWriters[t.Name][node]
+				total := len(consumers) + len(writers)
+				sent := 0
+				for _, ch := range consumers {
+					v := d
+					if sent > 0 {
+						v = d.Clone() // fan-out must not alias
+					}
+					select {
+					case ch <- v:
+					case <-runCtx.Done():
+						return false
+					}
+					sent++
+				}
+				for _, ch := range writers {
+					v := d
+					if sent > 0 {
+						v = d.Clone()
+					}
+					select {
+					case ch <- v:
+					case <-runCtx.Done():
+						return false
+					}
+					sent++
+				}
+				_ = total
+				return true
+			}
+
+			for iter := 0; ; iter++ {
+				if len(inputs) == 0 && iter >= opts.Iterations {
+					return // source exhausted its iteration budget
+				}
+				// Gather one datum per connected input.
+				in := make([]types.Data, len(inputs))
+				for i, src := range inputs {
+					select {
+					case d, ok := <-src.ch:
+						if !ok {
+							return // upstream finished; we are done too
+						}
+						in[i] = d
+					case <-runCtx.Done():
+						return
+					}
+				}
+				uctx.Iteration = iter
+				procStart := time.Now()
+				out, err := u.Process(uctx, in)
+				// Charge the unit's wall time against the host's CPU
+				// quota: a donated machine bounds what strangers may
+				// burn, and a workflow that exhausts the budget is
+				// terminated rather than throttled.
+				if qErr := opts.Sandbox.ChargeCPU(time.Since(procStart)); qErr != nil && err == nil {
+					err = qErr
+				}
+				procMu.Lock()
+				processed[t.Name]++
+				procMu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("engine: task %s (%s) iteration %d: %w", t.Name, t.Unit, iter, err))
+					return
+				}
+				if len(out) > t.Out {
+					fail(fmt.Errorf("engine: task %s emitted %d outputs, declares %d",
+						t.Name, len(out), t.Out))
+					return
+				}
+				for node, d := range out {
+					if d == nil {
+						continue // dropped datum (Sampler semantics)
+					}
+					if !send(node, d) {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		cancel()
+		<-done
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{
+		Elapsed:   time.Since(start),
+		Processed: processed,
+		State:     make(map[string][]byte),
+		instances: instances,
+	}
+	for name, u := range instances {
+		if cp, ok := u.(units.Checkpointable); ok {
+			blob, err := cp.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("engine: checkpointing %s: %w", name, err)
+			}
+			res.State[name] = blob
+		}
+	}
+	return res, nil
+}
+
+// taskSeed derives a per-task seed so distributed and local runs of the
+// same graph produce identical random streams per task.
+func taskSeed(seed int64, taskName string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, taskName)
+	return int64(h.Sum64())
+}

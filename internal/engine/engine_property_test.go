@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/unitio"
+)
+
+// TestQuickLinearPipelineConservesCounts: for a random-length linear
+// pipeline of pass-through units driven N iterations, every task
+// processes exactly N data — the engine drops nothing and duplicates
+// nothing.
+func TestQuickLinearPipelineConservesCounts(t *testing.T) {
+	f := func(lenRaw, itersRaw uint8) bool {
+		depth := int(lenRaw%6) + 1
+		iters := int(itersRaw%7) + 1
+		g := taskgraph.New("pipe")
+		src, _ := units.NewTask("Src", "triana.signal.Wave")
+		src.SetParam("samples", "8")
+		g.MustAdd(src)
+		prev := "Src"
+		for i := 0; i < depth; i++ {
+			name := fmt.Sprintf("S%d", i)
+			scale, _ := units.NewTask(name, "triana.mathx.Scale")
+			g.MustAdd(scale)
+			g.ConnectNamed(prev, 0, name, 0)
+			prev = name
+		}
+		sink, _ := units.NewTask("Sink", "triana.flow.Null")
+		g.MustAdd(sink)
+		g.ConnectNamed(prev, 0, "Sink", 0)
+
+		res, err := Run(context.Background(), g, Options{Iterations: iters, Seed: 1})
+		if err != nil {
+			return false
+		}
+		for _, task := range g.TaskNames() {
+			if res.Processed[task] != iters {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFanTreeConservesCounts: a source fanned out to K parallel
+// branches (via chained Duplicates) re-processed everywhere exactly N
+// times, regardless of branch count.
+func TestQuickFanTreeConservesCounts(t *testing.T) {
+	f := func(branchRaw, itersRaw uint8) bool {
+		branches := int(branchRaw%3) + 2 // 2..4 sinks
+		iters := int(itersRaw%5) + 1
+		g := taskgraph.New("fan")
+		src, _ := units.NewTask("Src", "triana.signal.Wave")
+		src.SetParam("samples", "4")
+		g.MustAdd(src)
+		// Chain of Duplicates: each adds one extra consumer branch.
+		prev, prevNode := "Src", 0
+		for i := 0; i < branches-1; i++ {
+			dup := fmt.Sprintf("D%d", i)
+			d, _ := units.NewTask(dup, "triana.flow.Duplicate")
+			g.MustAdd(d)
+			g.ConnectNamed(prev, prevNode, dup, 0)
+			sink := fmt.Sprintf("N%d", i)
+			n, _ := units.NewTask(sink, "triana.flow.Null")
+			g.MustAdd(n)
+			g.ConnectNamed(dup, 0, sink, 0)
+			prev, prevNode = dup, 1
+		}
+		last, _ := units.NewTask("NL", "triana.flow.Null")
+		g.MustAdd(last)
+		g.ConnectNamed(prev, prevNode, "NL", 0)
+
+		res, err := Run(context.Background(), g, Options{Iterations: iters, Seed: 2})
+		if err != nil {
+			return false
+		}
+		for _, task := range g.TaskNames() {
+			if res.Processed[task] != iters {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGroupingInvariance: grouping any contiguous window of a
+// pipeline must not change the computation — the engine inlines groups,
+// so results and counts match the ungrouped run exactly.
+func TestQuickGroupingInvariance(t *testing.T) {
+	f := func(loRaw, hiRaw uint8) bool {
+		const depth = 4
+		lo := int(loRaw) % depth
+		hi := int(hiRaw) % depth
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		build := func() *taskgraph.Graph {
+			g := taskgraph.New("inv")
+			src, _ := units.NewTask("Src", "triana.signal.Wave")
+			src.SetParam("samples", "16")
+			src.SetParam("frequency", "125")
+			g.MustAdd(src)
+			prev := "Src"
+			for i := 0; i < depth; i++ {
+				name := fmt.Sprintf("S%d", i)
+				sc, _ := units.NewTask(name, "triana.mathx.Scale")
+				sc.SetParam("gain", fmt.Sprintf("%d", i+2))
+				g.MustAdd(sc)
+				g.ConnectNamed(prev, 0, name, 0)
+				prev = name
+			}
+			gr, _ := units.NewTask("Graph", "triana.unitio.Grapher")
+			g.MustAdd(gr)
+			g.ConnectNamed(prev, 0, "Graph", 0)
+			return g
+		}
+		plain := build()
+		grouped := build()
+		var members []string
+		for i := lo; i <= hi; i++ {
+			members = append(members, fmt.Sprintf("S%d", i))
+		}
+		if _, err := grouped.GroupTasks("Window", members); err != nil {
+			return false
+		}
+		resA, err := Run(context.Background(), plain, Options{Iterations: 2, Seed: 3})
+		if err != nil {
+			return false
+		}
+		resB, err := Run(context.Background(), grouped, Options{Iterations: 2, Seed: 3})
+		if err != nil {
+			return false
+		}
+		a := lastValues(resA)
+		bv := lastValues(resB)
+		if len(a) != len(bv) || len(a) == 0 {
+			return false
+		}
+		for i := range a {
+			if a[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// lastValues extracts the Grapher sink's retained numeric payload.
+func lastValues(res *Result) []float64 {
+	gr, ok := res.Unit("Graph").(*unitio.Grapher)
+	if !ok || gr.Last() == nil {
+		return nil
+	}
+	xs, _ := types.Floats(gr.Last())
+	return xs
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"consumergrid/internal/churn"
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/metrics"
+)
+
+// A1 ablates the §3.6.2 checkpointing proposal: the same chunk farm runs
+// over churny peers with and without checkpoint-driven migration, and the
+// table reports completed chunks, wasted (redone) work and makespan per
+// availability level. Shape: checkpointing reduces wasted work and never
+// completes fewer chunks.
+func A1(cfg Config) (*Result, error) {
+	cfg.defaults()
+	tab := metrics.NewTable("A1: checkpointing ablation under churn",
+		"availability", "checkpoint", "completed", "wastedHours", "makespanHours", "migrations")
+
+	const chunks = 48
+	const chunkHours = 2.0
+	tasks := make([]float64, chunks)
+	for i := range tasks {
+		tasks[i] = chunkHours
+	}
+	const peersN = 16
+	horizon := 24.0 // a day
+
+	shapeOK := true
+	for _, av := range []struct {
+		label            string
+		meanUp, meanDown float64
+	}{
+		{"0.9", 9, 1}, {"0.7", 7, 3}, {"0.5", 5, 5},
+	} {
+		peers := make([]*churn.Trace, peersN)
+		for i := range peers {
+			peers[i] = churn.GenTrace(cfg.Seed+int64(i), horizon, av.meanUp, av.meanDown)
+		}
+		plain, err := churn.SimulateFarm(tasks, peers, churn.FarmOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ckpt, err := churn.SimulateFarm(tasks, peers, churn.FarmOptions{
+			Checkpoint: true, CheckpointInterval: 0.25, // checkpoint every 15 min
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(av.label, false, plain.Completed, round2(plain.Wasted),
+			round2(plain.Makespan), plain.Migrations)
+		tab.AddRow(av.label, true, ckpt.Completed, round2(ckpt.Wasted),
+			round2(ckpt.Makespan), ckpt.Migrations)
+		if ckpt.Completed < plain.Completed {
+			shapeOK = false
+		}
+		if plain.Interrupted > 0 && ckpt.Wasted > plain.Wasted {
+			shapeOK = false
+		}
+	}
+	return &Result{
+		Tables:    []*metrics.Table{tab},
+		ShapeOK:   shapeOK,
+		ShapeNote: "checkpointing cuts redone work and never completes fewer chunks at any availability level",
+	}, nil
+}
+
+// A2 ablates on-demand code download against pre-staged modules: the
+// same application runs on a strict-mobile-code grid twice. The first
+// (cold) run pays the bundle transfers; the second (warm) run's caches
+// make it free. Pre-staging is emulated by the warm state — the paper's
+// alternative of shipping everything ahead of time.
+func A2(cfg Config) (*Result, error) {
+	cfg.defaults()
+	grid, err := core.NewGrid(core.GridOptions{Peers: 2, RequireCode: true})
+	if err != nil {
+		return nil, err
+	}
+	defer grid.Close()
+
+	tab := metrics.NewTable("A2: on-demand vs pre-staged module code",
+		"run", "bundleFetches", "bundleBytes", "wall")
+
+	run := func(label string, seed int64) (int64, error) {
+		var before, beforeBytes int64
+		for _, w := range grid.Workers {
+			f, b := w.Fetcher().Fetches()
+			before += f
+			beforeBytes += b
+		}
+		start := time.Now()
+		_, err := grid.Run(context.Background(),
+			core.Figure1Workflow(core.Figure1Options{Samples: 1024}),
+			controller.RunOptions{Iterations: 8 * cfg.Scale, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		wall := time.Since(start)
+		var after, afterBytes int64
+		for _, w := range grid.Workers {
+			f, b := w.Fetcher().Fetches()
+			after += f
+			afterBytes += b
+		}
+		tab.AddRow(label, after-before, afterBytes-beforeBytes, wall)
+		return after - before, nil
+	}
+
+	coldFetches, err := run("cold (on-demand)", cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warmFetches, err := run("warm (pre-staged)", cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tables:    []*metrics.Table{tab},
+		ShapeOK:   coldFetches > 0 && warmFetches == 0,
+		ShapeNote: "cold runs fetch each group module once; warm caches eliminate all transfers",
+	}, nil
+}
+
+// A3 is the live companion to A1/T1: a real grid whose donors flip their
+// idle gates according to availability traces (the §3.7 screensaver
+// model) while the controller repeatedly submits the Figure 1 farm. The
+// parallel policy's failover despatches each round onto whichever donors
+// are idle; rounds complete as long as at least one donor is available.
+func A3(cfg Config) (*Result, error) {
+	cfg.defaults()
+	grid, err := core.NewGrid(core.GridOptions{Peers: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer grid.Close()
+
+	const rounds = 20
+	// Per-round availability from deterministic traces at ~60% uptime:
+	// round r uses trace time r (unit spacing).
+	traces := make([]*churn.Trace, len(grid.Workers))
+	for i := range traces {
+		traces[i] = churn.GenTrace(cfg.Seed+int64(i)*7, rounds, 6, 4)
+	}
+
+	tab := metrics.NewTable("A3: live churn with failover (4 donors, ~60% availability)",
+		"round", "idleDonors", "completed", "itemsOnSurvivors")
+	completed, failed := 0, 0
+	totalIdle, roundsWithIdle := 0, 0
+	unexpectedFail, unexpectedPass := 0, 0
+	for r := 0; r < rounds; r++ {
+		idle := 0
+		for i, w := range grid.Workers {
+			up := traces[i].UpAt(float64(r) + 0.5)
+			w.SetAvailable(up)
+			if up {
+				idle++
+			}
+		}
+		totalIdle += idle
+		if idle > 0 {
+			roundsWithIdle++
+		}
+		rep, err := grid.Run(context.Background(),
+			core.Figure1Workflow(core.Figure1Options{Samples: 256}),
+			controller.RunOptions{Iterations: 4, Seed: cfg.Seed + int64(r)})
+		items := 0
+		ok := err == nil
+		if ok {
+			completed++
+			if idle == 0 {
+				unexpectedPass++ // should be impossible: nobody to run on
+			}
+			for _, counts := range rep.Dist.Remote {
+				items += counts["Gaussian"]
+			}
+		} else {
+			failed++
+			if idle > 0 {
+				unexpectedFail++ // failover should have found the idle donor
+			}
+		}
+		if r < 6 || !ok { // keep the table readable: first rounds + failures
+			tab.AddRow(r, idle, ok, items)
+		}
+	}
+	summary := metrics.NewTable("A3 summary",
+		"rounds", "completed", "roundsWithIdleDonor", "allBusyRounds", "meanIdleDonors")
+	summary.AddRow(rounds, completed, roundsWithIdle, rounds-roundsWithIdle,
+		round2(float64(totalIdle)/rounds))
+
+	// Shape: failover succeeds EXACTLY when at least one donor is idle —
+	// every such round completes, and only all-busy rounds fail. This is
+	// deterministic across seeds, unlike a completion-percentage bound.
+	shapeOK := unexpectedFail == 0 && unexpectedPass == 0 && roundsWithIdle > 0
+	return &Result{
+		Tables:  []*metrics.Table{tab, summary},
+		ShapeOK: shapeOK,
+		ShapeNote: fmt.Sprintf("all %d rounds with an idle donor completed via failover; the %d all-busy rounds failed as expected",
+			roundsWithIdle, rounds-roundsWithIdle),
+	}, nil
+}

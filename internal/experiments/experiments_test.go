@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestEveryExperimentRunsAndHoldsShape is the harness's own integration
+// suite: each experiment must run at laptop scale and its qualitative
+// claim (who wins, trend direction) must hold. This is the repository's
+// statement that the paper's evaluation shapes reproduce.
+func TestEveryExperimentRunsAndHoldsShape(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(Config{Seed: 1})
+			if err != nil {
+				t.Fatalf("%s failed: %v", exp.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tab := range res.Tables {
+				if tab.NumRows() == 0 {
+					t.Errorf("%s table %q is empty", exp.ID, tab.Title)
+				}
+				if tab.String() == "" {
+					t.Errorf("%s table %q renders empty", exp.ID, tab.Title)
+				}
+			}
+			if !res.ShapeOK {
+				t.Errorf("%s shape check failed: %s\n%s",
+					exp.ID, res.ShapeNote, renderAll(res))
+			}
+			t.Logf("%s: %s", exp.ID, res.ShapeNote)
+		})
+	}
+}
+
+func renderAll(res *Result) string {
+	out := ""
+	for _, tab := range res.Tables {
+		out += tab.String() + "\n"
+	}
+	return out
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("T2"); !ok {
+		t.Error("T2 missing")
+	}
+	if _, ok := Lookup("ZZ"); ok {
+		t.Error("bogus experiment found")
+	}
+	if len(All()) != 14 {
+		t.Errorf("experiment count = %d", len(All()))
+	}
+}

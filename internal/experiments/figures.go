@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"consumergrid/internal/controller"
+	"consumergrid/internal/core"
+	"consumergrid/internal/engine"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/service"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/units"
+)
+
+// F1 reproduces Figure 1 / Code Segment 1: the canonical workflow is
+// built, serialized to the XML dialect, re-parsed, validated against the
+// unit registry, and its group structure checked — the paper's claim that
+// "transmitting the connectivity graph to nodes has a limited overhead –
+// as the graph itself is a text file that does not consume many
+// resources" is quantified by the byte counts.
+func F1(cfg Config) (*Result, error) {
+	cfg.defaults()
+	tab := metrics.NewTable("F1: task-graph round trip (Figure 1 / Code Segment 1)",
+		"artefact", "tasks", "connections", "xmlBytes", "parse+validate")
+
+	wf := core.Figure1Workflow(core.Figure1Options{})
+	wf.AssignLabels("fig1")
+	artefacts := map[string]*taskgraph.Graph{
+		"figure1": wf,
+		"galaxy":  core.GalaxyWorkflow(core.GalaxyOptions{}),
+		"inspiral": core.InspiralWorkflow(core.InspiralOptions{
+			InjectOffset: 1000}),
+		"dbpipeline": core.DBPipelineWorkflow(core.DBPipelineOptions{}),
+	}
+	shapeOK := true
+	for _, name := range []string{"figure1", "galaxy", "inspiral", "dbpipeline"} {
+		g := artefacts[name]
+		b, err := g.EncodeXML()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		parsed, err := taskgraph.ParseXML(b)
+		if err != nil {
+			return nil, err
+		}
+		if err := parsed.Validate(units.Resolver()); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if parsed.CountTasks() != g.CountTasks() {
+			shapeOK = false
+		}
+		nConn := len(parsed.Connections)
+		for _, t := range parsed.Tasks {
+			if t.IsGroup() {
+				nConn += len(t.Group.Connections)
+			}
+		}
+		tab.AddRow(name, parsed.CountTasks(), nConn, len(b), elapsed)
+		// "Text file that does not consume many resources": graphs stay
+		// in the low kilobytes.
+		if len(b) > 64<<10 {
+			shapeOK = false
+		}
+	}
+	return &Result{
+		Tables:    []*metrics.Table{tab},
+		ShapeOK:   shapeOK,
+		ShapeNote: "every workflow round-trips losslessly and stays under 64 KiB of XML",
+	}, nil
+}
+
+// F2 reproduces Figure 2: the 1 kHz sine buried in sigma=5 noise, power
+// spectrum averaged by AccumStat. The paper shows the signal invisible
+// after 1 iteration and recovered after 20; the reproduced series reports
+// spectral SNR per accumulation count, which must grow (≈ the background
+// estimate tightening as sqrt(N)).
+func F2(cfg Config) (*Result, error) {
+	cfg.defaults()
+	const rate, freq = 8000.0, 1000.0
+	n := 1024 * cfg.Scale
+	tab := metrics.NewTable("F2: spectrum averaging (Figure 2)",
+		"iterations", "spectralSNR", "peakHz")
+
+	// One noisy spectrum's worst spike is itself random, so each point
+	// averages several independent trials; the trend, not a single draw,
+	// is Figure 2's claim.
+	const trials = 5
+	var snr1, snr20 float64
+	for _, iters := range []int{1, 2, 5, 10, 20} {
+		var sum float64
+		var peakHz float64
+		for trial := 0; trial < trials; trial++ {
+			wf := core.Figure1Workflow(core.Figure1Options{
+				Samples: n, NoiseSigma: 5, Policy: policy.NameLocal})
+			res, err := engine.Run(context.Background(), wf, engine.Options{
+				Iterations: iters, Seed: cfg.Seed + int64(trial)*7919,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep := &controller.Report{Dist: &service.DistResult{Local: res}}
+			spec, err := grapherSpectrum(rep, "Grapher")
+			if err != nil {
+				return nil, err
+			}
+			sum += spectralSNR(spec, freq, rate, n)
+			peakHz = spec.PeakFrequency()
+		}
+		snr := sum / trials
+		tab.AddRow(iters, round2(snr), round2(peakHz))
+		if iters == 1 {
+			snr1 = snr
+		}
+		if iters == 20 {
+			snr20 = snr
+		}
+	}
+	return &Result{
+		Tables:  []*metrics.Table{tab},
+		ShapeOK: snr20 > 1.5*snr1 && snr20 > 3,
+		ShapeNote: fmt.Sprintf("peak-to-worst-noise-spike ratio grows from %.1f (signal buried, 1 iter) to %.1f (recovered, 20 iters), averaged over %d trials",
+			snr1, snr20, trials),
+	}, nil
+}
+
+// F3 reproduces the Figure 3/4 architecture interactions: a controller
+// drives a network of service daemons — ping round trips over the command
+// channel, then a full despatch/execute/wait cycle of a remote group.
+func F3(cfg Config) (*Result, error) {
+	cfg.defaults()
+	grid, err := core.NewGrid(core.GridOptions{Peers: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer grid.Close()
+
+	ping := metrics.NewTable("F3a: controller -> service command round trips",
+		"peer", "rm", "meanRTT", "p95RTT")
+	host := grid.Controller.Service().Host()
+	for _, w := range grid.Workers {
+		var t metrics.Timer
+		var rmName string
+		for i := 0; i < 50; i++ {
+			start := time.Now()
+			reply, err := host.Request(w.Addr(), service.MethodPing, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Observe(time.Since(start))
+			rmName = reply.Header("rm")
+		}
+		ping.AddRow(w.PeerID(), rmName, t.Mean(), t.Percentile(95))
+	}
+
+	run := metrics.NewTable("F3b: remote group despatch/execute/collect",
+		"iterations", "peersUsed", "remoteProcessed", "wall")
+	iters := 10 * cfg.Scale
+	start := time.Now()
+	rep, err := grid.Run(context.Background(),
+		core.Figure1Workflow(core.Figure1Options{Samples: 512}),
+		controller.RunOptions{Iterations: iters, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	remote := 0
+	for _, counts := range rep.Dist.Remote {
+		remote += counts["Gaussian"]
+	}
+	run.AddRow(iters, len(rep.Peers), remote, wall)
+
+	return &Result{
+		Tables:    []*metrics.Table{ping, run},
+		ShapeOK:   remote == iters && len(rep.Peers) == 4,
+		ShapeNote: "all data items executed remotely across all four daemons; command channel stays sub-millisecond in-process",
+	}, nil
+}

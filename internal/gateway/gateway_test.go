@@ -1,0 +1,213 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForkRunsImmediately(t *testing.T) {
+	f := NewFork()
+	defer f.Close()
+	var ran atomic.Bool
+	h, err := f.Submit(Job{ID: "j1", Run: func(ctx context.Context) error {
+		ran.Store(true)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() || h.State() != Done {
+		t.Errorf("state = %v ran = %v", h.State(), ran.Load())
+	}
+	if h.QueueWait() > time.Second {
+		t.Errorf("fork queue wait = %v", h.QueueWait())
+	}
+}
+
+func TestForkFailurePropagates(t *testing.T) {
+	f := NewFork()
+	defer f.Close()
+	boom := errors.New("boom")
+	h, _ := f.Submit(Job{ID: "j", Run: func(ctx context.Context) error { return boom }})
+	if err := h.Wait(); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if h.State() != Failed {
+		t.Errorf("state = %v", h.State())
+	}
+}
+
+func TestForkRejectsAfterCloseAndNilRun(t *testing.T) {
+	f := NewFork()
+	if _, err := f.Submit(Job{ID: "nil"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	f.Close()
+	if _, err := f.Submit(Job{ID: "late", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("submit after close accepted")
+	}
+}
+
+func TestForkCancelActiveJob(t *testing.T) {
+	f := NewFork()
+	defer f.Close()
+	started := make(chan struct{})
+	h, _ := f.Submit(Job{ID: "long", Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	<-started
+	h.Cancel()
+	if err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if h.State() != Canceled {
+		t.Errorf("state = %v", h.State())
+	}
+}
+
+func TestBatchSlotLimiting(t *testing.T) {
+	b, err := NewBatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var concurrent, peak atomic.Int32
+	block := make(chan struct{})
+	var handles []*Handle
+	for i := 0; i < 6; i++ {
+		h, err := b.Submit(Job{ID: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) error {
+			cur := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			<-block
+			concurrent.Add(-1)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Give the first two time to start.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.QueueLength() > 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.QueueLength(); got != 4 {
+		t.Errorf("queue length = %d, want 4", got)
+	}
+	close(block)
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d > 2 slots", peak.Load())
+	}
+	if b.QueueWaits().Count() != 6 {
+		t.Errorf("queue waits recorded = %d", b.QueueWaits().Count())
+	}
+}
+
+func TestBatchQueueWaitGrowsWithLoad(t *testing.T) {
+	b, _ := NewBatch(1)
+	defer b.Close()
+	work := 20 * time.Millisecond
+	var last *Handle
+	for i := 0; i < 3; i++ {
+		last, _ = b.Submit(Job{ID: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) error {
+			time.Sleep(work)
+			return nil
+		}})
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if last.QueueWait() < work { // waited behind at least one full job
+		t.Errorf("third job waited only %v", last.QueueWait())
+	}
+}
+
+func TestBatchCancelQueuedJob(t *testing.T) {
+	b, _ := NewBatch(1)
+	defer b.Close()
+	block := make(chan struct{})
+	b.Submit(Job{ID: "hog", Run: func(ctx context.Context) error { <-block; return nil }})
+	queued, _ := b.Submit(Job{ID: "queued", Run: func(ctx context.Context) error { return nil }})
+	queued.Cancel()
+	if err := queued.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	close(block)
+}
+
+func TestBatchCloseCancelsPending(t *testing.T) {
+	b, _ := NewBatch(1)
+	block := make(chan struct{})
+	active, _ := b.Submit(Job{ID: "active", Run: func(ctx context.Context) error {
+		select {
+		case <-block:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}})
+	pending, _ := b.Submit(Job{ID: "pending", Run: func(ctx context.Context) error { return nil }})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(block)
+	}()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pending.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("pending err = %v", err)
+	}
+	active.Wait() // must terminate either way
+	if _, err := b.Submit(Job{ID: "late", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("submit after close accepted")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := NewBatch(0); err == nil {
+		t.Error("0 slots accepted")
+	}
+	b, _ := NewBatch(1)
+	defer b.Close()
+	if _, err := b.Submit(Job{ID: "nil"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Pending: "pending", Active: "active", Done: "done",
+		Failed: "failed", Canceled: "canceled", State(99): "unknown"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d -> %q", s, s.String())
+		}
+	}
+	if (&Fork{}).Name() != "fork" {
+		t.Error("fork name")
+	}
+	b, _ := NewBatch(3)
+	defer b.Close()
+	if b.Name() != "batch" || b.Slots() != 3 {
+		t.Error("batch identity")
+	}
+}

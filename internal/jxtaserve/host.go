@@ -1,0 +1,420 @@
+package jxtaserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/types"
+)
+
+// Host is a peer's endpoint in the pipe network: it listens on one
+// transport address, owns the peer's advertised input pipes, and
+// dispatches RPC requests to registered handlers. It corresponds to the
+// JXTAServe service endpoint of §3.4: "Triana services are run as
+// JXTAServe services and their input and output nodes are advertised as
+// JXTAServe input and output pipes."
+type Host struct {
+	peerID    string
+	transport Transport
+	listener  Listener
+
+	mu       sync.Mutex
+	inputs   map[string]*InputPipe // by pipe name
+	handlers map[string]Handler    // by rpc method
+	closed   bool
+	wg       sync.WaitGroup
+	// DefaultTTL is the advert lifetime attached to OpenInput adverts;
+	// zero means no expiry.
+	DefaultTTL time.Duration
+}
+
+// Handler serves one RPC method. It receives the request and returns the
+// reply payload; a non-nil error is reported to the caller as KindRPCError.
+type Handler func(req *Message) (*Message, error)
+
+// NewHost starts a host for peerID listening at addr on the transport.
+func NewHost(peerID string, tr Transport, addr string) (*Host, error) {
+	if peerID == "" {
+		return nil, fmt.Errorf("jxtaserve: empty peer ID")
+	}
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		peerID:    peerID,
+		transport: tr,
+		listener:  l,
+		inputs:    make(map[string]*InputPipe),
+		handlers:  make(map[string]Handler),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// PeerID reports the hosting peer's identity.
+func (h *Host) PeerID() string { return h.peerID }
+
+// Addr reports the dialable address of this host.
+func (h *Host) Addr() string { return h.listener.Addr() }
+
+// Close shuts the listener and every open input pipe.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	pipes := make([]*InputPipe, 0, len(h.inputs))
+	for _, p := range h.inputs {
+		pipes = append(pipes, p)
+	}
+	h.mu.Unlock()
+	err := h.listener.Close()
+	for _, p := range pipes {
+		p.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.listener.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn reads the first message to classify the connection as a pipe
+// binding or an RPC exchange.
+func (h *Host) serveConn(conn Conn) {
+	defer conn.Close()
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	switch first.Kind {
+	case KindPipeBind:
+		h.servePipe(conn, first.Header("pipe"))
+	case KindRPC:
+		h.serveRPC(conn, first)
+	default:
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "unexpected kind " + first.Kind}})
+	}
+}
+
+func (h *Host) servePipe(conn Conn, name string) {
+	h.mu.Lock()
+	pipe := h.inputs[name]
+	h.mu.Unlock()
+	if pipe == nil {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "no such pipe " + name}})
+		return
+	}
+	// Acknowledge the bind so the sender knows the pipe resolved.
+	if err := conn.Send(&Message{Kind: KindPipeBind, Headers: map[string]string{"pipe": name}}); err != nil {
+		return
+	}
+	// A bound producer counts toward the pipe's expected EOFs whether it
+	// signals end-of-stream or simply vanishes (a consumer-grid peer
+	// dropping off DSL must not wedge its consumers).
+	defer pipe.eof()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindPipeData:
+			d, err := types.Unmarshal(m.Payload)
+			if err != nil {
+				return
+			}
+			if !pipe.deliver(d) {
+				return // pipe closed locally
+			}
+		case KindPipeEOF:
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (h *Host) serveRPC(conn Conn, req *Message) {
+	h.mu.Lock()
+	handler := h.handlers[req.Header("method")]
+	h.mu.Unlock()
+	if handler == nil {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "no such method " + req.Header("method")}})
+		return
+	}
+	reply, err := handler(req)
+	if err != nil {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": err.Error()}})
+		return
+	}
+	if reply == nil {
+		reply = &Message{}
+	}
+	reply.Kind = KindRPCReply
+	conn.Send(reply)
+}
+
+// Handle registers an RPC handler for a method name, replacing any
+// previous registration.
+func (h *Host) Handle(method string, fn Handler) {
+	h.mu.Lock()
+	h.handlers[method] = fn
+	h.mu.Unlock()
+}
+
+// Request dials addr, performs one RPC round trip, and closes the
+// connection. The method name travels in the "method" header.
+func (h *Host) Request(addr, method string, payload []byte, headers map[string]string) (*Message, error) {
+	conn, err := h.transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := &Message{Kind: KindRPC, Payload: payload}
+	for k, v := range headers {
+		req.SetHeader(k, v)
+	}
+	req.SetHeader("method", method)
+	req.SetHeader("from", h.peerID)
+	if err := conn.Send(req); err != nil {
+		return nil, err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind == KindRPCError {
+		return nil, fmt.Errorf("jxtaserve: rpc %s at %s: %s", method, addr, reply.Header("error"))
+	}
+	if reply.Kind != KindRPCReply {
+		return nil, fmt.Errorf("jxtaserve: rpc %s: unexpected reply kind %s", method, reply.Kind)
+	}
+	return reply, nil
+}
+
+// --- input pipes ------------------------------------------------------------
+
+// InputPipe is the receiving end of a named virtual pipe. Data sent by
+// any bound remote OutputPipe arrives on C. Close unregisters the pipe
+// and closes C.
+type InputPipe struct {
+	// C delivers decoded data in arrival order. It is closed after Close
+	// once all in-flight deliveries have drained.
+	C <-chan types.Data
+
+	name string
+	host *Host
+	ch   chan types.Data
+
+	mu       sync.Mutex
+	done     bool
+	doneCh   chan struct{}
+	inflight int
+	chClosed bool
+	// expectEOFs > 0 auto-closes the pipe after that many senders have
+	// signalled end-of-stream (the controller sets it to the number of
+	// bound producers: replicas in a parallel farm, 1 in a pipeline).
+	expectEOFs int
+	eofsSeen   int
+}
+
+// ExpectEOFs arms auto-close after n end-of-stream signals. Call before
+// data flows; n <= 0 disables auto-close.
+func (p *InputPipe) ExpectEOFs(n int) {
+	p.mu.Lock()
+	p.expectEOFs = n
+	shouldClose := n > 0 && p.eofsSeen >= n && !p.done
+	p.mu.Unlock()
+	if shouldClose {
+		p.Close()
+	}
+}
+
+// eof records one sender's end-of-stream.
+func (p *InputPipe) eof() {
+	p.mu.Lock()
+	p.eofsSeen++
+	shouldClose := p.expectEOFs > 0 && p.eofsSeen >= p.expectEOFs && !p.done
+	p.mu.Unlock()
+	if shouldClose {
+		p.Close()
+	}
+}
+
+// OpenInput registers an input pipe under the given unique name and
+// returns it along with the advertisement to publish. buf is the channel
+// depth.
+func (h *Host) OpenInput(name string, buf int) (*InputPipe, *advert.Advertisement, error) {
+	if name == "" {
+		return nil, nil, fmt.Errorf("jxtaserve: empty pipe name")
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil, ErrClosed
+	}
+	if _, taken := h.inputs[name]; taken {
+		return nil, nil, fmt.Errorf("jxtaserve: pipe %q already open", name)
+	}
+	ch := make(chan types.Data, buf)
+	p := &InputPipe{C: ch, name: name, host: h, ch: ch, doneCh: make(chan struct{})}
+	h.inputs[name] = p
+	ad := &advert.Advertisement{
+		Kind:   advert.KindPipe,
+		ID:     fmt.Sprintf("pipe/%s/%s", h.peerID, name),
+		PeerID: h.peerID,
+		Name:   name,
+		Addr:   h.Addr(),
+	}
+	ad.SetAttr(advert.AttrDirection, "input")
+	if h.DefaultTTL > 0 {
+		ad.Expires = time.Now().Add(h.DefaultTTL)
+	}
+	return p, ad, nil
+}
+
+// deliver routes a datum into the pipe, reporting false once closed. The
+// blocking send happens outside the lock and races safely with Close via
+// the done channel and the in-flight count.
+func (p *InputPipe) deliver(d types.Data) bool {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return false
+	}
+	p.inflight++
+	p.mu.Unlock()
+
+	ok := false
+	select {
+	case p.ch <- d:
+		ok = true
+	case <-p.doneCh:
+	}
+
+	p.mu.Lock()
+	p.inflight--
+	p.maybeCloseChLocked()
+	p.mu.Unlock()
+	return ok
+}
+
+// maybeCloseChLocked closes the delivery channel once the pipe is done
+// and no delivery is mid-send. Callers hold p.mu.
+func (p *InputPipe) maybeCloseChLocked() {
+	if p.done && p.inflight == 0 && !p.chClosed {
+		p.chClosed = true
+		close(p.ch)
+	}
+}
+
+// Name reports the pipe's unique connection label.
+func (p *InputPipe) Name() string { return p.name }
+
+// Close unregisters the pipe; C is closed once in-flight deliveries
+// drain. Safe to call twice.
+func (p *InputPipe) Close() {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	close(p.doneCh)
+	p.maybeCloseChLocked()
+	p.mu.Unlock()
+	p.host.mu.Lock()
+	delete(p.host.inputs, p.name)
+	p.host.mu.Unlock()
+}
+
+// --- output pipes -----------------------------------------------------------
+
+// OutputPipe is the sending end of a named virtual pipe, bound to a
+// remote input pipe located through its advertisement.
+type OutputPipe struct {
+	conn Conn
+	mu   sync.Mutex
+}
+
+// BindOutput resolves an input-pipe advertisement and binds to it,
+// completing the bind handshake ("since the local service knows the
+// connection's unique name it locates the pipe with that name and binds
+// to it", §3.5).
+func (h *Host) BindOutput(ad *advert.Advertisement) (*OutputPipe, error) {
+	if ad.Kind != advert.KindPipe {
+		return nil, fmt.Errorf("jxtaserve: advert %s is not a pipe", ad.ID)
+	}
+	conn, err := h.transport.Dial(ad.Addr)
+	if err != nil {
+		return nil, err
+	}
+	bind := &Message{Kind: KindPipeBind}
+	bind.SetHeader("pipe", ad.Name)
+	bind.SetHeader("from", h.peerID)
+	if err := conn.Send(bind); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ack.Kind != KindPipeBind {
+		conn.Close()
+		if ack.Kind == KindRPCError {
+			return nil, fmt.Errorf("jxtaserve: bind %s: %s", ad.Name, ack.Header("error"))
+		}
+		return nil, fmt.Errorf("jxtaserve: bind %s: unexpected %s", ad.Name, ack.Kind)
+	}
+	return &OutputPipe{conn: conn}, nil
+}
+
+// Send encodes and ships one datum.
+func (p *OutputPipe) Send(d types.Data) error {
+	payload, err := types.Marshal(d)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Send(&Message{Kind: KindPipeData, Payload: payload})
+}
+
+// Close signals end-of-stream to the remote input pipe, then tears the
+// binding down. The remote pipe auto-closes once every expected sender
+// has signalled.
+func (p *OutputPipe) Close() error {
+	p.mu.Lock()
+	// Best-effort: a dead connection still gets torn down below.
+	p.conn.Send(&Message{Kind: KindPipeEOF})
+	p.mu.Unlock()
+	return p.conn.Close()
+}

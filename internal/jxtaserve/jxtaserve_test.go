@@ -1,0 +1,351 @@
+package jxtaserve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/types"
+)
+
+func TestMessageFramingRoundTrip(t *testing.T) {
+	m := &Message{Kind: KindRPC, Payload: []byte{1, 2, 3, 0, 255}}
+	m.SetHeader("method", "service.run")
+	m.SetHeader("from", "peer-1")
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Header("method") != "service.run" ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if buf.Len() != 0 {
+		t.Error("trailing bytes after read")
+	}
+}
+
+func TestMessageFramingErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{}); err == nil {
+		t.Error("kindless message written")
+	}
+	if err := WriteMessage(&buf, &Message{Kind: "x", Payload: make([]byte, maxPayloadLen+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized payload err = %v", err)
+	}
+	// Truncated stream.
+	WriteMessage(&buf, &Message{Kind: "x", Payload: []byte("data")})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame read")
+	}
+	// Oversized declared length.
+	var evil bytes.Buffer
+	evil.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // huge uvarint
+	if _, err := ReadMessage(&evil); err == nil {
+		t.Error("huge declared length accepted")
+	}
+	// Empty stream.
+	if _, err := ReadMessage(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream read")
+	}
+}
+
+func TestQuickFramingNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadMessage panicked on %x: %v", b, r)
+			}
+		}()
+		_, _ = ReadMessage(bytes.NewReader(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInProcDialAndExchange(t *testing.T) {
+	net := NewInProc()
+	l, err := net.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m, _ := c.Recv()
+		m.SetHeader("echo", "yes")
+		c.Send(m)
+	}()
+	c, err := net.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&Message{Kind: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.Header("echo") != "yes" {
+		t.Fatalf("recv = %+v, %v", m, err)
+	}
+	c.Close()
+	if err := c.Send(&Message{Kind: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v", err)
+	}
+	// Unknown address.
+	if _, err := net.Dial("nope"); err == nil {
+		t.Error("dial to unknown address succeeded")
+	}
+	// Duplicate listen.
+	if _, err := net.Listen("svc"); err == nil {
+		t.Error("duplicate listen succeeded")
+	}
+	// Auto-address allocation.
+	l2, err := net.Listen("")
+	if err != nil || l2.Addr() == "" {
+		t.Fatalf("auto listen: %v", err)
+	}
+	l2.Close()
+	// Dial after close fails.
+	l.Close()
+	if _, err := net.Dial("svc"); err == nil {
+		t.Error("dial after close succeeded")
+	}
+}
+
+func newHostPair(t *testing.T, tr Transport) (*Host, *Host) {
+	t.Helper()
+	a, err := NewHost("peer-a", tr, listenAddr(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHost("peer-b", tr, listenAddr(tr))
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func listenAddr(tr Transport) string {
+	if _, ok := tr.(TCP); ok {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+func testPipeEndToEnd(t *testing.T, tr Transport) {
+	recv, send := newHostPair(t, tr)
+	pipe, ad, err := recv.OpenInput("app/conn/0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := send.BindOutput(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewSampleSet(2000, []float64{1, 2, 3})
+	for i := 0; i < 5; i++ {
+		if err := out.Send(want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case d := <-pipe.C:
+			got, ok := d.(*types.SampleSet)
+			if !ok || got.Samples[2] != 3 || got.SamplingRate != 2000 {
+				t.Fatalf("datum %d = %#v", i, d)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for pipe data")
+		}
+	}
+	out.Close()
+	pipe.Close()
+	pipe.Close() // idempotent
+	// Channel eventually closes.
+	select {
+	case _, open := <-pipe.C:
+		if open {
+			t.Error("unexpected datum after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipe channel never closed")
+	}
+}
+
+func TestPipeEndToEndInProc(t *testing.T) { testPipeEndToEnd(t, NewInProc()) }
+func TestPipeEndToEndTCP(t *testing.T)    { testPipeEndToEnd(t, TCP{}) }
+
+func TestBindToUnknownPipeFails(t *testing.T) {
+	a, b := newHostPair(t, NewInProc())
+	ad := &advert.Advertisement{Kind: advert.KindPipe, ID: "x", PeerID: a.PeerID(),
+		Name: "missing", Addr: a.Addr()}
+	if _, err := b.BindOutput(ad); err == nil || !strings.Contains(err.Error(), "no such pipe") {
+		t.Fatalf("err = %v", err)
+	}
+	notPipe := &advert.Advertisement{Kind: advert.KindPeer, ID: "y", PeerID: "p"}
+	if _, err := b.BindOutput(notPipe); err == nil {
+		t.Error("bound to non-pipe advert")
+	}
+}
+
+func TestDuplicatePipeNameRejected(t *testing.T) {
+	a, _ := newHostPair(t, NewInProc())
+	if _, _, err := a.OpenInput("dup", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.OpenInput("dup", 1); err == nil {
+		t.Error("duplicate pipe name accepted")
+	}
+	if _, _, err := a.OpenInput("", 1); err == nil {
+		t.Error("empty pipe name accepted")
+	}
+}
+
+func TestRPCRoundTripAndErrors(t *testing.T) {
+	for _, tr := range []Transport{NewInProc(), TCP{}} {
+		a, b := newHostPair(t, tr)
+		a.Handle("sum", func(req *Message) (*Message, error) {
+			var total byte
+			for _, v := range req.Payload {
+				total += v
+			}
+			return &Message{Payload: []byte{total}}, nil
+		})
+		a.Handle("fail", func(req *Message) (*Message, error) {
+			return nil, fmt.Errorf("deliberate failure")
+		})
+		reply, err := b.Request(a.Addr(), "sum", []byte{1, 2, 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reply.Payload) != 1 || reply.Payload[0] != 6 {
+			t.Errorf("sum reply = %v", reply.Payload)
+		}
+		if _, err := b.Request(a.Addr(), "fail", nil, nil); err == nil ||
+			!strings.Contains(err.Error(), "deliberate failure") {
+			t.Errorf("fail err = %v", err)
+		}
+		if _, err := b.Request(a.Addr(), "missing", nil, nil); err == nil ||
+			!strings.Contains(err.Error(), "no such method") {
+			t.Errorf("missing err = %v", err)
+		}
+	}
+}
+
+func TestRPCHeadersCarryCaller(t *testing.T) {
+	a, b := newHostPair(t, NewInProc())
+	var gotFrom string
+	a.Handle("who", func(req *Message) (*Message, error) {
+		gotFrom = req.Header("from")
+		return &Message{}, nil
+	})
+	if _, err := b.Request(a.Addr(), "who", nil, map[string]string{"extra": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != "peer-b" {
+		t.Errorf("from = %q", gotFrom)
+	}
+}
+
+func TestConcurrentSendersOnOnePipe(t *testing.T) {
+	recv, send := newHostPair(t, TCP{})
+	pipe, ad, err := recv.OpenInput("shared", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, each = 4, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out, err := send.BindOutput(ad)
+			if err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			defer out.Close()
+			for i := 0; i < each; i++ {
+				if err := out.Send(&types.Const{Value: float64(id)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	got := 0
+	timeout := time.After(10 * time.Second)
+	for got < senders*each {
+		select {
+		case <-pipe.C:
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d", got, senders*each)
+		}
+	}
+	<-done
+}
+
+func TestHostCloseUnblocksEverything(t *testing.T) {
+	tr := NewInProc()
+	h, err := NewHost("p", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _, err := h.OpenInput("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for range pipe.C {
+		}
+		close(done)
+	}()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer not unblocked by Close")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, _, err := h.OpenInput("y", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("OpenInput after close = %v", err)
+	}
+}
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost("", NewInProc(), ""); err == nil {
+		t.Error("empty peer ID accepted")
+	}
+	tr := NewInProc()
+	tr.Listen("taken")
+	if _, err := NewHost("p", tr, "taken"); err == nil {
+		t.Error("occupied address accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package jxtaserve is the from-scratch stand-in for the JXTAServe API
+// the Triana project layered over JXTA (§3.4): named virtual pipes that
+// services advertise and bind by connection label, plus a small
+// request/response facility for control traffic. "It implements the basic
+// functionality that an application needs and hides the complexity of the
+// details of JXTA from developers."
+//
+// Wire format: every message is an XML envelope (kind + string headers)
+// followed by an opaque binary payload, both length-prefixed. XML keeps
+// the control plane inspectable (the paper encodes requests as XML
+// scripts); payloads carry the binary types codec so bulk data stays
+// compact.
+package jxtaserve
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Message kinds used across the Consumer Grid. Subsystems may define
+// more; the transport is agnostic.
+const (
+	KindPipeBind = "pipe.bind" // headers: pipe (name); opens a data stream
+	KindPipeData = "pipe.data" // payload: one encoded types.Data
+	KindPipeEOF  = "pipe.eof"  // sender finished; counts toward the pipe's expected EOFs
+	KindRPC      = "rpc"       // headers: method; payload: request body
+	KindRPCReply = "rpc.reply" // payload: response body
+	KindRPCError = "rpc.error" // headers: error
+)
+
+// Message is one framed unit on a connection.
+type Message struct {
+	Kind    string
+	Headers map[string]string
+	Payload []byte
+}
+
+// Header returns the named header or "".
+func (m *Message) Header(key string) string {
+	if m.Headers == nil {
+		return ""
+	}
+	return m.Headers[key]
+}
+
+// SetHeader assigns a header, allocating the map on first use.
+func (m *Message) SetHeader(key, val string) {
+	if m.Headers == nil {
+		m.Headers = make(map[string]string)
+	}
+	m.Headers[key] = val
+}
+
+// Limits protecting hosts from malformed or hostile frames.
+const (
+	maxEnvelopeLen = 1 << 20   // 1 MiB of XML headers
+	maxPayloadLen  = 256 << 20 // 256 MiB payload
+)
+
+// ErrFrameTooLarge is returned when a frame exceeds the wire limits.
+var ErrFrameTooLarge = errors.New("jxtaserve: frame exceeds size limit")
+
+type xmlEnvelope struct {
+	XMLName xml.Name    `xml:"message"`
+	Kind    string      `xml:"kind,attr"`
+	Headers []xmlHeader `xml:"header"`
+}
+
+type xmlHeader struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// WriteMessage frames m onto w.
+func WriteMessage(w io.Writer, m *Message) error {
+	if m.Kind == "" {
+		return errors.New("jxtaserve: message without kind")
+	}
+	env := xmlEnvelope{Kind: m.Kind}
+	keys := make([]string, 0, len(m.Headers))
+	for k := range m.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		env.Headers = append(env.Headers, xmlHeader{Name: k, Value: m.Headers[k]})
+	}
+	envBytes, err := xml.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if len(envBytes) > maxEnvelopeLen || len(m.Payload) > maxPayloadLen {
+		return ErrFrameTooLarge
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(envBytes)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(m.Payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(envBytes); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (*Message, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	envLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if envLen > maxEnvelopeLen || payloadLen > maxPayloadLen {
+		return nil, ErrFrameTooLarge
+	}
+	envBytes := make([]byte, envLen)
+	if _, err := io.ReadFull(r, envBytes); err != nil {
+		return nil, err
+	}
+	var env xmlEnvelope
+	if err := xml.Unmarshal(envBytes, &env); err != nil {
+		return nil, fmt.Errorf("jxtaserve: bad envelope: %w", err)
+	}
+	if env.Kind == "" {
+		return nil, errors.New("jxtaserve: envelope without kind")
+	}
+	m := &Message{Kind: env.Kind}
+	for _, h := range env.Headers {
+		m.SetHeader(h.Name, h.Value)
+	}
+	if payloadLen > 0 {
+		m.Payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// byteReader adapts an io.Reader lacking ReadByte. It reads one byte at a
+// time, which is acceptable because both real transports hand us buffered
+// readers.
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	_, err := io.ReadFull(b.r, b.buf[:])
+	return b.buf[0], err
+}

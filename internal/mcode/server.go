@@ -1,0 +1,137 @@
+package mcode
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/units"
+)
+
+// MethodFetch is the RPC method served by module owners.
+const MethodFetch = "mcode.fetch"
+
+// Server makes a peer a module owner: it answers fetch RPCs for any unit
+// registered in the process registry, always at the registry's current
+// version. Requesting a stale version is an error — the consistency
+// property the paper attributes to owner-sourced downloads.
+type Server struct {
+	served atomic.Int64
+	bytes  atomic.Int64
+}
+
+// Attach registers the fetch handler on a host and returns the server
+// for its counters.
+func Attach(host *jxtaserve.Host) *Server {
+	s := &Server{}
+	host.Handle(MethodFetch, func(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+		unit := req.Header("unit")
+		wantVersion := req.Header("version")
+		meta, ok := units.Lookup(unit)
+		if !ok {
+			return nil, fmt.Errorf("mcode: unit %q not hosted here", unit)
+		}
+		if wantVersion != "" && wantVersion != meta.Version {
+			return nil, fmt.Errorf("mcode: version skew for %s: owner has %s, requested %s",
+				unit, meta.Version, wantVersion)
+		}
+		b, err := BundleFor(unit)
+		if err != nil {
+			return nil, err
+		}
+		payload := b.Marshal()
+		s.served.Add(1)
+		s.bytes.Add(int64(len(payload)))
+		return &jxtaserve.Message{Payload: payload}, nil
+	})
+	return s
+}
+
+// Served reports (bundles served, bytes served).
+func (s *Server) Served() (int64, int64) { return s.served.Load(), s.bytes.Load() }
+
+// Fetcher resolves module bundles for a consuming peer: local store
+// first, owner fetch on miss.
+type Fetcher struct {
+	host  *jxtaserve.Host
+	store *Store
+
+	fetches     atomic.Int64
+	fetchedByte atomic.Int64
+}
+
+// NewFetcher binds a fetcher to a host and store.
+func NewFetcher(host *jxtaserve.Host, store *Store) *Fetcher {
+	return &Fetcher{host: host, store: store}
+}
+
+// Store exposes the backing store.
+func (f *Fetcher) Store() *Store { return f.store }
+
+// Fetches reports (remote fetches performed, bytes transferred).
+func (f *Fetcher) Fetches() (int64, int64) { return f.fetches.Load(), f.fetchedByte.Load() }
+
+// Ensure guarantees the unit@version is present in the local store,
+// fetching from ownerAddr on a miss. version "" means "whatever the
+// owner currently has". It returns the bundle in the store.
+func (f *Fetcher) Ensure(unit, version, ownerAddr string) (*Bundle, error) {
+	if version != "" {
+		if b, ok := f.store.Get(unit, version); ok {
+			return b, nil
+		}
+	}
+	reply, err := f.host.Request(ownerAddr, MethodFetch, nil, map[string]string{
+		"unit": unit, "version": version,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b, err := UnmarshalBundle(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if b.Unit != unit {
+		return nil, fmt.Errorf("mcode: owner returned %s for requested %s", b.Unit, unit)
+	}
+	if version != "" && b.Version != version {
+		return nil, fmt.Errorf("mcode: owner returned version %s, wanted %s", b.Version, version)
+	}
+	f.fetches.Add(1)
+	f.fetchedByte.Add(b.Size())
+	if err := f.store.Put(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EnsureGraphUnits resolves every distinct unit used by the named task
+// list, returning total bytes transferred. It is the "peer can request
+// executable code for modules that are present within the connectivity
+// graph" step before executing a received subgraph.
+func (f *Fetcher) EnsureGraphUnits(unitVersions map[string]string, ownerAddr string) (int64, error) {
+	var total int64
+	for unit, version := range unitVersions {
+		before, _ := f.Fetches()
+		b, err := f.Ensure(unit, version, ownerAddr)
+		if err != nil {
+			return total, fmt.Errorf("mcode: ensuring %s: %w", unit, err)
+		}
+		after, _ := f.Fetches()
+		if after > before {
+			total += b.Size()
+		}
+	}
+	return total, nil
+}
+
+// Executable reports whether the peer may execute the unit: the bundle
+// must be cached at the registry version (the process holds the factory;
+// the bundle is the licence to use it — our stand-in for "the code is
+// present").
+func (f *Fetcher) Executable(unit string) bool {
+	meta, ok := units.Lookup(unit)
+	if !ok {
+		return false
+	}
+	return f.store.Has(unit, meta.Version)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	c.Add(-8000)
+	if c.Value() != 0 {
+		t.Errorf("after Add = %d", c.Value())
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	var tm Timer
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if tm.Count() != 100 {
+		t.Errorf("count = %d", tm.Count())
+	}
+	if tm.Mean() != 50500*time.Microsecond {
+		t.Errorf("mean = %v", tm.Mean())
+	}
+	if got := tm.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := tm.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := tm.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if tm.Total() != 5050*time.Millisecond {
+		t.Errorf("total = %v", tm.Total())
+	}
+	var empty Timer
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 || empty.Count() != 0 {
+		t.Error("empty timer stats nonzero")
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	var tm Timer
+	tm.Time(func() { time.Sleep(time.Millisecond) })
+	if tm.Count() != 1 || tm.Total() < time.Millisecond {
+		t.Errorf("Time recorded %v", tm.Total())
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tab := NewTable("T1: sizing", "templates", "availability", "peers")
+	tab.AddRow(5000, 1.0, 20)
+	tab.AddRow(10000, 0.5, 80)
+	out := tab.String()
+	if !strings.Contains(out, "## T1: sizing") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("lines = %d:\n%s", len(lines), out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] == "mutated" {
+		t.Error("Rows returned aliased data")
+	}
+	// Columns align: header and row cells start at the same offsets.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "availability") != strings.Index(row, "1") &&
+		strings.Index(hdr, "availability") > len(row) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableFormatsTypes(t *testing.T) {
+	tab := NewTable("", "f64", "f32", "dur", "str")
+	tab.AddRow(3.14159265, float32(2.5), 1500*time.Microsecond, "x")
+	row := tab.Rows()[0]
+	if row[0] != "3.142" {
+		t.Errorf("f64 = %q", row[0])
+	}
+	if row[2] != "1.5ms" {
+		t.Errorf("dur = %q", row[2])
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.AddRow(`has,comma`, `has"quote`)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `"has,comma"`) || !strings.Contains(got, `"has""quote"`) {
+		t.Errorf("csv = %q", got)
+	}
+	if strings.Contains(got, "## ") {
+		t.Error("CSV contains title")
+	}
+}

@@ -1,0 +1,225 @@
+// Package policy implements Triana's group distribution policies (§3.3):
+// "There are two distribution policies currently implemented in Triana,
+// parallel and peer to peer. Parallel is a farming out mechanism and
+// generally involves no communication between hosts. Peer to Peer means
+// distributing the group vertically i.e. each unit in the group is
+// distributed onto a separate resource and data is passed between them."
+//
+// A policy is the planning half of a control unit: given a group task and
+// the candidate peers, it produces a Plan that the controller enacts by
+// rewiring the graph and despatching subgraphs. New policies register by
+// name, so "it is easy for new users to create their own distribution
+// policies without needing to know about the underlying middleware".
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"consumergrid/internal/taskgraph"
+)
+
+// Built-in policy names, used as the taskgraph ControlUnit attribute.
+const (
+	NameParallel   = "policy.Parallel"
+	NamePeerToPeer = "policy.PeerToPeer"
+	NameLocal      = "policy.Local"
+)
+
+// PlanKind distinguishes how the controller enacts a plan.
+type PlanKind int
+
+// Plan kinds.
+const (
+	// KindLocal executes the group in-process (no distribution).
+	KindLocal PlanKind = iota
+	// KindParallel replicates the whole group body onto each listed
+	// peer and farms data items across the replicas.
+	KindParallel
+	// KindPipeline places each group member on its own peer, chained by
+	// pipes.
+	KindPipeline
+)
+
+// String names the kind.
+func (k PlanKind) String() string {
+	switch k {
+	case KindLocal:
+		return "local"
+	case KindParallel:
+		return "parallel"
+	case KindPipeline:
+		return "pipeline"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a policy's placement decision for one group.
+type Plan struct {
+	Kind PlanKind
+	// Replicas lists the peers hosting a full copy of the group body
+	// (KindParallel).
+	Replicas []string
+	// Placement maps group member task names to peers (KindPipeline).
+	Placement map[string]string
+	// Stages lists the pipeline stages in data-flow order (KindPipeline):
+	// each stage is one group member task name.
+	Stages []string
+}
+
+// Policy plans the distribution of a group across candidate peers.
+type Policy interface {
+	// Name is the registry key, stored as the group's control unit.
+	Name() string
+	// Plan decides placements. group must be a group task; peers lists
+	// candidate peer IDs in preference order.
+	Plan(group *taskgraph.Task, peers []string) (*Plan, error)
+}
+
+// --- registry ---------------------------------------------------------------
+
+var (
+	regMu sync.RWMutex
+	reg   = map[string]func() Policy{}
+)
+
+// Register adds a policy constructor under its name; duplicate names
+// panic (policy names are global constants, as unit names are).
+func Register(name string, factory func() Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic("policy: duplicate registration of " + name)
+	}
+	reg[name] = factory
+}
+
+// New instantiates the named policy.
+func New(name string) (Policy, error) {
+	regMu.RLock()
+	f, ok := reg[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+	return f(), nil
+}
+
+// Names lists registered policies, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(NameParallel, func() Policy { return &Parallel{} })
+	Register(NamePeerToPeer, func() Policy { return &PeerToPeer{} })
+	Register(NameLocal, func() Policy { return &Local{} })
+}
+
+// --- built-ins --------------------------------------------------------------
+
+// Local executes the group in-process; it is the implicit policy of
+// ungrouped graphs and the fallback when no peers are discovered.
+type Local struct{}
+
+// Name implements Policy.
+func (*Local) Name() string { return NameLocal }
+
+// Plan implements Policy.
+func (*Local) Plan(group *taskgraph.Task, peers []string) (*Plan, error) {
+	if !group.IsGroup() {
+		return nil, fmt.Errorf("policy: %s is not a group", group.Name)
+	}
+	return &Plan{Kind: KindLocal}, nil
+}
+
+// Parallel is the farm-out policy. MaxReplicas bounds the farm width
+// (0 = use every candidate peer).
+type Parallel struct {
+	MaxReplicas int
+}
+
+// Name implements Policy.
+func (*Parallel) Name() string { return NameParallel }
+
+// Plan implements Policy.
+func (p *Parallel) Plan(group *taskgraph.Task, peers []string) (*Plan, error) {
+	if !group.IsGroup() {
+		return nil, fmt.Errorf("policy: %s is not a group", group.Name)
+	}
+	if len(peers) == 0 {
+		return &Plan{Kind: KindLocal}, nil
+	}
+	replicas := append([]string(nil), peers...)
+	if p.MaxReplicas > 0 && len(replicas) > p.MaxReplicas {
+		replicas = replicas[:p.MaxReplicas]
+	}
+	return &Plan{Kind: KindParallel, Replicas: replicas}, nil
+}
+
+// PeerToPeer is the vertical pipeline policy: group member i executes on
+// peer i (mod available peers), and data flows peer to peer.
+type PeerToPeer struct{}
+
+// Name implements Policy.
+func (*PeerToPeer) Name() string { return NamePeerToPeer }
+
+// Plan implements Policy.
+func (*PeerToPeer) Plan(group *taskgraph.Task, peers []string) (*Plan, error) {
+	if !group.IsGroup() {
+		return nil, fmt.Errorf("policy: %s is not a group", group.Name)
+	}
+	if len(peers) == 0 {
+		return &Plan{Kind: KindLocal}, nil
+	}
+	layers, err := group.Group.TopoLayers()
+	if err != nil {
+		return nil, fmt.Errorf("policy: group %s: %w", group.Name, err)
+	}
+	var stages []string
+	for _, layer := range layers {
+		stages = append(stages, layer...)
+	}
+	placement := make(map[string]string, len(stages))
+	for i, task := range stages {
+		placement[task] = peers[i%len(peers)]
+	}
+	return &Plan{Kind: KindPipeline, Placement: placement, Stages: stages}, nil
+}
+
+// Annotate writes a plan's placements into the graph so the decision is
+// visible in the serialized XML (the paper's "annotated with the
+// particular resources the particular groups will run on").
+func Annotate(g *taskgraph.Graph, groupName string, plan *Plan) error {
+	gt := g.Find(groupName)
+	if gt == nil || !gt.IsGroup() {
+		return fmt.Errorf("policy: %q is not a group task", groupName)
+	}
+	switch plan.Kind {
+	case KindLocal:
+		gt.Placement = ""
+	case KindParallel:
+		if len(plan.Replicas) > 0 {
+			gt.Placement = plan.Replicas[0]
+			gt.SetParam("replicas", fmt.Sprintf("%d", len(plan.Replicas)))
+		}
+	case KindPipeline:
+		for task, peer := range plan.Placement {
+			inner := gt.Group.Find(task)
+			if inner == nil {
+				return fmt.Errorf("policy: placement names unknown member %q", task)
+			}
+			inner.Placement = peer
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"consumergrid/internal/taskgraph"
+)
+
+// pipelineGroup builds a graph with a 3-member pipeline group A->B->C
+// fed by Src and drained by Sink.
+func pipelineGroup(t *testing.T) (*taskgraph.Graph, *taskgraph.Task) {
+	t.Helper()
+	g := taskgraph.New("app")
+	g.AddUnit("Src", "u.src", 0, 1)
+	g.AddUnit("A", "u.a", 1, 1)
+	g.AddUnit("B", "u.b", 1, 1)
+	g.AddUnit("C", "u.c", 1, 1)
+	g.AddUnit("Sink", "u.sink", 1, 0)
+	g.ConnectNamed("Src", 0, "A", 0)
+	g.ConnectNamed("A", 0, "B", 0)
+	g.ConnectNamed("B", 0, "C", 0)
+	g.ConnectNamed("C", 0, "Sink", 0)
+	gt, err := g.GroupTasks("G", []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gt
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := map[string]bool{NameParallel: true, NamePeerToPeer: true, NameLocal: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing policies: %v", want)
+	}
+	for _, n := range []string{NameParallel, NamePeerToPeer, NameLocal} {
+		p, err := New(n)
+		if err != nil || p.Name() != n {
+			t.Errorf("New(%s) = %v, %v", n, p, err)
+		}
+	}
+	if _, err := New("policy.Bogus"); err == nil {
+		t.Error("unknown policy instantiated")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Register(NameLocal, func() Policy { return &Local{} })
+}
+
+func TestParallelPlan(t *testing.T) {
+	_, gt := pipelineGroup(t)
+	p := &Parallel{}
+	plan, err := p.Plan(gt, []string{"p1", "p2", "p3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != KindParallel || !reflect.DeepEqual(plan.Replicas, []string{"p1", "p2", "p3"}) {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Bounded replicas.
+	bounded := &Parallel{MaxReplicas: 2}
+	plan, _ = bounded.Plan(gt, []string{"p1", "p2", "p3"})
+	if len(plan.Replicas) != 2 {
+		t.Errorf("replicas = %v", plan.Replicas)
+	}
+	// No peers -> local fallback.
+	plan, _ = p.Plan(gt, nil)
+	if plan.Kind != KindLocal {
+		t.Errorf("empty-peer plan = %v", plan.Kind)
+	}
+	// Non-group rejected.
+	if _, err := p.Plan(&taskgraph.Task{Name: "X", Unit: "u"}, []string{"p"}); err == nil {
+		t.Error("non-group planned")
+	}
+}
+
+func TestPeerToPeerPlanStagesInFlowOrder(t *testing.T) {
+	_, gt := pipelineGroup(t)
+	p := &PeerToPeer{}
+	plan, err := p.Plan(gt, []string{"p1", "p2", "p3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != KindPipeline {
+		t.Fatalf("kind = %v", plan.Kind)
+	}
+	if !reflect.DeepEqual(plan.Stages, []string{"A", "B", "C"}) {
+		t.Fatalf("stages = %v", plan.Stages)
+	}
+	want := map[string]string{"A": "p1", "B": "p2", "C": "p3"}
+	if !reflect.DeepEqual(plan.Placement, want) {
+		t.Fatalf("placement = %v", plan.Placement)
+	}
+}
+
+func TestPeerToPeerWrapsWhenFewerPeers(t *testing.T) {
+	_, gt := pipelineGroup(t)
+	plan, err := (&PeerToPeer{}).Plan(gt, []string{"p1", "p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Placement["A"] != "p1" || plan.Placement["B"] != "p2" || plan.Placement["C"] != "p1" {
+		t.Fatalf("placement = %v", plan.Placement)
+	}
+	// Zero peers falls back to local.
+	plan, _ = (&PeerToPeer{}).Plan(gt, nil)
+	if plan.Kind != KindLocal {
+		t.Error("no-peer pipeline should be local")
+	}
+}
+
+func TestPeerToPeerRejectsCyclicGroup(t *testing.T) {
+	g := taskgraph.New("app")
+	g.AddUnit("A", "u", 1, 1)
+	g.AddUnit("B", "u", 1, 1)
+	g.ConnectNamed("A", 0, "B", 0)
+	g.ConnectNamed("B", 0, "A", 0)
+	gt, err := g.GroupTasks("G", []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&PeerToPeer{}).Plan(gt, []string{"p"}); err == nil {
+		t.Error("cyclic group planned")
+	}
+}
+
+func TestLocalPlan(t *testing.T) {
+	_, gt := pipelineGroup(t)
+	plan, err := (&Local{}).Plan(gt, []string{"ignored"})
+	if err != nil || plan.Kind != KindLocal {
+		t.Fatalf("plan = %+v, %v", plan, err)
+	}
+	if _, err := (&Local{}).Plan(&taskgraph.Task{Name: "X", Unit: "u"}, nil); err == nil {
+		t.Error("non-group planned")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	g, gt := pipelineGroup(t)
+	plan, _ := (&PeerToPeer{}).Plan(gt, []string{"p1", "p2", "p3"})
+	if err := Annotate(g, "G", plan); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Group.Find("B").Placement != "p2" {
+		t.Errorf("member placement = %q", gt.Group.Find("B").Placement)
+	}
+	// Parallel annotation records replica count.
+	plan2, _ := (&Parallel{}).Plan(gt, []string{"p1", "p2"})
+	if err := Annotate(g, "G", plan2); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Placement != "p1" || gt.Param("replicas", "") != "2" {
+		t.Errorf("group annotation = %q / %q", gt.Placement, gt.Param("replicas", ""))
+	}
+	// Survives XML round trip.
+	b, err := g.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := taskgraph.ParseXML(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Find("G").Group.Find("B").Placement != "p2" {
+		t.Error("placement lost in XML")
+	}
+	// Errors.
+	if err := Annotate(g, "Src", plan); err == nil {
+		t.Error("annotated non-group")
+	}
+	bad := &Plan{Kind: KindPipeline, Placement: map[string]string{"Ghost": "p"}}
+	if err := Annotate(g, "G", bad); err == nil {
+		t.Error("unknown member annotated")
+	}
+	if err := Annotate(g, "G", &Plan{Kind: KindLocal}); err != nil {
+		t.Error(err)
+	}
+	if gt.Placement != "" {
+		t.Error("local plan should clear placement")
+	}
+}
+
+func TestPlanKindString(t *testing.T) {
+	if KindLocal.String() != "local" || KindParallel.String() != "parallel" ||
+		KindPipeline.String() != "pipeline" || PlanKind(9).String() != "unknown" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,216 @@
+package sandbox
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDenyByDefault(t *testing.T) {
+	s := New(Deny())
+	for _, p := range []Permission{FSRead, FSWrite, NetDial, NetListen, Exec} {
+		err := s.Check(p, "x")
+		if !errors.Is(err, ErrDenied) {
+			t.Errorf("Check(%s) = %v, want ErrDenied", p, err)
+		}
+	}
+	if s.Denials() != 5 {
+		t.Errorf("Denials = %d, want 5", s.Denials())
+	}
+}
+
+func TestGrantedPermissionsPass(t *testing.T) {
+	s := New(Policy{Allow: []Permission{NetDial}})
+	if err := s.Check(NetDial, "host:1"); err != nil {
+		t.Errorf("granted permission denied: %v", err)
+	}
+	if err := s.Check(NetListen, ":2"); !errors.Is(err, ErrDenied) {
+		t.Errorf("ungranted permission allowed: %v", err)
+	}
+	audit := s.Audit()
+	if len(audit) != 2 || !audit[0].Allowed || audit[1].Allowed {
+		t.Errorf("audit = %+v", audit)
+	}
+}
+
+func TestMemoryQuota(t *testing.T) {
+	s := New(AllowCompute(100))
+	if err := s.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Alloc(50); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-alloc = %v, want ErrQuota", err)
+	}
+	if err := s.Alloc(40); err != nil {
+		t.Fatalf("alloc to limit: %v", err)
+	}
+	cur, peak := s.MemUsed()
+	if cur != 100 || peak != 100 {
+		t.Errorf("MemUsed = %d/%d", cur, peak)
+	}
+	s.Release(70)
+	if err := s.Alloc(50); err != nil {
+		t.Errorf("alloc after release: %v", err)
+	}
+	cur, peak = s.MemUsed()
+	if cur != 80 || peak != 100 {
+		t.Errorf("after release MemUsed = %d/%d", cur, peak)
+	}
+	// Over-release clamps, never mints quota.
+	s.Release(10000)
+	cur, _ = s.MemUsed()
+	if cur != 0 {
+		t.Errorf("over-release left %d", cur)
+	}
+	if err := s.Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+	s.Release(-5) // no-op, no panic
+}
+
+func TestUnlimitedMemory(t *testing.T) {
+	s := New(Deny())
+	if err := s.Alloc(1 << 40); err != nil {
+		t.Errorf("unlimited alloc failed: %v", err)
+	}
+}
+
+func TestCPUQuota(t *testing.T) {
+	s := New(Policy{MaxCPU: time.Second})
+	if err := s.ChargeCPU(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ChargeCPU(600 * time.Millisecond); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-charge = %v", err)
+	}
+	if s.CPUUsed() != 1200*time.Millisecond {
+		t.Errorf("CPUUsed = %v", s.CPUUsed())
+	}
+	if err := s.ChargeCPU(-time.Second); err == nil {
+		t.Error("negative charge should fail")
+	}
+}
+
+func TestFSConfinement(t *testing.T) {
+	root := t.TempDir()
+	outside := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "in.txt"), []byte("inside"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(outside, "out.txt"), []byte("secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Policy{Allow: []Permission{FSRead, FSWrite}, FSRoot: root})
+
+	// Relative path inside root: allowed.
+	rc, err := s.OpenRead("in.txt")
+	if err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	b, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(b) != "inside" {
+		t.Errorf("read %q", b)
+	}
+	// Absolute path inside root: allowed.
+	if rc, err := s.OpenRead(filepath.Join(root, "in.txt")); err != nil {
+		t.Errorf("absolute inside: %v", err)
+	} else {
+		rc.Close()
+	}
+	// Traversal out: denied.
+	if _, err := s.OpenRead("../" + filepath.Base(outside) + "/out.txt"); !errors.Is(err, ErrDenied) {
+		t.Errorf("traversal = %v, want ErrDenied", err)
+	}
+	// Absolute outside: denied.
+	if _, err := s.OpenRead(filepath.Join(outside, "out.txt")); !errors.Is(err, ErrDenied) {
+		t.Errorf("absolute outside = %v", err)
+	}
+	// Write creates directories under root.
+	wc, err := s.Create("sub/dir/new.txt")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := io.WriteString(wc, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	wc.Close()
+	if b, err := os.ReadFile(filepath.Join(root, "sub/dir/new.txt")); err != nil || string(b) != "hello" {
+		t.Errorf("written file: %q %v", b, err)
+	}
+	// Write traversal denied.
+	if _, err := s.Create("../evil.txt"); !errors.Is(err, ErrDenied) {
+		t.Errorf("write traversal = %v", err)
+	}
+}
+
+func TestFSWithoutRootDenied(t *testing.T) {
+	s := New(Policy{Allow: []Permission{FSRead}})
+	if _, err := s.OpenRead("anything"); !errors.Is(err, ErrDenied) {
+		t.Errorf("no-root read = %v", err)
+	}
+}
+
+func TestFSWithoutPermissionDenied(t *testing.T) {
+	s := New(Policy{FSRoot: t.TempDir()})
+	if _, err := s.OpenRead("x"); !errors.Is(err, ErrDenied) {
+		t.Error("read without fs.read allowed")
+	}
+	if _, err := s.Create("x"); !errors.Is(err, ErrDenied) {
+		t.Error("write without fs.write allowed")
+	}
+}
+
+func TestAuditRingBounded(t *testing.T) {
+	s := New(Deny())
+	for i := 0; i < maxAuditEntries+100; i++ {
+		s.Check(Exec, "spam")
+	}
+	a := s.Audit()
+	if len(a) != maxAuditEntries {
+		t.Fatalf("audit grew to %d", len(a))
+	}
+	if s.Denials() != maxAuditEntries+100 {
+		t.Errorf("denial count lost: %d", s.Denials())
+	}
+}
+
+func TestConcurrentAccountingConsistent(t *testing.T) {
+	s := New(AllowCompute(1 << 40))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := s.Alloc(10); err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				s.Release(10)
+				s.ChargeCPU(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	cur, _ := s.MemUsed()
+	if cur != 0 {
+		t.Errorf("leaked %d bytes", cur)
+	}
+	if s.CPUUsed() != 8*1000*time.Microsecond {
+		t.Errorf("CPUUsed = %v", s.CPUUsed())
+	}
+}
+
+func TestPolicyCopy(t *testing.T) {
+	p := Policy{Allow: []Permission{Exec}, MaxMemory: 5}
+	s := New(p)
+	got := s.Policy()
+	if got.MaxMemory != 5 || len(got.Allow) != 1 {
+		t.Errorf("Policy() = %+v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"consumergrid/internal/jxtaserve"
+)
+
+// MethodBilling returns the peer's resource-usage ledger.
+const MethodBilling = "triana.billing"
+
+// The paper's Globus-shell sketch keeps "billing information for
+// resources used" (§2); a Consumer Grid peer needs the same so donors can
+// see — and in an exchange economy, charge for — what strangers consumed.
+// The ledger attributes every completed job to the requesting peer.
+
+// BillingEntry is one requester's accumulated usage on this peer.
+type BillingEntry struct {
+	// Requester is the peer ID that despatched the work.
+	Requester string
+	// Jobs completed (successfully or not).
+	Jobs int
+	// CPU is the summed wall time of the jobs' engine runs.
+	CPU time.Duration
+	// Processed is the summed unit Process invocations.
+	Processed int
+}
+
+// ledger is the peer's billing store.
+type ledger struct {
+	mu      sync.Mutex
+	entries map[string]*BillingEntry
+}
+
+func newLedger() *ledger {
+	return &ledger{entries: make(map[string]*BillingEntry)}
+}
+
+func (l *ledger) record(requester string, cpu time.Duration, processed int) {
+	if requester == "" {
+		requester = "(anonymous)"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[requester]
+	if e == nil {
+		e = &BillingEntry{Requester: requester}
+		l.entries[requester] = e
+	}
+	e.Jobs++
+	e.CPU += cpu
+	e.Processed += processed
+}
+
+func (l *ledger) snapshot() []BillingEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]BillingEntry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Requester < out[j].Requester })
+	return out
+}
+
+// Billing returns the peer's ledger, one entry per requester, sorted.
+func (s *Service) Billing() []BillingEntry { return s.billing.snapshot() }
+
+// handleBilling serves the ledger over RPC: headers bill.<n>.* per entry.
+func (s *Service) handleBilling(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+	entries := s.billing.snapshot()
+	reply := &jxtaserve.Message{}
+	reply.SetHeader("count", strconv.Itoa(len(entries)))
+	for i, e := range entries {
+		p := fmt.Sprintf("bill.%d.", i)
+		reply.SetHeader(p+"requester", e.Requester)
+		reply.SetHeader(p+"jobs", strconv.Itoa(e.Jobs))
+		reply.SetHeader(p+"cpuMicros", strconv.FormatInt(e.CPU.Microseconds(), 10))
+		reply.SetHeader(p+"processed", strconv.Itoa(e.Processed))
+	}
+	return reply, nil
+}
+
+// FetchBilling retrieves another peer's ledger (e.g. the controller
+// auditing its own usage across the grid).
+func (s *Service) FetchBilling(addr string) ([]BillingEntry, error) {
+	reply, err := s.host.Request(addr, MethodBilling, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := strconv.Atoi(reply.Header("count"))
+	out := make([]BillingEntry, 0, n)
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("bill.%d.", i)
+		jobs, _ := strconv.Atoi(reply.Header(p + "jobs"))
+		micros, _ := strconv.ParseInt(reply.Header(p+"cpuMicros"), 10, 64)
+		processed, _ := strconv.Atoi(reply.Header(p + "processed"))
+		out = append(out, BillingEntry{
+			Requester: reply.Header(p + "requester"),
+			Jobs:      jobs,
+			CPU:       time.Duration(micros) * time.Microsecond,
+			Processed: processed,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+package service
+
+import (
+	"consumergrid/internal/advert"
+)
+
+// newCache and advertQueryMinCPU keep the test bodies terse.
+func newCache() *advert.Cache { return advert.NewCache() }
+
+func advertQueryMinCPU(min float64) advert.Query {
+	return advert.Query{
+		Kind: advert.KindService, Name: ServiceType,
+		MinAttrs: map[string]float64{advert.AttrCPUMHz: min},
+	}
+}

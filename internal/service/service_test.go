@@ -1,0 +1,449 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/gateway"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/signal"
+	"consumergrid/internal/units/unitio"
+
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/mathx"
+)
+
+func newService(t *testing.T, tr jxtaserve.Transport, id string, opts Options) *Service {
+	t.Helper()
+	opts.PeerID = id
+	opts.Transport = tr
+	if _, ok := tr.(jxtaserve.TCP); ok {
+		opts.Addr = "127.0.0.1:0"
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// figure1 builds Wave -> [Gaussian -> PowerSpec] -> AccumStat -> Grapher
+// with the bracketed group carrying the given control unit.
+func figure1(t *testing.T, control string) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.New("fig1")
+	add := func(name, unit string, params map[string]string) {
+		task, err := units.NewTask(name, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range params {
+			task.SetParam(k, v)
+		}
+		g.MustAdd(task)
+	}
+	add("Wave", signal.NameWave, map[string]string{
+		"frequency": "1000", "samplingRate": "8000", "samples": "512"})
+	add("Gaussian", signal.NameGaussianNoise, map[string]string{"sigma": "4"})
+	add("PowerSpec", signal.NamePowerSpectrum, nil)
+	add("AccumStat", signal.NameAccumStat, nil)
+	add("Grapher", unitio.NameGrapher, nil)
+	g.ConnectNamed("Wave", 0, "Gaussian", 0)
+	g.ConnectNamed("Gaussian", 0, "PowerSpec", 0)
+	g.ConnectNamed("PowerSpec", 0, "AccumStat", 0)
+	g.ConnectNamed("AccumStat", 0, "Grapher", 0)
+	gt, err := g.GroupTasks("GroupTask", []string{"Gaussian", "PowerSpec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt.ControlUnit = control
+	return g
+}
+
+func checkRecoveredSignal(t *testing.T, res *DistResult, iterations int) {
+	t.Helper()
+	grapher := res.Local.Unit("Grapher").(*unitio.Grapher)
+	if grapher.Seen() != iterations {
+		t.Errorf("grapher saw %d spectra, want %d", grapher.Seen(), iterations)
+	}
+	spec, ok := grapher.Last().(*types.Spectrum)
+	if !ok {
+		t.Fatalf("grapher holds %T", grapher.Last())
+	}
+	if got := spec.PeakFrequency(); math.Abs(got-1000) > 2*spec.Resolution {
+		t.Errorf("peak at %g Hz, want 1000", got)
+	}
+}
+
+func TestRunLocalFigure1(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	s := newService(t, tr, "solo", Options{})
+	g := figure1(t, policy.NameLocal)
+	plan := &policy.Plan{Kind: policy.KindLocal}
+	res, err := s.RunDistributed(context.Background(), g, "GroupTask", plan, nil,
+		DistOptions{Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, 10)
+	if len(res.Remote) != 0 {
+		t.Error("local plan produced remote work")
+	}
+}
+
+func TestRunDistributedParallel(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	w1 := newService(t, tr, "worker-1", Options{})
+	w2 := newService(t, tr, "worker-2", Options{})
+
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"worker-1", "worker-2"}}
+	peers := map[string]PeerRef{
+		"worker-1": {ID: "worker-1", Addr: w1.Addr()},
+		"worker-2": {ID: "worker-2", Addr: w2.Addr()},
+	}
+	const iters = 12
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: iters, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, iters)
+	// Work split across both replicas (round robin: 6 each).
+	total := 0
+	for peer, counts := range res.Remote {
+		n := counts["Gaussian"]
+		if n == 0 {
+			t.Errorf("replica %s did no work", peer)
+		}
+		if counts["PowerSpec"] != n {
+			t.Errorf("replica %s processed %d gaussians but %d spectra",
+				peer, n, counts["PowerSpec"])
+		}
+		total += n
+	}
+	if total != iters {
+		t.Errorf("replicas processed %d total, want %d", total, iters)
+	}
+	// Local side did not execute the group members.
+	if _, ok := res.Local.Processed["Gaussian"]; ok {
+		t.Error("group member ran locally despite distribution")
+	}
+}
+
+func TestRunDistributedPipeline(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	w1 := newService(t, tr, "worker-1", Options{})
+	w2 := newService(t, tr, "worker-2", Options{})
+
+	g := figure1(t, policy.NamePeerToPeer)
+	plan := &policy.Plan{
+		Kind:      policy.KindPipeline,
+		Stages:    []string{"Gaussian", "PowerSpec"},
+		Placement: map[string]string{"Gaussian": "worker-1", "PowerSpec": "worker-2"},
+	}
+	peers := map[string]PeerRef{
+		"worker-1": {ID: "worker-1", Addr: w1.Addr()},
+		"worker-2": {ID: "worker-2", Addr: w2.Addr()},
+	}
+	const iters = 10
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: iters, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, iters)
+	// Each stage ran every datum, on its own peer.
+	if res.Remote["worker-1"]["Gaussian"] != iters {
+		t.Errorf("worker-1 Gaussian = %d", res.Remote["worker-1"]["Gaussian"])
+	}
+	if res.Remote["worker-2"]["PowerSpec"] != iters {
+		t.Errorf("worker-2 PowerSpec = %d", res.Remote["worker-2"]["PowerSpec"])
+	}
+	if res.Remote["worker-1"]["PowerSpec"] != 0 {
+		t.Error("PowerSpec leaked onto worker-1")
+	}
+}
+
+func TestRunDistributedParallelOverTCP(t *testing.T) {
+	tr := jxtaserve.TCP{}
+	ctl := newService(t, tr, "controller", Options{})
+	w1 := newService(t, tr, "worker-1", Options{})
+
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"worker-1"}}
+	peers := map[string]PeerRef{"worker-1": {ID: "worker-1", Addr: w1.Addr()}}
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, 6)
+}
+
+func TestOnDemandCodeFetchHappens(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	worker := newService(t, tr, "worker", Options{RequireCode: true})
+
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"worker"}}
+	peers := map[string]PeerRef{"worker": {ID: "worker", Addr: worker.Addr()}}
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, 3)
+	fetches, bytes := worker.Fetcher().Fetches()
+	if fetches != 2 { // Gaussian + PowerSpec bundles
+		t.Errorf("fetches = %d, want 2", fetches)
+	}
+	if bytes <= 0 {
+		t.Error("no code bytes transferred")
+	}
+	// Re-run: warm cache, no new fetches.
+	if _, err := ctl.RunDistributed(context.Background(), figure1(t, policy.NameParallel),
+		"GroupTask", plan, peers, DistOptions{Iterations: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fetches2, _ := worker.Fetcher().Fetches()
+	if fetches2 != fetches {
+		t.Errorf("warm run fetched %d more bundles", fetches2-fetches)
+	}
+}
+
+func TestRequireCodeWithoutCodeAddrFails(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	worker := newService(t, tr, "worker", Options{RequireCode: true})
+
+	body := taskgraph.New("body")
+	task, _ := units.NewTask("PS", signal.NamePowerSpectrum)
+	body.MustAdd(task)
+	body.ExternalIn = []taskgraph.Endpoint{{Task: "PS", Node: 0}}
+	body.ExternalOut = []taskgraph.Endpoint{{Task: "PS", Node: 0}}
+
+	// Open a local pipe so the part has a valid out target.
+	pipe, _, err := ctl.Host().OpenInput("sink", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	part := RemotePart{
+		Peer:       PeerRef{ID: "worker", Addr: worker.Addr()},
+		Body:       body,
+		InLabels:   []string{"in0"},
+		OutTargets: []PipeTarget{{Label: "sink", Addr: ctl.Addr()}},
+		Iterations: 1,
+	}
+	_, err = ctl.Despatch(part, "") // no codeAddr
+	if err == nil || !strings.Contains(err.Error(), "not hosted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDespatchValidation(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	s := newService(t, tr, "s", Options{})
+	body := taskgraph.New("b")
+	task, _ := units.NewTask("PS", signal.NamePowerSpectrum)
+	body.MustAdd(task)
+	body.ExternalIn = []taskgraph.Endpoint{{Task: "PS", Node: 0}}
+	if _, err := s.Despatch(RemotePart{Body: body, InLabels: nil}, ""); err == nil {
+		t.Error("label/input mismatch accepted")
+	}
+	body2 := taskgraph.New("b2")
+	body2.MustAdd(task.Clone())
+	body2.ExternalOut = []taskgraph.Endpoint{{Task: "PS", Node: 0}}
+	if _, err := s.Despatch(RemotePart{Body: body2, OutTargets: nil}, ""); err == nil {
+		t.Error("target/output mismatch accepted")
+	}
+}
+
+func TestStatusCancelPingUnknownJob(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "ctl", Options{CPUMHz: 2000, FreeRAMMB: 512})
+	worker := newService(t, tr, "worker", Options{})
+
+	reply, err := ctl.Host().Request(worker.Addr(), MethodPing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Header("peer") != "worker" || reply.Header("rm") != "fork" {
+		t.Errorf("ping = %+v", reply.Headers)
+	}
+	if _, err := ctl.Host().Request(worker.Addr(), MethodStatus, nil,
+		map[string]string{"job": "nope"}); err == nil {
+		t.Error("unknown job status succeeded")
+	}
+	if _, err := ctl.Host().Request(worker.Addr(), MethodWait, nil,
+		map[string]string{"job": "nope"}); err == nil {
+		t.Error("unknown job wait succeeded")
+	}
+	if _, err := ctl.Host().Request(worker.Addr(), MethodCancel, nil,
+		map[string]string{"job": "nope"}); err == nil {
+		t.Error("unknown job cancel succeeded")
+	}
+}
+
+func TestAdvertiseAndDiscoverService(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	// Rendezvous peer.
+	rdvHost, err := jxtaserve.NewHost("rdv", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdvHost.Close()
+	rdvCache := discovery.NewNode(rdvHost, newCache(), discovery.Config{
+		Mode: discovery.ModeRendezvous, IsRendezvous: true})
+	_ = rdvCache
+
+	dcfg := discovery.Config{Mode: discovery.ModeRendezvous, Rendezvous: []string{rdvHost.Addr()}}
+	worker := newService(t, tr, "worker", Options{Discovery: dcfg, CPUMHz: 1800, FreeRAMMB: 256, PeerGroup: "cardiff"})
+	ctl := newService(t, tr, "ctl", Options{Discovery: dcfg})
+
+	if err := worker.Advertise(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Discover by capability (the paper's CPU/memory attributes).
+	ads, err := ctl.Discovery().Discover(advertQueryMinCPU(1000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 1 || ads[0].PeerID != "worker" || ads[0].Addr != worker.Addr() {
+		t.Fatalf("discover = %+v", ads)
+	}
+	// Too-high bound excludes it.
+	ads, _ = ctl.Discovery().Discover(advertQueryMinCPU(99999), 0)
+	if len(ads) != 0 {
+		t.Error("capability filter failed")
+	}
+}
+
+func TestCloseRejectsNewJobs(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "ctl", Options{})
+	worker := newService(t, tr, "worker", Options{})
+	worker.Close()
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"worker"}}
+	peers := map[string]PeerRef{"worker": {ID: "worker", Addr: worker.Addr()}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := ctl.RunDistributed(ctx, g, "GroupTask", plan, peers,
+		DistOptions{Iterations: 1}); err == nil {
+		t.Error("despatch to closed worker succeeded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Transport: jxtaserve.NewInProc()}); err == nil {
+		t.Error("missing PeerID accepted")
+	}
+	if _, err := New(Options{PeerID: "x"}); err == nil {
+		t.Error("missing transport accepted")
+	}
+}
+
+// TestConcurrentApplications drives two distributed runs of the same
+// workflow through one controller at the same time: run-scoped pipe
+// labels keep their streams apart (§3.2's multiple networks).
+func TestConcurrentApplications(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctl := newService(t, tr, "controller", Options{})
+	w1 := newService(t, tr, "worker-1", Options{})
+	w2 := newService(t, tr, "worker-2", Options{})
+	peers := map[string]PeerRef{
+		"worker-1": {ID: "worker-1", Addr: w1.Addr()},
+		"worker-2": {ID: "worker-2", Addr: w2.Addr()},
+	}
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"worker-1", "worker-2"}}
+
+	const runs = 3
+	const iters = 8
+	results := make(chan error, runs)
+	for r := 0; r < runs; r++ {
+		go func(seed int64) {
+			res, err := ctl.RunDistributed(context.Background(),
+				figure1(t, policy.NameParallel), "GroupTask", plan, peers,
+				DistOptions{Iterations: iters, Seed: seed})
+			if err == nil {
+				grapher := res.Local.Unit("Grapher").(*unitio.Grapher)
+				if grapher.Seen() != iters {
+					err = fmt.Errorf("run saw %d of %d spectra", grapher.Seen(), iters)
+				}
+				total := 0
+				for _, counts := range res.Remote {
+					total += counts["Gaussian"]
+				}
+				if err == nil && total != iters {
+					err = fmt.Errorf("remote processed %d of %d", total, iters)
+				}
+			}
+			results <- err
+		}(int64(r + 1))
+	}
+	for r := 0; r < runs; r++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Errorf("concurrent run failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("concurrent runs deadlocked")
+		}
+	}
+}
+
+// TestServiceWithBatchGateway runs a distributed group on a peer whose
+// local resource manager is the slot-limited batch queue — the paper's
+// cluster-behind-a-gateway deployment (§3.1: "The server component within
+// each peer can interact with Globus GRAM to launch jobs locally").
+func TestServiceWithBatchGateway(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	batch, err := gateway.NewBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+	ctl := newService(t, tr, "controller", Options{})
+	worker := newService(t, tr, "cluster-gw", Options{RM: batch})
+
+	reply, err := ctl.Host().Request(worker.Addr(), MethodPing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Header("rm") != "batch" {
+		t.Fatalf("rm = %q", reply.Header("rm"))
+	}
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"cluster-gw"}}
+	peers := map[string]PeerRef{"cluster-gw": {ID: "cluster-gw", Addr: worker.Addr()}}
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, 5)
+	// Two sequential runs queue behind the single slot but both finish.
+	if _, err := ctl.RunDistributed(context.Background(), figure1(t, policy.NameParallel),
+		"GroupTask", plan, peers, DistOptions{Iterations: 5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if batch.QueueWaits().Count() < 2 {
+		t.Errorf("batch recorded %d queue waits", batch.QueueWaits().Count())
+	}
+}

@@ -1,0 +1,140 @@
+// Package simnet provides the instrumented network used by the scaling
+// experiments (T2): a jxtaserve.Transport that counts every message and
+// byte crossing it, can impose a per-message latency, and can cut links
+// to model consumer-connection loss. Because discovery and the pipe layer
+// are written against the Transport interface, the exact protocol code
+// measured here is the code deployed over TCP — the substitution the
+// DESIGN.md ledger records for the paper's planet-scale claims.
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"consumergrid/internal/jxtaserve"
+)
+
+// Network is an in-process message network with accounting.
+type Network struct {
+	inner *jxtaserve.InProc
+	// Latency is applied on every Send; zero disables the delay.
+	Latency time.Duration
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+
+	mu  sync.Mutex
+	cut map[string]bool // addresses whose links are severed
+}
+
+// New returns an empty simulated network.
+func New() *Network {
+	return &Network{inner: jxtaserve.NewInProc(), cut: make(map[string]bool)}
+}
+
+// Messages reports the total messages sent across the network.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Bytes reports the approximate total bytes sent (kind + headers +
+// payload).
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// ResetCounters zeroes the accounting, e.g. between experiment phases.
+func (n *Network) ResetCounters() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+}
+
+// Cut severs the link to an address: subsequent dials fail, modelling a
+// consumer peer dropping off DSL. Listeners stay registered so Restore
+// re-enables them.
+func (n *Network) Cut(addr string) {
+	n.mu.Lock()
+	n.cut[addr] = true
+	n.mu.Unlock()
+}
+
+// Restore re-enables a previously cut address.
+func (n *Network) Restore(addr string) {
+	n.mu.Lock()
+	delete(n.cut, addr)
+	n.mu.Unlock()
+}
+
+// isCut reports whether an address is severed.
+func (n *Network) isCut(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cut[addr]
+}
+
+// Listen implements jxtaserve.Transport.
+func (n *Network) Listen(addr string) (jxtaserve.Listener, error) {
+	l, err := n.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{net: n, inner: l}, nil
+}
+
+// Dial implements jxtaserve.Transport.
+func (n *Network) Dial(addr string) (jxtaserve.Conn, error) {
+	if n.isCut(addr) {
+		return nil, &LinkCutError{Addr: addr}
+	}
+	c, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{net: n, inner: c}, nil
+}
+
+// LinkCutError reports a dial to a severed address.
+type LinkCutError struct {
+	Addr string
+}
+
+func (e *LinkCutError) Error() string { return "simnet: link to " + e.Addr + " is cut" }
+
+type listener struct {
+	net   *Network
+	inner jxtaserve.Listener
+}
+
+func (l *listener) Accept() (jxtaserve.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{net: l.net, inner: c}, nil
+}
+
+func (l *listener) Close() error { return l.inner.Close() }
+func (l *listener) Addr() string { return l.inner.Addr() }
+
+type conn struct {
+	net   *Network
+	inner jxtaserve.Conn
+}
+
+// MessageSize approximates the wire size of a message.
+func MessageSize(m *jxtaserve.Message) int64 {
+	size := int64(len(m.Kind)) + int64(len(m.Payload))
+	for k, v := range m.Headers {
+		size += int64(len(k) + len(v))
+	}
+	return size
+}
+
+func (c *conn) Send(m *jxtaserve.Message) error {
+	if c.net.Latency > 0 {
+		time.Sleep(c.net.Latency)
+	}
+	c.net.messages.Add(1)
+	c.net.bytes.Add(MessageSize(m))
+	return c.inner.Send(m)
+}
+
+func (c *conn) Recv() (*jxtaserve.Message, error) { return c.inner.Recv() }
+func (c *conn) Close() error                      { return c.inner.Close() }

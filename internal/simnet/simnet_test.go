@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/jxtaserve"
+)
+
+func TestCountsMessagesAndBytes(t *testing.T) {
+	n := New()
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &jxtaserve.Message{Kind: "data", Payload: make([]byte, 100)}
+	m.SetHeader("k", "vvv")
+	for i := 0; i < 5; i++ {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Messages() != 5 {
+		t.Errorf("messages = %d", n.Messages())
+	}
+	wantBytes := int64(5 * (4 + 100 + 1 + 3)) // kind + payload + header k/v
+	if n.Bytes() != wantBytes {
+		t.Errorf("bytes = %d, want %d", n.Bytes(), wantBytes)
+	}
+	n.ResetCounters()
+	if n.Messages() != 0 || n.Bytes() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCutAndRestore(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	n.Cut("srv")
+	_, err := n.Dial("srv")
+	var cutErr *LinkCutError
+	if !errors.As(err, &cutErr) || cutErr.Addr != "srv" {
+		t.Fatalf("err = %v", err)
+	}
+	n.Restore("srv")
+	go l.Accept()
+	if _, err := n.Dial("srv"); err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := New()
+	n.Latency = 20 * time.Millisecond
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Recv()
+	}()
+	c, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.Send(&jxtaserve.Message{Kind: "x"})
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}
+
+// TestDiscoveryRunsOverSimnet is the substitution-fidelity check: the
+// production discovery code, unmodified, must run over the simulated
+// network and its traffic must be visible in the counters.
+func TestDiscoveryRunsOverSimnet(t *testing.T) {
+	net := New()
+	rdvHost, err := jxtaserve.NewHost("rdv", net, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdvHost.Close()
+	discovery.NewNode(rdvHost, advert.NewCache(), discovery.Config{
+		Mode: discovery.ModeRendezvous, IsRendezvous: true})
+
+	edgeHost, err := jxtaserve.NewHost("edge", net, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeHost.Close()
+	edge := discovery.NewNode(edgeHost, advert.NewCache(), discovery.Config{
+		Mode: discovery.ModeRendezvous, Rendezvous: []string{rdvHost.Addr()}})
+
+	ad := &advert.Advertisement{Kind: advert.KindPeer, ID: "a", PeerID: "edge"}
+	if err := edge.Publish(ad); err != nil {
+		t.Fatal(err)
+	}
+	got, err := edge.Discover(advert.Query{Kind: advert.KindPeer}, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("discover over simnet = %v, %v", got, err)
+	}
+	if net.Messages() < 4 { // publish req/reply + query req/reply
+		t.Errorf("only %d messages counted", net.Messages())
+	}
+}

@@ -1,0 +1,558 @@
+package taskgraph
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"consumergrid/internal/types"
+)
+
+// figure1 builds the paper's Code Segment 1 workflow: Wave -> Gaussian ->
+// FFT -> Grapher, with Gaussian+FFT grouped into GroupTask.
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	g := New("GroupTest")
+	w := g.AddUnit("Wave", "triana.signal.Wave", 0, 1)
+	w.SetParam("frequency", "1000")
+	w.SetParam("samplingRate", "8000")
+	g.AddUnit("Gaussian", "triana.signal.GaussianNoise", 1, 1)
+	g.AddUnit("FFT", "triana.signal.FFT", 1, 1)
+	g.AddUnit("Grapher", "triana.unitio.Grapher", 1, 0)
+	g.ConnectNamed("Wave", 0, "Gaussian", 0)
+	g.ConnectNamed("Gaussian", 0, "FFT", 0)
+	g.ConnectNamed("FFT", 0, "Grapher", 0)
+	if _, err := g.GroupTasks("GroupTask", []string{"Gaussian", "FFT"}); err != nil {
+		t.Fatalf("GroupTasks: %v", err)
+	}
+	return g
+}
+
+// fig1Resolver supplies metadata for the units the fixture uses.
+var fig1Resolver = ResolverFunc(func(unit string) (UnitMeta, bool) {
+	switch unit {
+	case "triana.signal.Wave":
+		return UnitMeta{OutTypes: []string{types.NameSampleSet}}, true
+	case "triana.signal.GaussianNoise":
+		return UnitMeta{
+			InTypes:  [][]string{{types.NameSampleSet}},
+			OutTypes: []string{types.NameSampleSet},
+		}, true
+	case "triana.signal.FFT":
+		return UnitMeta{
+			InTypes:  [][]string{{types.NameSampleSet}},
+			OutTypes: []string{types.NameComplexSpectrum},
+		}, true
+	case "triana.unitio.Grapher":
+		return UnitMeta{InTypes: [][]string{{types.AnyType}}}, true
+	}
+	return UnitMeta{}, false
+})
+
+func TestParseEndpoint(t *testing.T) {
+	e, err := ParseEndpoint("Wave:2")
+	if err != nil || e != (Endpoint{"Wave", 2}) {
+		t.Fatalf("ParseEndpoint = %v, %v", e, err)
+	}
+	e, err = ParseEndpoint("Grapher")
+	if err != nil || e != (Endpoint{"Grapher", 0}) {
+		t.Fatalf("node-less endpoint = %v, %v", e, err)
+	}
+	for _, bad := range []string{"", ":1", "x:-1", "x:zz"} {
+		if _, err := ParseEndpoint(bad); err == nil {
+			t.Errorf("ParseEndpoint(%q) should fail", bad)
+		}
+	}
+	if (Endpoint{"A", 3}).String() != "A:3" {
+		t.Error("Endpoint.String wrong")
+	}
+}
+
+func TestGroupTasksRewiring(t *testing.T) {
+	g := figure1(t)
+	if len(g.Tasks) != 3 { // Wave, GroupTask, Grapher
+		t.Fatalf("top-level task count = %d, want 3", len(g.Tasks))
+	}
+	gt := g.Find("GroupTask")
+	if gt == nil || !gt.IsGroup() {
+		t.Fatal("GroupTask missing or not a group")
+	}
+	if gt.In != 1 || gt.Out != 1 {
+		t.Fatalf("group nodes = %d/%d, want 1/1", gt.In, gt.Out)
+	}
+	// The paper's mapping: node0 of GroupTask -> node0 of Gaussian.
+	if gt.Group.ExternalIn[0] != (Endpoint{"Gaussian", 0}) {
+		t.Errorf("ExternalIn[0] = %v", gt.Group.ExternalIn[0])
+	}
+	if gt.Group.ExternalOut[0] != (Endpoint{"FFT", 0}) {
+		t.Errorf("ExternalOut[0] = %v", gt.Group.ExternalOut[0])
+	}
+	// Wave now feeds the group, not Gaussian directly.
+	found := false
+	for _, c := range g.Connections {
+		if c.From == (Endpoint{"Wave", 0}) && c.To == (Endpoint{"GroupTask", 0}) {
+			found = true
+		}
+		if c.To.Task == "Gaussian" {
+			t.Error("top-level graph still connects directly to Gaussian")
+		}
+	}
+	if !found {
+		t.Error("Wave->GroupTask connection missing")
+	}
+	if gt.Group.CountTasks() != 2 || g.CountTasks() != 4 {
+		t.Errorf("CountTasks: group=%d total=%d", gt.Group.CountTasks(), g.CountTasks())
+	}
+}
+
+func TestGroupTasksErrors(t *testing.T) {
+	g := figure1(t)
+	if _, err := g.GroupTasks("GroupTask", []string{"Wave"}); err == nil {
+		t.Error("duplicate group name should fail")
+	}
+	if _, err := g.GroupTasks("G2", []string{"NoSuch"}); err == nil {
+		t.Error("unknown member should fail")
+	}
+	if _, err := g.GroupTasks("G3", nil); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := g.GroupTasks("G4", []string{"Wave", "Wave"}); err == nil {
+		t.Error("duplicate member should fail")
+	}
+}
+
+func TestInlineRestoresConnectivity(t *testing.T) {
+	g := figure1(t)
+	if err := g.Inline("GroupTask"); err != nil {
+		t.Fatalf("Inline: %v", err)
+	}
+	names := g.TaskNames()
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"FFT", "Gaussian", "Grapher", "Wave"}) {
+		t.Fatalf("tasks after inline = %v", names)
+	}
+	want := map[string]string{
+		"Wave:0": "Gaussian:0", "Gaussian:0": "FFT:0", "FFT:0": "Grapher:0",
+	}
+	got := map[string]string{}
+	for _, c := range g.Connections {
+		got[c.From.String()] = c.To.String()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("connections after inline = %v, want %v", got, want)
+	}
+	if err := g.Inline("Wave"); err == nil {
+		t.Error("inlining a non-group should fail")
+	}
+}
+
+func TestValidateFigure1(t *testing.T) {
+	g := figure1(t)
+	if err := g.Validate(fig1Resolver); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := g.Validate(nil); err != nil {
+		t.Fatalf("structural Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesTypeMismatch(t *testing.T) {
+	g := New("bad")
+	g.AddUnit("FFT", "triana.signal.FFT", 1, 1)
+	g.AddUnit("Gauss", "triana.signal.GaussianNoise", 1, 1)
+	// FFT emits ComplexSpectrum which GaussianNoise (SampleSet-only) rejects.
+	g.ConnectNamed("FFT", 0, "Gauss", 0)
+	err := g.Validate(fig1Resolver)
+	if err == nil || !strings.Contains(err.Error(), "not assignable") {
+		t.Fatalf("want type error, got %v", err)
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+		want  string
+	}{
+		{"unknown source", func() *Graph {
+			g := New("g")
+			g.AddUnit("A", "u", 0, 1)
+			g.Connect(Endpoint{"X", 0}, Endpoint{"A", 0})
+			return g
+		}, "unknown source"},
+		{"unknown target", func() *Graph {
+			g := New("g")
+			g.AddUnit("A", "u", 0, 1)
+			g.Connect(Endpoint{"A", 0}, Endpoint{"X", 0})
+			return g
+		}, "unknown target"},
+		{"node out of range", func() *Graph {
+			g := New("g")
+			g.AddUnit("A", "u", 0, 1)
+			g.AddUnit("B", "u", 1, 0)
+			g.ConnectNamed("A", 5, "B", 0)
+			return g
+		}, "out of range"},
+		{"double producer", func() *Graph {
+			g := New("g")
+			g.AddUnit("A", "u", 0, 1)
+			g.AddUnit("B", "u", 0, 1)
+			g.AddUnit("C", "u", 1, 0)
+			g.ConnectNamed("A", 0, "C", 0)
+			g.ConnectNamed("B", 0, "C", 0)
+			return g
+		}, "multiple producers"},
+		{"empty name", func() *Graph {
+			g := New("g")
+			g.Tasks = append(g.Tasks, &Task{Unit: "u"})
+			return g
+		}, "empty name"},
+		{"both unit and group", func() *Graph {
+			g := New("g")
+			g.Tasks = append(g.Tasks, &Task{Name: "A", Unit: "u", Group: New("sub")})
+			return g
+		}, "both unit and group"},
+	}
+	for _, c := range cases {
+		err := c.build().Validate(nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateUnknownUnit(t *testing.T) {
+	g := New("g")
+	g.AddUnit("A", "no.such.Unit", 0, 1)
+	if err := g.Validate(fig1Resolver); err == nil {
+		t.Error("unknown unit should fail with a resolver")
+	}
+	if err := g.Validate(nil); err != nil {
+		t.Errorf("unknown unit should pass without resolver: %v", err)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	g := figure1(t)
+	g.AssignLabels("app1")
+	g.Annotate("GroupTask", "peer-42")
+	gt := g.Find("GroupTask")
+	gt.ControlUnit = "policy.PeerToPeer"
+	b, err := g.EncodeXML()
+	if err != nil {
+		t.Fatalf("EncodeXML: %v", err)
+	}
+	if !strings.Contains(string(b), "triana.signal.Wave") {
+		t.Error("XML missing unit name")
+	}
+	g2, err := ParseXML(b)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	b2, err := g2.EncodeXML()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("XML round trip not stable:\n%s\n----\n%s", b, b2)
+	}
+	// Structure preserved.
+	gt2 := g2.Find("GroupTask")
+	if gt2 == nil || !gt2.IsGroup() || gt2.ControlUnit != "policy.PeerToPeer" ||
+		gt2.Placement != "peer-42" {
+		t.Fatalf("group attrs lost: %+v", gt2)
+	}
+	if g2.Find("Wave").Param("frequency", "") != "1000" {
+		t.Error("param lost in round trip")
+	}
+	if !reflect.DeepEqual(g.Labels(), g2.Labels()) {
+		t.Error("labels lost in round trip")
+	}
+	if err := g2.Validate(fig1Resolver); err != nil {
+		t.Errorf("parsed graph invalid: %v", err)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	if _, err := ParseXML([]byte("not xml at all <")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ParseXML([]byte(`<taskgraph name="g"><task name="A"/></taskgraph>`)); err == nil {
+		t.Error("task without unit or group should fail")
+	}
+	bad := `<taskgraph name="g"><task name="A" unit="u" out="1"/>` +
+		`<connection from=":0" to="A:0"/></taskgraph>`
+	if _, err := ParseXML([]byte(bad)); err == nil {
+		t.Error("bad endpoint should fail")
+	}
+}
+
+func TestTopoLayersAndCycles(t *testing.T) {
+	g := figure1(t)
+	layers, err := g.TopoLayers()
+	if err != nil {
+		t.Fatalf("TopoLayers: %v", err)
+	}
+	want := [][]string{{"Wave"}, {"GroupTask"}, {"Grapher"}}
+	if !reflect.DeepEqual(layers, want) {
+		t.Fatalf("layers = %v, want %v", layers, want)
+	}
+	if g.HasCycle() {
+		t.Error("figure1 reported cyclic")
+	}
+	// Introduce a data cycle.
+	g.ConnectNamed("Grapher", 0, "Wave", 0)
+	if !g.HasCycle() {
+		t.Error("cycle not detected")
+	}
+	// Control connections do not count as cycles.
+	g2 := New("ctl")
+	g2.AddUnit("A", "u", 1, 1)
+	g2.AddUnit("B", "u", 1, 1)
+	g2.ConnectNamed("A", 0, "B", 0)
+	c := g2.ConnectNamed("B", 0, "A", 0)
+	c.Control = true
+	if g2.HasCycle() {
+		t.Error("control back-edge should not be a cycle")
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	g := figure1(t)
+	srcs := g.Sources()
+	if len(srcs) != 1 || srcs[0].Name != "Wave" {
+		t.Errorf("Sources = %v", g.TaskNames())
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0].Name != "Grapher" {
+		t.Errorf("Sinks wrong")
+	}
+}
+
+func TestAssignLabelsUniqueAndIdempotent(t *testing.T) {
+	g := figure1(t)
+	n := g.AssignLabels("app")
+	if n != 4 { // 2 top-level + 1 internal + ... count all
+		// figure1: Wave->Group, Group->Grapher at top; Gaussian->FFT inside = 3
+		if n != 3 {
+			t.Fatalf("labelled %d connections", n)
+		}
+	}
+	labels := g.Labels()
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("duplicate label %q", l)
+		}
+		seen[l] = true
+	}
+	if again := g.AssignLabels("app"); again != 0 {
+		t.Errorf("second AssignLabels relabelled %d", again)
+	}
+}
+
+func TestBoundaryLabels(t *testing.T) {
+	g := figure1(t)
+	if _, _, err := g.BoundaryLabels("GroupTask"); err == nil {
+		t.Error("unlabelled boundary should fail")
+	}
+	g.AssignLabels("app")
+	in, out, err := g.BoundaryLabels("GroupTask")
+	if err != nil {
+		t.Fatalf("BoundaryLabels: %v", err)
+	}
+	if len(in) != 1 || len(out) != 1 || in[0] == "" || out[0] == "" || in[0] == out[0] {
+		t.Fatalf("labels = %v / %v", in, out)
+	}
+	if _, _, err := g.BoundaryLabels("Wave"); err == nil {
+		t.Error("BoundaryLabels on non-group should fail")
+	}
+}
+
+func TestRemoveAndDegrees(t *testing.T) {
+	g := figure1(t)
+	if !g.Remove("Grapher") {
+		t.Fatal("Remove failed")
+	}
+	if g.Remove("Grapher") {
+		t.Fatal("double Remove succeeded")
+	}
+	for _, c := range g.Connections {
+		if c.To.Task == "Grapher" {
+			t.Error("dangling connection survived Remove")
+		}
+	}
+	if g.OutDegree("GroupTask") != 0 || g.InDegree("GroupTask") != 1 {
+		t.Error("degrees wrong after Remove")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := figure1(t)
+	g.AssignLabels("app")
+	c := g.Clone()
+	c.Find("Wave").SetParam("frequency", "9999")
+	c.Connections[0].Label = "mutated"
+	c.Find("GroupTask").Group.Tasks[0].Name = "Renamed"
+	if g.Find("Wave").Param("frequency", "") != "1000" {
+		t.Error("clone shares params")
+	}
+	if g.Connections[0].Label == "mutated" {
+		t.Error("clone shares connections")
+	}
+	if g.Find("GroupTask").Group.Find("Gaussian") == nil {
+		t.Error("clone shares nested group")
+	}
+}
+
+func TestWSFLRoundTrip(t *testing.T) {
+	g := New("flat")
+	g.AddUnit("A", "triana.signal.Wave", 0, 1)
+	g.AddUnit("B", "triana.signal.FFT", 1, 1)
+	g.AddUnit("C", "triana.unitio.Grapher", 1, 0)
+	g.ConnectNamed("A", 0, "B", 0)
+	g.ConnectNamed("B", 0, "C", 0)
+	b, err := g.MarshalWSFL()
+	if err != nil {
+		t.Fatalf("MarshalWSFL: %v", err)
+	}
+	if !strings.Contains(string(b), "flowModel") {
+		t.Error("not a flowModel document")
+	}
+	g2, err := ParseWSFL(b)
+	if err != nil {
+		t.Fatalf("ParseWSFL: %v", err)
+	}
+	if g2.CountTasks() != 3 || len(g2.Connections) != 2 {
+		t.Fatalf("WSFL round trip lost structure: %d tasks %d conns",
+			g2.CountTasks(), len(g2.Connections))
+	}
+	if err := g2.Validate(fig1Resolver); err != nil {
+		t.Errorf("WSFL-parsed graph invalid: %v", err)
+	}
+}
+
+func TestWSFLRejectsGroupsAndInfersPorts(t *testing.T) {
+	g := figure1(t)
+	if _, err := g.MarshalWSFL(); err == nil {
+		t.Error("WSFL export of grouped graph should fail")
+	}
+	doc := `<flowModel name="f">
+	  <activity name="A" operation="op.A"/>
+	  <activity name="B" operation="op.B"/>
+	  <dataLink source="A" sourcePort="2" target="B" targetPort="1"/>
+	</flowModel>`
+	g2, err := ParseWSFL([]byte(doc))
+	if err != nil {
+		t.Fatalf("ParseWSFL: %v", err)
+	}
+	if g2.Find("A").Out != 3 || g2.Find("B").In != 2 {
+		t.Errorf("port inference wrong: out=%d in=%d", g2.Find("A").Out, g2.Find("B").In)
+	}
+	if _, err := ParseWSFL([]byte(`<flowModel><activity name="A"/></flowModel>`)); err == nil {
+		t.Error("activity without operation should fail")
+	}
+	if _, err := ParseWSFL([]byte(`<flowModel><dataLink source="X" target="Y"/></flowModel>`)); err == nil {
+		t.Error("link to unknown activity should fail")
+	}
+}
+
+// Property: GroupTasks followed by Inline restores the original data-flow
+// relation for random linear pipelines, for any contiguous member window.
+func TestQuickGroupInlineInverse(t *testing.T) {
+	f := func(nRaw, loRaw, hiRaw uint8) bool {
+		n := int(nRaw%8) + 2 // pipeline of 2..9 tasks
+		lo := int(loRaw) % n
+		hi := int(hiRaw) % n
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		g := New("pipe")
+		for i := 0; i < n; i++ {
+			in := 1
+			if i == 0 {
+				in = 0
+			}
+			out := 1
+			if i == n-1 {
+				out = 0
+			}
+			g.AddUnit(name(i), "u", in, out)
+		}
+		for i := 0; i+1 < n; i++ {
+			g.ConnectNamed(name(i), 0, name(i+1), 0)
+		}
+		var members []string
+		for i := lo; i <= hi; i++ {
+			members = append(members, name(i))
+		}
+		before := edgeSet(g)
+		if _, err := g.GroupTasks("Grp", members); err != nil {
+			return false
+		}
+		if err := g.Validate(nil); err != nil {
+			return false
+		}
+		if err := g.Inline("Grp"); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(before, edgeSet(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func name(i int) string { return string(rune('A' + i)) }
+
+func edgeSet(g *Graph) map[string]bool {
+	m := map[string]bool{}
+	for _, c := range g.Connections {
+		m[c.From.String()+"->"+c.To.String()] = true
+	}
+	return m
+}
+
+// Property: XML round trip is the identity on label sets and task counts
+// for random linear pipelines with random grouping.
+func TestQuickXMLRoundTrip(t *testing.T) {
+	f := func(nRaw uint8, withGroup bool) bool {
+		n := int(nRaw%6) + 2
+		g := New("p")
+		for i := 0; i < n; i++ {
+			in, out := 1, 1
+			if i == 0 {
+				in = 0
+			}
+			if i == n-1 {
+				out = 0
+			}
+			tk := g.AddUnit(name(i), "unit."+name(i), in, out)
+			tk.SetParam("idx", name(i))
+		}
+		for i := 0; i+1 < n; i++ {
+			g.ConnectNamed(name(i), 0, name(i+1), 0)
+		}
+		if withGroup && n >= 4 {
+			if _, err := g.GroupTasks("Grp", []string{name(1), name(2)}); err != nil {
+				return false
+			}
+		}
+		g.AssignLabels("q")
+		b, err := g.EncodeXML()
+		if err != nil {
+			return false
+		}
+		g2, err := ParseXML(b)
+		if err != nil {
+			return false
+		}
+		return g2.CountTasks() == g.CountTasks() &&
+			reflect.DeepEqual(g.Labels(), g2.Labels())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package taskgraph
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// The paper also accepts task graphs written as Petri nets (§3.1). This
+// file implements a PNML-flavoured importer under the standard dataflow
+// restriction: transitions are tasks, places are the tokens-in-flight
+// between them, and each place must have exactly one producing and one
+// consuming arc — which makes the net isomorphic to a Triana connection
+// list. Nets violating the restriction (choice places, multi-producer
+// merges) are rejected with a diagnostic rather than silently mis-mapped.
+
+type pnmlDoc struct {
+	XMLName xml.Name `xml:"pnml"`
+	Net     pnmlNet  `xml:"net"`
+}
+
+type pnmlNet struct {
+	ID          string           `xml:"id,attr"`
+	Transitions []pnmlTransition `xml:"transition"`
+	Places      []pnmlPlace      `xml:"place"`
+	Arcs        []pnmlArc        `xml:"arc"`
+}
+
+type pnmlTransition struct {
+	ID   string `xml:"id,attr"`
+	Unit string `xml:"unit,attr"`
+	In   int    `xml:"in,attr,omitempty"`
+	Out  int    `xml:"out,attr,omitempty"`
+}
+
+type pnmlPlace struct {
+	ID string `xml:"id,attr"`
+}
+
+type pnmlArc struct {
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+	// Port selects the transition node the arc attaches to.
+	Port int `xml:"port,attr,omitempty"`
+}
+
+// ParsePNML converts a dataflow-restricted Petri net into a Graph.
+func ParsePNML(b []byte) (*Graph, error) {
+	var doc pnmlDoc
+	if err := xml.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("taskgraph: bad PNML: %w", err)
+	}
+	net := doc.Net
+	g := New(net.ID)
+	isTransition := make(map[string]bool, len(net.Transitions))
+	for _, tr := range net.Transitions {
+		if tr.Unit == "" {
+			return nil, fmt.Errorf("taskgraph: transition %q missing unit", tr.ID)
+		}
+		if err := g.Add(&Task{Name: tr.ID, Unit: tr.Unit, In: tr.In, Out: tr.Out}); err != nil {
+			return nil, err
+		}
+		isTransition[tr.ID] = true
+	}
+	isPlace := make(map[string]bool, len(net.Places))
+	for _, pl := range net.Places {
+		if isTransition[pl.ID] {
+			return nil, fmt.Errorf("taskgraph: id %q is both place and transition", pl.ID)
+		}
+		isPlace[pl.ID] = true
+	}
+
+	// Each place collects its producer and consumer endpoints.
+	type placeLink struct {
+		from, to Endpoint
+		hasFrom  bool
+		hasTo    bool
+	}
+	links := make(map[string]*placeLink, len(net.Places))
+	for _, pl := range net.Places {
+		links[pl.ID] = &placeLink{}
+	}
+	for _, arc := range net.Arcs {
+		switch {
+		case isTransition[arc.Source] && isPlace[arc.Target]:
+			l := links[arc.Target]
+			if l.hasFrom {
+				return nil, fmt.Errorf("taskgraph: place %q has multiple producers (not a dataflow net)", arc.Target)
+			}
+			l.from = Endpoint{Task: arc.Source, Node: arc.Port}
+			l.hasFrom = true
+		case isPlace[arc.Source] && isTransition[arc.Target]:
+			l := links[arc.Source]
+			if l.hasTo {
+				return nil, fmt.Errorf("taskgraph: place %q has multiple consumers (not a dataflow net)", arc.Source)
+			}
+			l.to = Endpoint{Task: arc.Target, Node: arc.Port}
+			l.hasTo = true
+		default:
+			return nil, fmt.Errorf("taskgraph: arc %s->%s does not join a transition and a place",
+				arc.Source, arc.Target)
+		}
+	}
+	for id, l := range links {
+		if !l.hasFrom || !l.hasTo {
+			return nil, fmt.Errorf("taskgraph: place %q is not connected on both sides", id)
+		}
+	}
+	// Emit connections in place-declaration order for determinism.
+	for _, pl := range net.Places {
+		l := links[pl.ID]
+		// Widen implicit port declarations, as the WSFL importer does.
+		src := g.Find(l.from.Task)
+		if l.from.Node >= src.Out {
+			src.Out = l.from.Node + 1
+		}
+		dst := g.Find(l.to.Task)
+		if l.to.Node >= dst.In {
+			dst.In = l.to.Node + 1
+		}
+		g.Connect(l.from, l.to)
+	}
+	return g, nil
+}

@@ -1,0 +1,93 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1PNML = `<pnml><net id="fig1">
+  <transition id="Wave" unit="triana.signal.Wave" out="1"/>
+  <transition id="Gaussian" unit="triana.signal.GaussianNoise" in="1" out="1"/>
+  <transition id="FFT" unit="triana.signal.FFT" in="1" out="1"/>
+  <transition id="Grapher" unit="triana.unitio.Grapher" in="1"/>
+  <place id="p1"/><place id="p2"/><place id="p3"/>
+  <arc source="Wave" target="p1"/><arc source="p1" target="Gaussian"/>
+  <arc source="Gaussian" target="p2"/><arc source="p2" target="FFT"/>
+  <arc source="FFT" target="p3"/><arc source="p3" target="Grapher"/>
+</net></pnml>`
+
+func TestParsePNMLFigure1(t *testing.T) {
+	g, err := ParsePNML([]byte(fig1PNML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "fig1" || g.CountTasks() != 4 || len(g.Connections) != 3 {
+		t.Fatalf("graph = %s %d tasks %d conns", g.Name, g.CountTasks(), len(g.Connections))
+	}
+	if err := g.Validate(fig1Resolver); err != nil {
+		t.Fatalf("PNML-derived graph invalid: %v", err)
+	}
+	layers, err := g.TopoLayers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layers[0][0] != "Wave" || layers[3][0] != "Grapher" {
+		t.Errorf("layers = %v", layers)
+	}
+}
+
+func TestParsePNMLPortWidening(t *testing.T) {
+	doc := `<pnml><net id="ports">
+	  <transition id="A" unit="u"/>
+	  <transition id="B" unit="u"/>
+	  <place id="p"/>
+	  <arc source="A" target="p" port="2"/>
+	  <arc source="p" target="B" port="1"/>
+	</net></pnml>`
+	g, err := ParsePNML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Find("A").Out != 3 || g.Find("B").In != 2 {
+		t.Errorf("ports = out %d in %d", g.Find("A").Out, g.Find("B").In)
+	}
+	c := g.Connections[0]
+	if c.From != (Endpoint{"A", 2}) || c.To != (Endpoint{"B", 1}) {
+		t.Errorf("connection = %v -> %v", c.From, c.To)
+	}
+}
+
+func TestParsePNMLRejectsNonDataflowNets(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"garbage", "<pnml", "bad PNML"},
+		{"unitless transition", `<pnml><net><transition id="A"/></net></pnml>`, "missing unit"},
+		{"dual identity", `<pnml><net>
+			<transition id="X" unit="u"/><place id="X"/></net></pnml>`, "both place and transition"},
+		{"multi-producer place", `<pnml><net>
+			<transition id="A" unit="u"/><transition id="B" unit="u"/><transition id="C" unit="u"/>
+			<place id="p"/>
+			<arc source="A" target="p"/><arc source="B" target="p"/><arc source="p" target="C"/>
+		</net></pnml>`, "multiple producers"},
+		{"multi-consumer place", `<pnml><net>
+			<transition id="A" unit="u"/><transition id="B" unit="u"/><transition id="C" unit="u"/>
+			<place id="p"/>
+			<arc source="A" target="p"/><arc source="p" target="B"/><arc source="p" target="C"/>
+		</net></pnml>`, "multiple consumers"},
+		{"dangling place", `<pnml><net>
+			<transition id="A" unit="u"/><place id="p"/>
+			<arc source="A" target="p"/>
+		</net></pnml>`, "not connected on both sides"},
+		{"transition-to-transition arc", `<pnml><net>
+			<transition id="A" unit="u"/><transition id="B" unit="u"/>
+			<arc source="A" target="B"/>
+		</net></pnml>`, "does not join"},
+	}
+	for _, c := range cases {
+		_, err := ParsePNML([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}

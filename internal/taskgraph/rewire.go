@@ -1,0 +1,197 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupTasks rewires the graph so that the named member tasks become the
+// body of a new group task. This is the graphical "group" operation of
+// §3.3 ("Tools have to be grouped in order to be distributed"): data
+// connections wholly inside the member set move into the subgraph;
+// boundary connections are redirected to fresh input/output nodes on the
+// group task, and the group records the internal endpoints those nodes map
+// to (the node0-of-GroupTask → node0-of-Gaussian mapping of Code Segment 1).
+//
+// The resulting group task has ControlUnit unset; callers attach a
+// distribution policy afterwards.
+func (g *Graph) GroupTasks(groupName string, members []string) (*Task, error) {
+	if g.Find(groupName) != nil {
+		return nil, fmt.Errorf("taskgraph: group name %q already taken", groupName)
+	}
+	inSet := make(map[string]bool, len(members))
+	for _, m := range members {
+		t := g.Find(m)
+		if t == nil {
+			return nil, fmt.Errorf("taskgraph: group member %q not found", m)
+		}
+		if inSet[m] {
+			return nil, fmt.Errorf("taskgraph: duplicate group member %q", m)
+		}
+		inSet[m] = true
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("taskgraph: empty group")
+	}
+
+	sub := New(groupName)
+	// Move member tasks into the subgraph preserving graph order.
+	var kept []*Task
+	for _, t := range g.Tasks {
+		if inSet[t.Name] {
+			sub.Tasks = append(sub.Tasks, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	g.Tasks = kept
+
+	group := &Task{Name: groupName, Group: sub}
+
+	// Partition connections. Boundary inputs in deterministic order: we
+	// walk the connection list once, assigning group nodes in encounter
+	// order so repeated runs produce identical wiring.
+	var keptConns []*Connection
+	for _, c := range g.Connections {
+		fromIn, toIn := inSet[c.From.Task], inSet[c.To.Task]
+		switch {
+		case fromIn && toIn:
+			sub.Connections = append(sub.Connections, c)
+		case !fromIn && toIn:
+			// External producer feeds a member: becomes group input node.
+			node := len(sub.ExternalIn)
+			sub.ExternalIn = append(sub.ExternalIn, c.To)
+			keptConns = append(keptConns, &Connection{
+				From: c.From, To: Endpoint{groupName, node},
+				Label: c.Label, Control: c.Control,
+			})
+		case fromIn && !toIn:
+			node := len(sub.ExternalOut)
+			sub.ExternalOut = append(sub.ExternalOut, c.From)
+			keptConns = append(keptConns, &Connection{
+				From: Endpoint{groupName, node}, To: c.To,
+				Label: c.Label, Control: c.Control,
+			})
+		default:
+			keptConns = append(keptConns, c)
+		}
+	}
+	group.In = len(sub.ExternalIn)
+	group.Out = len(sub.ExternalOut)
+	g.Connections = keptConns
+	if err := g.Add(group); err != nil {
+		return nil, err
+	}
+	return group, nil
+}
+
+// Inline replaces the named group task with its members, restoring the
+// pre-GroupTasks shape (member and connection identities are preserved;
+// ordering may differ). It fails when the name does not refer to a group
+// or when inlining would collide with an existing task name.
+func (g *Graph) Inline(groupName string) error {
+	gt := g.Find(groupName)
+	if gt == nil || !gt.IsGroup() {
+		return fmt.Errorf("taskgraph: %q is not a group task", groupName)
+	}
+	sub := gt.Group
+	for _, t := range sub.Tasks {
+		if g.Find(t.Name) != nil {
+			return fmt.Errorf("taskgraph: inlining %q collides with task %q", groupName, t.Name)
+		}
+	}
+
+	// Remove the group task but keep its boundary connections for rewiring.
+	var boundary []*Connection
+	var keptConns []*Connection
+	for _, c := range g.Connections {
+		if c.From.Task == groupName || c.To.Task == groupName {
+			boundary = append(boundary, c)
+		} else {
+			keptConns = append(keptConns, c)
+		}
+	}
+	var keptTasks []*Task
+	for _, t := range g.Tasks {
+		if t.Name != groupName {
+			keptTasks = append(keptTasks, t)
+		}
+	}
+	g.Tasks = append(keptTasks, sub.Tasks...)
+	g.Connections = append(keptConns, sub.Connections...)
+
+	for _, c := range boundary {
+		nc := *c
+		if c.To.Task == groupName {
+			if c.To.Node >= len(sub.ExternalIn) {
+				return fmt.Errorf("taskgraph: group %q input node %d unmapped", groupName, c.To.Node)
+			}
+			nc.To = sub.ExternalIn[c.To.Node]
+		}
+		if c.From.Task == groupName {
+			if c.From.Node >= len(sub.ExternalOut) {
+				return fmt.Errorf("taskgraph: group %q output node %d unmapped", groupName, c.From.Node)
+			}
+			nc.From = sub.ExternalOut[c.From.Node]
+		}
+		g.Connections = append(g.Connections, &nc)
+	}
+	return nil
+}
+
+// BoundaryLabels returns the labels of the connections crossing into and
+// out of the named group task, in node order. Distribution uses these as
+// pipe names: "the initial unique labelling of the group's connection
+// enables the local and remote services to map input/output pipes to each
+// of these connections" (§3.5). It fails if any boundary connection is
+// still unlabelled.
+func (g *Graph) BoundaryLabels(groupName string) (in, out []string, err error) {
+	gt := g.Find(groupName)
+	if gt == nil || !gt.IsGroup() {
+		return nil, nil, fmt.Errorf("taskgraph: %q is not a group task", groupName)
+	}
+	in = make([]string, gt.In)
+	out = make([]string, gt.Out)
+	for _, c := range g.Connections {
+		if c.Control {
+			continue
+		}
+		if c.To.Task == groupName {
+			if c.Label == "" {
+				return nil, nil, fmt.Errorf("taskgraph: unlabelled input connection %s->%s", c.From, c.To)
+			}
+			in[c.To.Node] = c.Label
+		}
+		if c.From.Task == groupName {
+			if c.Label == "" {
+				return nil, nil, fmt.Errorf("taskgraph: unlabelled output connection %s->%s", c.From, c.To)
+			}
+			out[c.From.Node] = c.Label
+		}
+	}
+	return in, out, nil
+}
+
+// GroupNames returns the names of all group tasks in the graph, sorted.
+func (g *Graph) GroupNames() []string {
+	var out []string
+	for _, t := range g.Tasks {
+		if t.IsGroup() {
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotate sets the placement of the named task (group or unit), recording
+// the peer the controller assigned it to. It reports whether the task was
+// found at the top level.
+func (g *Graph) Annotate(taskName, peerID string) bool {
+	t := g.Find(taskName)
+	if t == nil {
+		return false
+	}
+	t.Placement = peerID
+	return true
+}

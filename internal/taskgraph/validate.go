@@ -1,0 +1,170 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"consumergrid/internal/types"
+)
+
+// UnitMeta is the slice of unit metadata the validator needs: declared
+// node counts and per-node type names. The units package implements
+// Resolver over its registry; keeping the interface here avoids an import
+// cycle and lets tests stub metadata.
+type UnitMeta struct {
+	// InTypes[i] lists the type names accepted on input node i. An empty
+	// inner slice (or AnyType) accepts anything.
+	InTypes [][]string
+	// OutTypes[i] names the type produced on output node i.
+	OutTypes []string
+}
+
+// Resolver looks up metadata for a unit name.
+type Resolver interface {
+	Lookup(unit string) (UnitMeta, bool)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(unit string) (UnitMeta, bool)
+
+// Lookup implements Resolver.
+func (f ResolverFunc) Lookup(unit string) (UnitMeta, bool) { return f(unit) }
+
+// Validate checks structural well-formedness and, when res is non-nil,
+// type-compatibility of every data connection ("type checking on their
+// connectivity", §3.1). It returns the first problem found.
+//
+// Checks performed, recursively through groups:
+//   - task names unique and non-empty (enforced at Add, re-checked for
+//     graphs built by direct struct manipulation)
+//   - every connection endpoint names an existing task and a node index
+//     within the task's declared range
+//   - no two data connections feed the same input node
+//   - group external endpoints reference tasks inside the group
+//   - unknown units are an error when res is non-nil
+//   - producer output type assignable to consumer input type
+func (g *Graph) Validate(res Resolver) error {
+	seen := make(map[string]bool, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("taskgraph %q: task with empty name", g.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("taskgraph %q: duplicate task %q", g.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.IsGroup() && t.Unit != "" {
+			return fmt.Errorf("taskgraph %q: task %q is both unit and group", g.Name, t.Name)
+		}
+		if !t.IsGroup() && t.Unit == "" {
+			return fmt.Errorf("taskgraph %q: task %q has neither unit nor group", g.Name, t.Name)
+		}
+		if t.In < 0 || t.Out < 0 {
+			return fmt.Errorf("taskgraph %q: task %q has negative node count", g.Name, t.Name)
+		}
+		if t.IsGroup() {
+			sub := t.Group
+			if err := sub.Validate(res); err != nil {
+				return err
+			}
+			if len(sub.ExternalIn) != t.In || len(sub.ExternalOut) != t.Out {
+				return fmt.Errorf("taskgraph %q: group %q declares %d/%d nodes but maps %d/%d",
+					g.Name, t.Name, t.In, t.Out, len(sub.ExternalIn), len(sub.ExternalOut))
+			}
+			for _, e := range append(append([]Endpoint{}, sub.ExternalIn...), sub.ExternalOut...) {
+				inner := sub.Find(e.Task)
+				if inner == nil {
+					return fmt.Errorf("taskgraph %q: group %q external endpoint %s names unknown task",
+						g.Name, t.Name, e)
+				}
+			}
+		} else if res != nil {
+			if _, ok := res.Lookup(t.Unit); !ok {
+				return fmt.Errorf("taskgraph %q: task %q uses unknown unit %q", g.Name, t.Name, t.Unit)
+			}
+		}
+	}
+
+	inputTaken := make(map[Endpoint]bool)
+	for _, c := range g.Connections {
+		from := g.Find(c.From.Task)
+		if from == nil {
+			return fmt.Errorf("taskgraph %q: connection %s->%s: unknown source task", g.Name, c.From, c.To)
+		}
+		to := g.Find(c.To.Task)
+		if to == nil {
+			return fmt.Errorf("taskgraph %q: connection %s->%s: unknown target task", g.Name, c.From, c.To)
+		}
+		if c.Control {
+			continue // control connections bypass node ranges and typing
+		}
+		if c.From.Node < 0 || c.From.Node >= from.Out {
+			return fmt.Errorf("taskgraph %q: connection %s->%s: source node out of range (task has %d outputs)",
+				g.Name, c.From, c.To, from.Out)
+		}
+		if c.To.Node < 0 || c.To.Node >= to.In {
+			return fmt.Errorf("taskgraph %q: connection %s->%s: target node out of range (task has %d inputs)",
+				g.Name, c.From, c.To, to.In)
+		}
+		if inputTaken[c.To] {
+			return fmt.Errorf("taskgraph %q: input node %s has multiple producers", g.Name, c.To)
+		}
+		inputTaken[c.To] = true
+
+		if res != nil {
+			outType, ok := g.outputType(from, c.From.Node, res)
+			if !ok {
+				continue // group boundary unresolvable without recursion metadata
+			}
+			accepted, ok := g.inputTypes(to, c.To.Node, res)
+			if !ok {
+				continue
+			}
+			if !types.CompatibleAny(outType, accepted) {
+				return fmt.Errorf("taskgraph %q: connection %s->%s: type %s not assignable to %v",
+					g.Name, c.From, c.To, outType, accepted)
+			}
+		}
+	}
+	return nil
+}
+
+// outputType resolves the concrete type produced on node idx of task t,
+// following group boundaries into the nested graph.
+func (g *Graph) outputType(t *Task, idx int, res Resolver) (string, bool) {
+	if !t.IsGroup() {
+		m, ok := res.Lookup(t.Unit)
+		if !ok || idx >= len(m.OutTypes) {
+			return "", false
+		}
+		return m.OutTypes[idx], true
+	}
+	if idx >= len(t.Group.ExternalOut) {
+		return "", false
+	}
+	e := t.Group.ExternalOut[idx]
+	inner := t.Group.Find(e.Task)
+	if inner == nil {
+		return "", false
+	}
+	return t.Group.outputType(inner, e.Node, res)
+}
+
+// inputTypes resolves the accepted type names on input node idx of task t.
+func (g *Graph) inputTypes(t *Task, idx int, res Resolver) ([]string, bool) {
+	if !t.IsGroup() {
+		m, ok := res.Lookup(t.Unit)
+		if !ok || idx >= len(m.InTypes) {
+			return nil, false
+		}
+		return m.InTypes[idx], true
+	}
+	if idx >= len(t.Group.ExternalIn) {
+		return nil, false
+	}
+	e := t.Group.ExternalIn[idx]
+	inner := t.Group.Find(e.Task)
+	if inner == nil {
+		return nil, false
+	}
+	return t.Group.inputTypes(inner, e.Node, res)
+}

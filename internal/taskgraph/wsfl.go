@@ -1,0 +1,99 @@
+package taskgraph
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// The paper notes a Triana network may be written "directly by writing an
+// XML taskgraph (in Web Services Flow Language (WSFL), Petri net or
+// Business Process Enactment Language for Web Services (BPEL4WS) formats)".
+// This file implements a WSFL-flavoured import/export: a <flowModel> of
+// <activity> elements joined by <dataLink> elements. Groups are not
+// expressible in this dialect (WSFL flattens them), so export inlines
+// nothing and simply rejects graphs containing groups.
+
+type wsflFlowModel struct {
+	XMLName    xml.Name       `xml:"flowModel"`
+	Name       string         `xml:"name,attr"`
+	Activities []wsflActivity `xml:"activity"`
+	Links      []wsflDataLink `xml:"dataLink"`
+}
+
+type wsflActivity struct {
+	Name      string `xml:"name,attr"`
+	Operation string `xml:"operation,attr"` // maps to the Triana unit name
+	In        int    `xml:"inputs,attr,omitempty"`
+	Out       int    `xml:"outputs,attr,omitempty"`
+}
+
+type wsflDataLink struct {
+	Source     string `xml:"source,attr"`
+	SourcePort int    `xml:"sourcePort,attr,omitempty"`
+	Target     string `xml:"target,attr"`
+	TargetPort int    `xml:"targetPort,attr,omitempty"`
+}
+
+// ParseWSFL converts a WSFL flowModel document into a Graph. Activities
+// become unit tasks; dataLinks become connections.
+func ParseWSFL(b []byte) (*Graph, error) {
+	var fm wsflFlowModel
+	if err := xml.Unmarshal(b, &fm); err != nil {
+		return nil, fmt.Errorf("taskgraph: bad WSFL: %w", err)
+	}
+	g := New(fm.Name)
+	for _, a := range fm.Activities {
+		if a.Operation == "" {
+			return nil, fmt.Errorf("taskgraph: WSFL activity %q missing operation", a.Name)
+		}
+		in, out := a.In, a.Out
+		if err := g.Add(&Task{Name: a.Name, Unit: a.Operation, In: in, Out: out}); err != nil {
+			return nil, err
+		}
+	}
+	// Infer node counts for activities that omitted them: WSFL tooling
+	// frequently leaves ports implicit, so widen to fit the links.
+	for _, l := range fm.Links {
+		src := g.Find(l.Source)
+		dst := g.Find(l.Target)
+		if src == nil || dst == nil {
+			return nil, fmt.Errorf("taskgraph: WSFL dataLink %s->%s names unknown activity",
+				l.Source, l.Target)
+		}
+		if l.SourcePort >= src.Out {
+			src.Out = l.SourcePort + 1
+		}
+		if l.TargetPort >= dst.In {
+			dst.In = l.TargetPort + 1
+		}
+		g.Connect(Endpoint{l.Source, l.SourcePort}, Endpoint{l.Target, l.TargetPort})
+	}
+	return g, nil
+}
+
+// MarshalWSFL renders a flat (group-free) graph as a WSFL flowModel.
+func (g *Graph) MarshalWSFL() ([]byte, error) {
+	fm := wsflFlowModel{Name: g.Name}
+	for _, t := range g.Tasks {
+		if t.IsGroup() {
+			return nil, fmt.Errorf("taskgraph: WSFL cannot express group task %q; inline it first", t.Name)
+		}
+		fm.Activities = append(fm.Activities, wsflActivity{
+			Name: t.Name, Operation: t.Unit, In: t.In, Out: t.Out,
+		})
+	}
+	for _, c := range g.Connections {
+		if c.Control {
+			continue
+		}
+		fm.Links = append(fm.Links, wsflDataLink{
+			Source: c.From.Task, SourcePort: c.From.Node,
+			Target: c.To.Task, TargetPort: c.To.Node,
+		})
+	}
+	out, err := xml.MarshalIndent(fm, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}

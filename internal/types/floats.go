@@ -1,0 +1,37 @@
+package types
+
+// Floats returns the underlying numeric slice of any Vec-family value
+// (Vec, SampleSet, Spectrum, Histogram) together with true, or (nil,
+// false) for other types. The returned slice aliases the value's storage;
+// callers that mutate must Clone first.
+func Floats(d Data) ([]float64, bool) {
+	switch v := d.(type) {
+	case *Vec:
+		return v.Values, true
+	case *SampleSet:
+		return v.Samples, true
+	case *Spectrum:
+		return v.Amplitudes, true
+	case *Histogram:
+		return v.Counts, true
+	default:
+		return nil, false
+	}
+}
+
+// LikeWith returns a new value of the same concrete Vec-family type as
+// proto, carrying xs as its numeric payload and copying proto's metadata
+// (rate, resolution, bin geometry). It returns a plain Vec for non-family
+// prototypes so arithmetic units always produce something sensible.
+func LikeWith(proto Data, xs []float64) Data {
+	switch v := proto.(type) {
+	case *SampleSet:
+		return &SampleSet{SamplingRate: v.SamplingRate, Start: v.Start, Samples: xs}
+	case *Spectrum:
+		return &Spectrum{Resolution: v.Resolution, Amplitudes: xs}
+	case *Histogram:
+		return &Histogram{Lo: v.Lo, Width: v.Width, Counts: xs}
+	default:
+		return &Vec{Values: xs}
+	}
+}

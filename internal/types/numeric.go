@@ -1,0 +1,439 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+)
+
+// Registered type names for the numeric family. The dotted style follows
+// the Triana class names that appear in the paper's Code Segment 1
+// ("triana.types.SampleSet").
+const (
+	NameVec             = "triana.types.VectorType"
+	NameConst           = "triana.types.Const"
+	NameSampleSet       = "triana.types.SampleSet"
+	NameSpectrum        = "triana.types.Spectrum"
+	NameComplexSpectrum = "triana.types.ComplexSpectrum"
+	NameMatrix          = "triana.types.MatrixType"
+	NameHistogram       = "triana.types.Histogram"
+)
+
+func init() {
+	Register(NameVec, "", decodeVec)
+	Register(NameConst, "", decodeConst)
+	Register(NameSampleSet, NameVec, decodeSampleSet)
+	Register(NameSpectrum, NameVec, decodeSpectrum)
+	Register(NameComplexSpectrum, "", decodeComplexSpectrum)
+	Register(NameMatrix, "", decodeMatrix)
+	Register(NameHistogram, NameVec, decodeHistogram)
+}
+
+// Vec is a plain one-dimensional vector of float64 values, the root of the
+// numeric subtype hierarchy: SampleSet, Spectrum and Histogram are all
+// assignable to an input that accepts Vec.
+type Vec struct {
+	Values []float64
+}
+
+// NewVec returns a Vec wrapping a copy of xs.
+func NewVec(xs []float64) *Vec {
+	v := &Vec{Values: make([]float64, len(xs))}
+	copy(v.Values, xs)
+	return v
+}
+
+func (v *Vec) TypeName() string { return NameVec }
+
+func (v *Vec) Clone() Data {
+	c := &Vec{Values: make([]float64, len(v.Values))}
+	copy(c.Values, v.Values)
+	return c
+}
+
+// Len reports the number of elements.
+func (v *Vec) Len() int { return len(v.Values) }
+
+// Sum returns the sum of all elements.
+func (v *Vec) Sum() float64 {
+	var s float64
+	for _, x := range v.Values {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty vector.
+func (v *Vec) Mean() float64 {
+	if len(v.Values) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v.Values))
+}
+
+func (v *Vec) encode(w io.Writer) error { return writeF64Slice(w, v.Values) }
+
+func decodeVec(r io.Reader) (Data, error) {
+	xs, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Vec{Values: xs}, nil
+}
+
+// Const is a single scalar value, used by parameter-producing units and by
+// reductions (e.g. the verification stage of the database pipeline).
+type Const struct {
+	Value float64
+}
+
+func (c *Const) TypeName() string         { return NameConst }
+func (c *Const) Clone() Data              { cc := *c; return &cc }
+func (c *Const) encode(w io.Writer) error { return writeF64(w, c.Value) }
+
+func decodeConst(r io.Reader) (Data, error) {
+	f, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Const{Value: f}, nil
+}
+
+// SampleSet is a uniformly-sampled time series: the payload of the paper's
+// Figure 1 workflow and of the GEO600 inspiral scenario (2000 samples/s,
+// 900 s chunks).
+type SampleSet struct {
+	// SamplingRate in samples per second; must be > 0 for a well-formed set.
+	SamplingRate float64
+	// Start is the time offset of the first sample, in seconds, relative
+	// to the stream epoch. It lets chunked streams (E2) retain alignment.
+	Start float64
+	// Samples holds the sample values.
+	Samples []float64
+}
+
+// NewSampleSet returns a SampleSet with the given rate, copying samples.
+func NewSampleSet(rate float64, samples []float64) *SampleSet {
+	s := &SampleSet{SamplingRate: rate, Samples: make([]float64, len(samples))}
+	copy(s.Samples, samples)
+	return s
+}
+
+func (s *SampleSet) TypeName() string { return NameSampleSet }
+
+func (s *SampleSet) Clone() Data {
+	c := &SampleSet{SamplingRate: s.SamplingRate, Start: s.Start,
+		Samples: make([]float64, len(s.Samples))}
+	copy(c.Samples, s.Samples)
+	return c
+}
+
+// Duration reports the time span covered by the samples, in seconds.
+func (s *SampleSet) Duration() float64 {
+	if s.SamplingRate <= 0 {
+		return 0
+	}
+	return float64(len(s.Samples)) / s.SamplingRate
+}
+
+// RMS returns the root-mean-square amplitude.
+func (s *SampleSet) RMS() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.Samples {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(len(s.Samples)))
+}
+
+func (s *SampleSet) encode(w io.Writer) error {
+	if err := writeF64(w, s.SamplingRate); err != nil {
+		return err
+	}
+	if err := writeF64(w, s.Start); err != nil {
+		return err
+	}
+	return writeF64Slice(w, s.Samples)
+}
+
+func decodeSampleSet(r io.Reader) (Data, error) {
+	rate, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	start, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SampleSet{SamplingRate: rate, Start: start, Samples: xs}, nil
+}
+
+// Spectrum is a one-sided real power (or amplitude) spectrum with uniform
+// frequency resolution.
+type Spectrum struct {
+	// Resolution is the width of one bin in Hz.
+	Resolution float64
+	// Amplitudes holds one value per frequency bin, bin i covering
+	// [i*Resolution, (i+1)*Resolution).
+	Amplitudes []float64
+}
+
+func (s *Spectrum) TypeName() string { return NameSpectrum }
+
+func (s *Spectrum) Clone() Data {
+	c := &Spectrum{Resolution: s.Resolution,
+		Amplitudes: make([]float64, len(s.Amplitudes))}
+	copy(c.Amplitudes, s.Amplitudes)
+	return c
+}
+
+// PeakBin returns the index and value of the largest amplitude, or (-1, 0)
+// for an empty spectrum.
+func (s *Spectrum) PeakBin() (int, float64) {
+	best, bestV := -1, math.Inf(-1)
+	for i, a := range s.Amplitudes {
+		if a > bestV {
+			best, bestV = i, a
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	return best, bestV
+}
+
+// PeakFrequency returns the centre frequency of the peak bin.
+func (s *Spectrum) PeakFrequency() float64 {
+	i, _ := s.PeakBin()
+	if i < 0 {
+		return 0
+	}
+	return (float64(i) + 0.5) * s.Resolution
+}
+
+func (s *Spectrum) encode(w io.Writer) error {
+	if err := writeF64(w, s.Resolution); err != nil {
+		return err
+	}
+	return writeF64Slice(w, s.Amplitudes)
+}
+
+func decodeSpectrum(r io.Reader) (Data, error) {
+	res, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Spectrum{Resolution: res, Amplitudes: xs}, nil
+}
+
+// ComplexSpectrum is a full complex FFT result, kept in split re/im form so
+// the wire codec stays simple and SIMD-friendly.
+type ComplexSpectrum struct {
+	// Resolution is the width of one bin in Hz.
+	Resolution float64
+	Re, Im     []float64
+}
+
+func (s *ComplexSpectrum) TypeName() string { return NameComplexSpectrum }
+
+func (s *ComplexSpectrum) Clone() Data {
+	c := &ComplexSpectrum{Resolution: s.Resolution,
+		Re: make([]float64, len(s.Re)), Im: make([]float64, len(s.Im))}
+	copy(c.Re, s.Re)
+	copy(c.Im, s.Im)
+	return c
+}
+
+// Len reports the number of bins.
+func (s *ComplexSpectrum) Len() int { return len(s.Re) }
+
+// At returns bin i as a complex128.
+func (s *ComplexSpectrum) At(i int) complex128 {
+	return complex(s.Re[i], s.Im[i])
+}
+
+// Abs returns the magnitude of bin i.
+func (s *ComplexSpectrum) Abs(i int) float64 { return cmplx.Abs(s.At(i)) }
+
+// Valid reports whether the re and im slices agree in length.
+func (s *ComplexSpectrum) Valid() bool { return len(s.Re) == len(s.Im) }
+
+func (s *ComplexSpectrum) encode(w io.Writer) error {
+	if !s.Valid() {
+		return errors.New("types: ComplexSpectrum re/im length mismatch")
+	}
+	if err := writeF64(w, s.Resolution); err != nil {
+		return err
+	}
+	if err := writeF64Slice(w, s.Re); err != nil {
+		return err
+	}
+	return writeF64Slice(w, s.Im)
+}
+
+func decodeComplexSpectrum(r io.Reader) (Data, error) {
+	res, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	re, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	im, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(re) != len(im) {
+		return nil, errors.New("types: ComplexSpectrum re/im length mismatch in stream")
+	}
+	return &ComplexSpectrum{Resolution: res, Re: re, Im: im}, nil
+}
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	// Cells has length Rows*Cols, row-major.
+	Cells []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("types: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Cells: make([]float64, rows*cols)}
+}
+
+func (m *Matrix) TypeName() string { return NameMatrix }
+
+func (m *Matrix) Clone() Data {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, Cells: make([]float64, len(m.Cells))}
+	copy(c.Cells, m.Cells)
+	return c
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Cells[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Cells[r*m.Cols+c] = v }
+
+// Valid reports whether the cell count matches the declared shape.
+func (m *Matrix) Valid() bool {
+	return m.Rows >= 0 && m.Cols >= 0 && len(m.Cells) == m.Rows*m.Cols
+}
+
+func (m *Matrix) encode(w io.Writer) error {
+	if !m.Valid() {
+		return fmt.Errorf("types: matrix shape %dx%d does not match %d cells",
+			m.Rows, m.Cols, len(m.Cells))
+	}
+	if err := writeUvarint(w, uint64(m.Rows)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(m.Cols)); err != nil {
+		return err
+	}
+	return writeF64Slice(w, m.Cells)
+}
+
+func decodeMatrix(r io.Reader) (Data, error) {
+	rows, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Rows: int(rows), Cols: int(cols), Cells: cells}
+	if !m.Valid() {
+		return nil, fmt.Errorf("types: matrix shape %dx%d does not match %d cells",
+			m.Rows, m.Cols, len(m.Cells))
+	}
+	return m, nil
+}
+
+// Histogram is a binned distribution with uniform bin width, produced by
+// statistics units and consumed by graphing/verification units.
+type Histogram struct {
+	// Lo is the lower edge of the first bin; Width the width of each bin.
+	Lo, Width float64
+	Counts    []float64
+}
+
+func (h *Histogram) TypeName() string { return NameHistogram }
+
+func (h *Histogram) Clone() Data {
+	c := &Histogram{Lo: h.Lo, Width: h.Width, Counts: make([]float64, len(h.Counts))}
+	copy(c.Counts, h.Counts)
+	return c
+}
+
+// Total returns the sum of all bin counts.
+func (h *Histogram) Total() float64 {
+	var s float64
+	for _, c := range h.Counts {
+		s += c
+	}
+	return s
+}
+
+// Add accumulates value v into the appropriate bin; out-of-range values
+// clamp to the first or last bin so nothing is silently dropped.
+func (h *Histogram) Add(v float64) {
+	if len(h.Counts) == 0 || h.Width <= 0 {
+		return
+	}
+	i := int(math.Floor((v - h.Lo) / h.Width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+func (h *Histogram) encode(w io.Writer) error {
+	if err := writeF64(w, h.Lo); err != nil {
+		return err
+	}
+	if err := writeF64(w, h.Width); err != nil {
+		return err
+	}
+	return writeF64Slice(w, h.Counts)
+}
+
+func decodeHistogram(r io.Reader) (Data, error) {
+	lo, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	width, err := readF64(r)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := readF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: counts}, nil
+}

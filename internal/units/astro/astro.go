@@ -1,0 +1,221 @@
+// Package astro implements the galaxy-formation units of §3.6.1: a
+// synthetic stand-in for the Cardiff group's Java galaxy-formation code
+// (GalaxyGen, producing particle snapshots over time) and the view
+// transformation that re-projects a snapshot when the user changes the
+// viewing angle. The column-density renderer lives in the imaging
+// package; together they reproduce the farm-out-frames workload.
+package astro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameGalaxyGen   = "triana.astro.GalaxyGen"
+	NameViewProject = "triana.astro.ViewProject"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameGalaxyGen,
+		Description: "Synthesises galaxy-formation snapshots: Plummer-sphere clusters drifting and collapsing over time; one ParticleSet frame per iteration.",
+		In:          0, Out: 1,
+		OutTypes: []string{types.NameParticleSet},
+		Params: []units.ParamSpec{
+			{Name: "particles", Default: "2000", Description: "particles per snapshot"},
+			{Name: "clusters", Default: "3", Description: "number of proto-clusters"},
+			{Name: "seed", Default: "42", Description: "deterministic initial conditions"},
+			{Name: "dt", Default: "0.05", Description: "simulation time per frame"},
+		},
+		Stateful: true,
+	}, func() units.Unit { return &GalaxyGen{} })
+
+	units.Register(units.Meta{
+		Name:        NameViewProject,
+		Description: "Rotates a ParticleSet by azimuth/elevation so a different 2D slice can be rendered (the §3.6.1 'vary the perspective of view').",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameParticleSet}},
+		OutTypes: []string{types.NameParticleSet},
+		Params: []units.ParamSpec{
+			{Name: "azimuth", Default: "0", Description: "rotation about z, degrees"},
+			{Name: "elevation", Default: "0", Description: "rotation about x, degrees"},
+		},
+	}, func() units.Unit { return &ViewProject{} })
+}
+
+// cluster is one Plummer-like proto-cluster.
+type cluster struct {
+	cx, cy, cz    float64 // centre
+	vx, vy, vz    float64 // drift velocity
+	scale         float64 // Plummer radius
+	collapseRate  float64 // scale shrink per unit time (gravitational collapse proxy)
+	particleStart int
+	particleCount int
+}
+
+// GalaxyGen produces a deterministic time sequence of particle snapshots.
+// Initial conditions are drawn once from the seed; each Process advances
+// time by dt and emits the analytic state, so any frame can be recomputed
+// independently on any peer (which is what makes the farm-out correct).
+type GalaxyGen struct {
+	n, nClusters int
+	seed         int64
+	dt           float64
+
+	clusters []cluster
+	// base holds the particles' initial offsets from their cluster centre,
+	// in units of the initial scale.
+	baseX, baseY, baseZ []float64
+	mass                []float64
+	frame               int
+}
+
+// Name implements Unit.
+func (g *GalaxyGen) Name() string { return NameGalaxyGen }
+
+// Init implements Unit.
+func (g *GalaxyGen) Init(p units.Params) error {
+	var err error
+	if g.n, err = p.Int("particles", 2000); err != nil {
+		return err
+	}
+	if g.nClusters, err = p.Int("clusters", 3); err != nil {
+		return err
+	}
+	if g.seed, err = p.Int64("seed", 42); err != nil {
+		return err
+	}
+	if g.dt, err = p.Float("dt", 0.05); err != nil {
+		return err
+	}
+	if g.n <= 0 || g.nClusters <= 0 || g.nClusters > g.n {
+		return fmt.Errorf("astro: GalaxyGen needs 0 < clusters <= particles")
+	}
+	g.generateInitialConditions()
+	return nil
+}
+
+func (g *GalaxyGen) generateInitialConditions() {
+	rng := rand.New(rand.NewSource(g.seed))
+	g.baseX = make([]float64, g.n)
+	g.baseY = make([]float64, g.n)
+	g.baseZ = make([]float64, g.n)
+	g.mass = make([]float64, g.n)
+	g.clusters = make([]cluster, g.nClusters)
+	per := g.n / g.nClusters
+	for c := range g.clusters {
+		start := c * per
+		count := per
+		if c == g.nClusters-1 {
+			count = g.n - start
+		}
+		g.clusters[c] = cluster{
+			cx: rng.Float64()*4 - 2, cy: rng.Float64()*4 - 2, cz: rng.Float64()*4 - 2,
+			vx: rng.NormFloat64() * 0.2, vy: rng.NormFloat64() * 0.2, vz: rng.NormFloat64() * 0.2,
+			scale:         0.3 + rng.Float64()*0.5,
+			collapseRate:  0.2 + rng.Float64()*0.3,
+			particleStart: start, particleCount: count,
+		}
+		for i := start; i < start+count; i++ {
+			// Plummer-ish radial profile: dense core, sparse halo.
+			r := math.Pow(rng.Float64(), 2.0)
+			theta := math.Acos(2*rng.Float64() - 1)
+			phi := 2 * math.Pi * rng.Float64()
+			g.baseX[i] = r * math.Sin(theta) * math.Cos(phi)
+			g.baseY[i] = r * math.Sin(theta) * math.Sin(phi)
+			g.baseZ[i] = r * math.Cos(theta)
+			g.mass[i] = 0.5 + rng.Float64()
+		}
+	}
+}
+
+// SnapshotAt computes the analytic particle state at frame index f.
+func (g *GalaxyGen) SnapshotAt(f int) *types.ParticleSet {
+	t := float64(f) * g.dt
+	ps := types.NewParticleSet(g.n)
+	ps.Time = t
+	ps.Frame = f
+	for _, c := range g.clusters {
+		// The cluster drifts and its scale collapses toward a floor.
+		scale := c.scale * math.Exp(-c.collapseRate*t)
+		if scale < 0.05 {
+			scale = 0.05
+		}
+		cx := c.cx + c.vx*t
+		cy := c.cy + c.vy*t
+		cz := c.cz + c.vz*t
+		for i := c.particleStart; i < c.particleStart+c.particleCount; i++ {
+			ps.X[i] = cx + g.baseX[i]*scale
+			ps.Y[i] = cy + g.baseY[i]*scale
+			ps.Z[i] = cz + g.baseZ[i]*scale
+			ps.Mass[i] = g.mass[i]
+			ps.Smoothing[i] = scale * 0.3
+		}
+	}
+	return ps
+}
+
+// Process implements Unit.
+func (g *GalaxyGen) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameGalaxyGen, 0, in); err != nil {
+		return nil, err
+	}
+	ps := g.SnapshotAt(g.frame)
+	g.frame++
+	return []types.Data{ps}, nil
+}
+
+// Reset implements Resettable.
+func (g *GalaxyGen) Reset() { g.frame = 0 }
+
+// ViewProject rotates positions so the renderer's fixed x/y projection
+// yields a different slice.
+type ViewProject struct {
+	az, el float64 // radians
+}
+
+// Name implements Unit.
+func (v *ViewProject) Name() string { return NameViewProject }
+
+// Init implements Unit.
+func (v *ViewProject) Init(p units.Params) error {
+	azDeg, err := p.Float("azimuth", 0)
+	if err != nil {
+		return err
+	}
+	elDeg, err := p.Float("elevation", 0)
+	if err != nil {
+		return err
+	}
+	v.az = azDeg * math.Pi / 180
+	v.el = elDeg * math.Pi / 180
+	return nil
+}
+
+// Process implements Unit.
+func (v *ViewProject) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameViewProject, 1, in); err != nil {
+		return nil, err
+	}
+	ps, ok := in[0].(*types.ParticleSet)
+	if !ok {
+		return nil, fmt.Errorf("astro: ViewProject got %s", in[0].TypeName())
+	}
+	out := ps.Clone().(*types.ParticleSet)
+	sinA, cosA := math.Sin(v.az), math.Cos(v.az)
+	sinE, cosE := math.Sin(v.el), math.Cos(v.el)
+	for i := range out.X {
+		// Rotate about z (azimuth), then about x (elevation).
+		x, y, z := out.X[i], out.Y[i], out.Z[i]
+		x, y = x*cosA-y*sinA, x*sinA+y*cosA
+		y, z = y*cosE-z*sinE, y*sinE+z*cosE
+		out.X[i], out.Y[i], out.Z[i] = x, y, z
+	}
+	return []types.Data{out}, nil
+}

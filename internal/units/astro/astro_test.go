@@ -1,0 +1,156 @@
+package astro
+
+import (
+	"math"
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func newGen(t *testing.T, p units.Params) *GalaxyGen {
+	t.Helper()
+	u, err := units.New(NameGalaxyGen, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return u.(*GalaxyGen)
+}
+
+func TestGalaxyGenDeterministicSnapshots(t *testing.T) {
+	a := newGen(t, units.Params{"particles": "500", "seed": "9"})
+	b := newGen(t, units.Params{"particles": "500", "seed": "9"})
+	sa := a.SnapshotAt(5)
+	sb := b.SnapshotAt(5)
+	if sa.Len() != 500 || !sa.Valid() {
+		t.Fatalf("snapshot invalid: n=%d", sa.Len())
+	}
+	for i := range sa.X {
+		if sa.X[i] != sb.X[i] || sa.Mass[i] != sb.Mass[i] {
+			t.Fatal("same seed produced different snapshots")
+		}
+	}
+	diff := newGen(t, units.Params{"particles": "500", "seed": "10"})
+	sd := diff.SnapshotAt(5)
+	same := true
+	for i := range sa.X {
+		if sa.X[i] != sd.X[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical snapshots")
+	}
+}
+
+func TestGalaxyGenFramesEvolveAndAreIndependent(t *testing.T) {
+	g := newGen(t, units.Params{"particles": "300", "clusters": "2", "dt": "0.1"})
+	ctx := units.TestContext()
+	out0, err := g.Process(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := g.Process(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := out0[0].(*types.ParticleSet)
+	f1 := out1[0].(*types.ParticleSet)
+	if f0.Frame != 0 || f1.Frame != 1 {
+		t.Errorf("frames = %d, %d", f0.Frame, f1.Frame)
+	}
+	if math.Abs(f1.Time-0.1) > 1e-12 {
+		t.Errorf("t1 = %g", f1.Time)
+	}
+	// Particles moved between frames.
+	moved := 0
+	for i := range f0.X {
+		if f0.X[i] != f1.X[i] || f0.Y[i] != f1.Y[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no particle moved between frames")
+	}
+	// Analytic independence: SnapshotAt(f) equals the f-th Process output,
+	// so any frame can be computed on any peer without replaying history.
+	direct := g.SnapshotAt(1)
+	for i := range direct.X {
+		if direct.X[i] != f1.X[i] {
+			t.Fatal("SnapshotAt diverges from sequential Process")
+		}
+	}
+	g.Reset()
+	outR, _ := g.Process(ctx, nil)
+	if outR[0].(*types.ParticleSet).Frame != 0 {
+		t.Error("Reset did not rewind frames")
+	}
+}
+
+func TestGalaxyGenClustersCollapse(t *testing.T) {
+	g := newGen(t, units.Params{"particles": "1000", "clusters": "1", "dt": "1"})
+	early := g.SnapshotAt(0)
+	late := g.SnapshotAt(10)
+	spread := func(ps *types.ParticleSet) float64 {
+		var mx, my float64
+		for i := range ps.X {
+			mx += ps.X[i]
+			my += ps.Y[i]
+		}
+		n := float64(ps.Len())
+		mx, my = mx/n, my/n
+		var s float64
+		for i := range ps.X {
+			dx, dy := ps.X[i]-mx, ps.Y[i]-my
+			s += dx*dx + dy*dy
+		}
+		return s / n
+	}
+	if spread(late) >= spread(early) {
+		t.Errorf("cluster did not collapse: early %g late %g", spread(early), spread(late))
+	}
+	// Mass is conserved.
+	if math.Abs(early.TotalMass()-late.TotalMass()) > 1e-9 {
+		t.Error("mass not conserved")
+	}
+}
+
+func TestGalaxyGenValidation(t *testing.T) {
+	if _, err := units.New(NameGalaxyGen, units.Params{"particles": "0"}); err == nil {
+		t.Error("zero particles accepted")
+	}
+	if _, err := units.New(NameGalaxyGen, units.Params{"particles": "2", "clusters": "5"}); err == nil {
+		t.Error("clusters > particles accepted")
+	}
+}
+
+func TestViewProjectRotates(t *testing.T) {
+	ps := types.NewParticleSet(1)
+	ps.X[0] = 1
+	u, err := units.New(NameViewProject, units.Params{"azimuth": "90"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.Process(units.TestContext(), []types.Data{ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0].(*types.ParticleSet)
+	if math.Abs(got.X[0]) > 1e-12 || math.Abs(got.Y[0]-1) > 1e-12 {
+		t.Errorf("rotated to (%g, %g), want (0, 1)", got.X[0], got.Y[0])
+	}
+	if ps.X[0] != 1 {
+		t.Error("input mutated")
+	}
+	// Elevation moves y into z.
+	u2, _ := units.New(NameViewProject, units.Params{"elevation": "90"})
+	out2, _ := u2.Process(units.TestContext(), []types.Data{got})
+	g2 := out2[0].(*types.ParticleSet)
+	if math.Abs(g2.Z[0]-1) > 1e-12 {
+		t.Errorf("elevation rotation wrong: z = %g", g2.Z[0])
+	}
+	if _, err := u.Process(units.TestContext(), []types.Data{&types.Text{}}); err == nil {
+		t.Error("ViewProject accepted Text")
+	}
+}

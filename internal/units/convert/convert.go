@@ -1,0 +1,263 @@
+// Package convert implements the type-conversion units that glue the
+// toolboxes together: Triana's GUI lets users wire heterogeneous units,
+// and these adapters bridge the type system where an automatic subtype
+// relation does not exist (Table columns into vectors, vectors into
+// sample streams, results into text for logging sinks).
+package convert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameVecToSampleSet = "triana.convert.VecToSampleSet"
+	NameToVec          = "triana.convert.ToVec"
+	NameTableColumn    = "triana.convert.TableColumn"
+	NameVecToTable     = "triana.convert.VecToTable"
+	NameConstFormat    = "triana.convert.ConstFormat"
+	NameTableToText    = "triana.convert.TableToText"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameVecToSampleSet,
+		Description: "Stamps a Vec-family payload as a SampleSet with the given sampling rate.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameSampleSet},
+		Params: []units.ParamSpec{
+			{Name: "samplingRate", Default: "1000", Description: "samples per second"},
+		},
+	}, func() units.Unit { return &VecToSampleSet{} })
+
+	units.Register(units.Meta{
+		Name:        NameToVec,
+		Description: "Strips any Vec-family value down to a plain Vec (dropping rate/resolution metadata).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameVec},
+	}, func() units.Unit { return &ToVec{} })
+
+	units.Register(units.Meta{
+		Name:        NameTableColumn,
+		Description: "Extracts one numeric Table column as a Vec (unparseable cells are skipped).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameTable}},
+		OutTypes: []string{types.NameVec},
+		Params: []units.ParamSpec{
+			{Name: "column", Description: "column name to extract"},
+		},
+	}, func() units.Unit { return &TableColumn{} })
+
+	units.Register(units.Meta{
+		Name:        NameVecToTable,
+		Description: "Renders a Vec-family value as a two-column (index, value) Table.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameTable},
+	}, func() units.Unit { return &VecToTable{} })
+
+	units.Register(units.Meta{
+		Name:        NameConstFormat,
+		Description: "Formats a Const as Text using a printf verb (default %g), with an optional prefix.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameConst}},
+		OutTypes: []string{types.NameText},
+		Params: []units.ParamSpec{
+			{Name: "format", Default: "%g", Description: "printf verb for the value"},
+			{Name: "prefix", Description: "text prepended to the formatted value"},
+		},
+	}, func() units.Unit { return &ConstFormat{} })
+
+	units.Register(units.Meta{
+		Name:        NameTableToText,
+		Description: "Renders a Table as tab-separated Text (header row first).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameTable}},
+		OutTypes: []string{types.NameText},
+	}, func() units.Unit { return &TableToText{} })
+}
+
+// VecToSampleSet re-types a vector as a time series.
+type VecToSampleSet struct {
+	rate float64
+}
+
+// Name implements Unit.
+func (v *VecToSampleSet) Name() string { return NameVecToSampleSet }
+
+// Init implements Unit.
+func (v *VecToSampleSet) Init(p units.Params) error {
+	var err error
+	if v.rate, err = p.Float("samplingRate", 1000); err != nil {
+		return err
+	}
+	if v.rate <= 0 {
+		return fmt.Errorf("convert: samplingRate must be positive")
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (v *VecToSampleSet) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameVecToSampleSet, 1, in); err != nil {
+		return nil, err
+	}
+	xs, ok := types.Floats(in[0])
+	if !ok {
+		return nil, fmt.Errorf("convert: VecToSampleSet got %s", in[0].TypeName())
+	}
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return []types.Data{&types.SampleSet{SamplingRate: v.rate, Samples: out}}, nil
+}
+
+// ToVec strips metadata.
+type ToVec struct{}
+
+// Name implements Unit.
+func (*ToVec) Name() string { return NameToVec }
+
+// Init implements Unit.
+func (*ToVec) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*ToVec) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameToVec, 1, in); err != nil {
+		return nil, err
+	}
+	xs, ok := types.Floats(in[0])
+	if !ok {
+		return nil, fmt.Errorf("convert: ToVec got %s", in[0].TypeName())
+	}
+	return []types.Data{types.NewVec(xs)}, nil
+}
+
+// TableColumn extracts a numeric column.
+type TableColumn struct {
+	column string
+}
+
+// Name implements Unit.
+func (t *TableColumn) Name() string { return NameTableColumn }
+
+// Init implements Unit.
+func (t *TableColumn) Init(p units.Params) error {
+	t.column = p.String("column", "")
+	if t.column == "" {
+		return fmt.Errorf("convert: TableColumn needs a column parameter")
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (t *TableColumn) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameTableColumn, 1, in); err != nil {
+		return nil, err
+	}
+	tab, ok := in[0].(*types.Table)
+	if !ok {
+		return nil, fmt.Errorf("convert: TableColumn got %s", in[0].TypeName())
+	}
+	ci := tab.ColumnIndex(t.column)
+	if ci < 0 {
+		return nil, fmt.Errorf("convert: column %q not in table %v", t.column, tab.Columns)
+	}
+	var xs []float64
+	for _, row := range tab.Rows {
+		if f, err := strconv.ParseFloat(row[ci], 64); err == nil {
+			xs = append(xs, f)
+		}
+	}
+	return []types.Data{&types.Vec{Values: xs}}, nil
+}
+
+// VecToTable tabulates values.
+type VecToTable struct{}
+
+// Name implements Unit.
+func (*VecToTable) Name() string { return NameVecToTable }
+
+// Init implements Unit.
+func (*VecToTable) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*VecToTable) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameVecToTable, 1, in); err != nil {
+		return nil, err
+	}
+	xs, ok := types.Floats(in[0])
+	if !ok {
+		return nil, fmt.Errorf("convert: VecToTable got %s", in[0].TypeName())
+	}
+	tab := &types.Table{Columns: []string{"index", "value"}}
+	for i, v := range xs {
+		tab.Rows = append(tab.Rows, []string{
+			strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64),
+		})
+	}
+	return []types.Data{tab}, nil
+}
+
+// ConstFormat renders a scalar as text.
+type ConstFormat struct {
+	format, prefix string
+}
+
+// Name implements Unit.
+func (c *ConstFormat) Name() string { return NameConstFormat }
+
+// Init implements Unit.
+func (c *ConstFormat) Init(p units.Params) error {
+	c.format = p.String("format", "%g")
+	c.prefix = p.String("prefix", "")
+	if !strings.Contains(c.format, "%") {
+		return fmt.Errorf("convert: format %q has no verb", c.format)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (c *ConstFormat) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameConstFormat, 1, in); err != nil {
+		return nil, err
+	}
+	v, ok := in[0].(*types.Const)
+	if !ok {
+		return nil, fmt.Errorf("convert: ConstFormat got %s", in[0].TypeName())
+	}
+	return []types.Data{&types.Text{S: c.prefix + fmt.Sprintf(c.format, v.Value)}}, nil
+}
+
+// TableToText renders a table.
+type TableToText struct{}
+
+// Name implements Unit.
+func (*TableToText) Name() string { return NameTableToText }
+
+// Init implements Unit.
+func (*TableToText) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*TableToText) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameTableToText, 1, in); err != nil {
+		return nil, err
+	}
+	tab, ok := in[0].(*types.Table)
+	if !ok {
+		return nil, fmt.Errorf("convert: TableToText got %s", in[0].TypeName())
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(tab.Columns, "\t"))
+	for _, row := range tab.Rows {
+		b.WriteByte('\n')
+		b.WriteString(strings.Join(row, "\t"))
+	}
+	return []types.Data{&types.Text{S: b.String()}}, nil
+}

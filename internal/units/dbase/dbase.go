@@ -1,0 +1,428 @@
+// Package dbase implements the §3.6.3 database-access scenario: a
+// four-stage pipeline of (1) data access, (2) data manipulation, (3) data
+// visualisation and (4) data verification services. The paper's JDBC
+// bridge is replaced by an in-memory relational store with deterministic
+// synthetic datasets; the pipeline, discovery-driven binding and
+// multi-user manipulation behaviour are what the scenario exercises.
+package dbase
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameDataAccess    = "triana.dbase.DataAccess"
+	NameDataManip     = "triana.dbase.DataManipulate"
+	NameDataVisualise = "triana.dbase.DataVisualise"
+	NameDataVerify    = "triana.dbase.DataVerify"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameDataAccess,
+		Description: "Data access service: reads a named dataset from the in-memory store (the JDBC stand-in) as a Table; optional where=col=value filter.",
+		In:          0, Out: 1,
+		OutTypes: []string{types.NameTable},
+		Params: []units.ParamSpec{
+			{Name: "dataset", Default: "stars", Description: "stars|observations"},
+			{Name: "rows", Default: "1000", Description: "synthetic dataset size"},
+			{Name: "seed", Default: "7", Description: "deterministic dataset seed"},
+			{Name: "where", Description: "optional col=value equality filter"},
+		},
+	}, func() units.Unit { return &DataAccess{} })
+
+	units.Register(units.Meta{
+		Name:        NameDataManip,
+		Description: "Data manipulation service: select columns, filter numerically, sort, or aggregate a Table.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameTable}},
+		OutTypes: []string{types.NameTable},
+		Params: []units.ParamSpec{
+			{Name: "select", Description: "comma-separated columns to keep (empty = all)"},
+			{Name: "min", Description: "optional col>=value numeric filter, form col:value"},
+			{Name: "sortBy", Description: "optional column to sort ascending by (numeric if possible)"},
+			{Name: "limit", Default: "0", Description: "keep at most this many rows (0 = all)"},
+		},
+	}, func() units.Unit { return &DataManip{} })
+
+	units.Register(units.Meta{
+		Name:        NameDataVisualise,
+		Description: "Data visualisation service: bins a numeric Table column into a Histogram.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameTable}},
+		OutTypes: []string{types.NameHistogram},
+		Params: []units.ParamSpec{
+			{Name: "column", Description: "numeric column to bin"},
+			{Name: "bins", Default: "16", Description: "bin count"},
+		},
+	}, func() units.Unit { return &DataVisualise{} })
+
+	units.Register(units.Meta{
+		Name:        NameDataVerify,
+		Description: "Data verification service: checks Table shape, numeric parseability and declared ranges, emitting a verdict Table.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameTable}},
+		OutTypes: []string{types.NameTable},
+		Params: []units.ParamSpec{
+			{Name: "numeric", Description: "comma-separated columns that must parse as numbers"},
+			{Name: "minRows", Default: "1", Description: "minimum acceptable row count"},
+		},
+	}, func() units.Unit { return &DataVerify{} })
+}
+
+// Synthesize builds the named deterministic dataset. Exposed so tests and
+// the gridsim harness can construct expected values independently.
+func Synthesize(dataset string, rows int, seed int64) (*types.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch dataset {
+	case "stars":
+		t := &types.Table{Columns: []string{"id", "name", "magnitude", "distance_pc", "class"}}
+		classes := []string{"O", "B", "A", "F", "G", "K", "M"}
+		for i := 0; i < rows; i++ {
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(i),
+				fmt.Sprintf("star-%04d", i),
+				fmt.Sprintf("%.2f", rng.Float64()*14-1.5),
+				fmt.Sprintf("%.1f", rng.Float64()*2000+1),
+				classes[rng.Intn(len(classes))],
+			})
+		}
+		return t, nil
+	case "observations":
+		t := &types.Table{Columns: []string{"id", "detector", "t_start", "duration_s", "snr"}}
+		detectors := []string{"GEO600", "LIGO-H", "LIGO-L", "VIRGO"}
+		for i := 0; i < rows; i++ {
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(i),
+				detectors[rng.Intn(len(detectors))],
+				strconv.Itoa(1000000000 + i*900), // 15-minute chunks, as in §3.6.2
+				"900",
+				fmt.Sprintf("%.3f", rng.ExpFloat64()*3),
+			})
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("dbase: unknown dataset %q", dataset)
+	}
+}
+
+// DataAccess reads from the store.
+type DataAccess struct {
+	dataset   string
+	rows      int
+	seed      int64
+	whereCol  string
+	whereVal  string
+	hasFilter bool
+}
+
+// Name implements Unit.
+func (d *DataAccess) Name() string { return NameDataAccess }
+
+// Init implements Unit.
+func (d *DataAccess) Init(p units.Params) error {
+	d.dataset = p.String("dataset", "stars")
+	var err error
+	if d.rows, err = p.Int("rows", 1000); err != nil {
+		return err
+	}
+	if d.seed, err = p.Int64("seed", 7); err != nil {
+		return err
+	}
+	if d.rows < 0 {
+		return fmt.Errorf("dbase: negative rows")
+	}
+	if w := p.String("where", ""); w != "" {
+		col, val, ok := strings.Cut(w, "=")
+		if !ok || col == "" {
+			return fmt.Errorf("dbase: bad where clause %q (want col=value)", w)
+		}
+		d.whereCol, d.whereVal, d.hasFilter = col, val, true
+	}
+	// Validate the dataset name eagerly.
+	if _, err := Synthesize(d.dataset, 0, d.seed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (d *DataAccess) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDataAccess, 0, in); err != nil {
+		return nil, err
+	}
+	t, err := Synthesize(d.dataset, d.rows, d.seed)
+	if err != nil {
+		return nil, err
+	}
+	if d.hasFilter {
+		ci := t.ColumnIndex(d.whereCol)
+		if ci < 0 {
+			return nil, fmt.Errorf("dbase: where column %q not in dataset %s", d.whereCol, d.dataset)
+		}
+		kept := t.Rows[:0]
+		for _, row := range t.Rows {
+			if row[ci] == d.whereVal {
+				kept = append(kept, row)
+			}
+		}
+		t.Rows = kept
+	}
+	return []types.Data{t}, nil
+}
+
+// DataManip transforms tables.
+type DataManip struct {
+	selectCols []string
+	minCol     string
+	minVal     float64
+	hasMin     bool
+	sortBy     string
+	limit      int
+}
+
+// Name implements Unit.
+func (m *DataManip) Name() string { return NameDataManip }
+
+// Init implements Unit.
+func (m *DataManip) Init(p units.Params) error {
+	if s := p.String("select", ""); s != "" {
+		for _, c := range strings.Split(s, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				m.selectCols = append(m.selectCols, c)
+			}
+		}
+	}
+	if s := p.String("min", ""); s != "" {
+		col, val, ok := strings.Cut(s, ":")
+		if !ok {
+			return fmt.Errorf("dbase: bad min filter %q (want col:value)", s)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("dbase: min value %q: %w", val, err)
+		}
+		m.minCol, m.minVal, m.hasMin = col, f, true
+	}
+	m.sortBy = p.String("sortBy", "")
+	var err error
+	if m.limit, err = p.Int("limit", 0); err != nil {
+		return err
+	}
+	if m.limit < 0 {
+		return fmt.Errorf("dbase: negative limit")
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (m *DataManip) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDataManip, 1, in); err != nil {
+		return nil, err
+	}
+	t, ok := in[0].(*types.Table)
+	if !ok {
+		return nil, fmt.Errorf("dbase: DataManipulate got %s", in[0].TypeName())
+	}
+	out := t.Clone().(*types.Table)
+	if m.hasMin {
+		ci := out.ColumnIndex(m.minCol)
+		if ci < 0 {
+			return nil, fmt.Errorf("dbase: min column %q missing", m.minCol)
+		}
+		kept := out.Rows[:0]
+		for _, row := range out.Rows {
+			f, err := strconv.ParseFloat(row[ci], 64)
+			if err == nil && f >= m.minVal {
+				kept = append(kept, row)
+			}
+		}
+		out.Rows = kept
+	}
+	if m.sortBy != "" {
+		ci := out.ColumnIndex(m.sortBy)
+		if ci < 0 {
+			return nil, fmt.Errorf("dbase: sort column %q missing", m.sortBy)
+		}
+		sort.SliceStable(out.Rows, func(i, j int) bool {
+			a, errA := strconv.ParseFloat(out.Rows[i][ci], 64)
+			b, errB := strconv.ParseFloat(out.Rows[j][ci], 64)
+			if errA == nil && errB == nil {
+				return a < b
+			}
+			return out.Rows[i][ci] < out.Rows[j][ci]
+		})
+	}
+	if m.limit > 0 && len(out.Rows) > m.limit {
+		out.Rows = out.Rows[:m.limit]
+	}
+	if len(m.selectCols) > 0 {
+		idx := make([]int, len(m.selectCols))
+		for i, c := range m.selectCols {
+			ci := out.ColumnIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("dbase: select column %q missing", c)
+			}
+			idx[i] = ci
+		}
+		proj := &types.Table{Columns: m.selectCols}
+		for _, row := range out.Rows {
+			nr := make([]string, len(idx))
+			for i, ci := range idx {
+				nr[i] = row[ci]
+			}
+			proj.Rows = append(proj.Rows, nr)
+		}
+		out = proj
+	}
+	return []types.Data{out}, nil
+}
+
+// DataVisualise bins a column.
+type DataVisualise struct {
+	column string
+	bins   int
+}
+
+// Name implements Unit.
+func (v *DataVisualise) Name() string { return NameDataVisualise }
+
+// Init implements Unit.
+func (v *DataVisualise) Init(p units.Params) error {
+	v.column = p.String("column", "")
+	if v.column == "" {
+		return fmt.Errorf("dbase: DataVisualise needs a column parameter")
+	}
+	var err error
+	if v.bins, err = p.Int("bins", 16); err != nil {
+		return err
+	}
+	if v.bins <= 0 {
+		return fmt.Errorf("dbase: bins %d <= 0", v.bins)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (v *DataVisualise) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDataVisualise, 1, in); err != nil {
+		return nil, err
+	}
+	t, ok := in[0].(*types.Table)
+	if !ok {
+		return nil, fmt.Errorf("dbase: DataVisualise got %s", in[0].TypeName())
+	}
+	ci := t.ColumnIndex(v.column)
+	if ci < 0 {
+		return nil, fmt.Errorf("dbase: column %q missing", v.column)
+	}
+	var vals []float64
+	for _, row := range t.Rows {
+		if f, err := strconv.ParseFloat(row[ci], 64); err == nil {
+			vals = append(vals, f)
+		}
+	}
+	h := &types.Histogram{Counts: make([]float64, v.bins)}
+	if len(vals) == 0 {
+		h.Width = 1
+		return []types.Data{h}, nil
+	}
+	lo, hi := vals[0], vals[0]
+	for _, f := range vals {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h.Lo = lo
+	h.Width = (hi - lo) / float64(v.bins)
+	for _, f := range vals {
+		h.Add(f)
+	}
+	return []types.Data{h}, nil
+}
+
+// DataVerify checks a table.
+type DataVerify struct {
+	numericCols []string
+	minRows     int
+}
+
+// Name implements Unit.
+func (d *DataVerify) Name() string { return NameDataVerify }
+
+// Init implements Unit.
+func (d *DataVerify) Init(p units.Params) error {
+	if s := p.String("numeric", ""); s != "" {
+		for _, c := range strings.Split(s, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				d.numericCols = append(d.numericCols, c)
+			}
+		}
+	}
+	var err error
+	if d.minRows, err = p.Int("minRows", 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (d *DataVerify) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDataVerify, 1, in); err != nil {
+		return nil, err
+	}
+	t, ok := in[0].(*types.Table)
+	if !ok {
+		return nil, fmt.Errorf("dbase: DataVerify got %s", in[0].TypeName())
+	}
+	verdict := &types.Table{Columns: []string{"check", "ok", "detail"}}
+	add := func(check string, ok bool, detail string) {
+		verdict.Rows = append(verdict.Rows, []string{check, strconv.FormatBool(ok), detail})
+	}
+	add("well-formed", t.Valid(), fmt.Sprintf("%d columns", len(t.Columns)))
+	add("min-rows", t.NumRows() >= d.minRows,
+		fmt.Sprintf("%d rows (need %d)", t.NumRows(), d.minRows))
+	for _, c := range d.numericCols {
+		ci := t.ColumnIndex(c)
+		if ci < 0 {
+			add("numeric:"+c, false, "column missing")
+			continue
+		}
+		bad := 0
+		for _, row := range t.Rows {
+			if _, err := strconv.ParseFloat(row[ci], 64); err != nil {
+				bad++
+			}
+		}
+		add("numeric:"+c, bad == 0, fmt.Sprintf("%d unparseable cells", bad))
+	}
+	return []types.Data{verdict}, nil
+}
+
+// Passed reports whether every check in a DataVerify verdict table is ok.
+func Passed(verdict *types.Table) bool {
+	ci := verdict.ColumnIndex("ok")
+	if ci < 0 {
+		return false
+	}
+	for _, row := range verdict.Rows {
+		if row[ci] != "true" {
+			return false
+		}
+	}
+	return len(verdict.Rows) > 0
+}

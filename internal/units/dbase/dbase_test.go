@@ -1,0 +1,217 @@
+package dbase
+
+import (
+	"strconv"
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func mustNew(t *testing.T, name string, p units.Params) units.Unit {
+	t.Helper()
+	u, err := units.New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return u
+}
+
+func run1(t *testing.T, u units.Unit, in ...types.Data) types.Data {
+	t.Helper()
+	out, err := u.Process(units.TestContext(), in)
+	if err != nil {
+		t.Fatalf("%s: %v", u.Name(), err)
+	}
+	return out[0]
+}
+
+func TestSynthesizeDeterministicAndValid(t *testing.T) {
+	a, err := Synthesize("stars", 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthesize("stars", 100, 7)
+	if !a.Valid() || a.NumRows() != 100 {
+		t.Fatalf("stars invalid: %d rows", a.NumRows())
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+	obs, err := Synthesize("observations", 10, 1)
+	if err != nil || obs.NumRows() != 10 {
+		t.Fatalf("observations: %v", err)
+	}
+	if obs.Rows[1][obs.ColumnIndex("duration_s")] != "900" {
+		t.Error("chunk duration should be the paper's 900 s")
+	}
+	if _, err := Synthesize("nope", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDataAccessWithFilter(t *testing.T) {
+	u := mustNew(t, NameDataAccess, units.Params{
+		"dataset": "stars", "rows": "200", "where": "class=G"})
+	tab := run1(t, u).(*types.Table)
+	if tab.NumRows() == 0 {
+		t.Fatal("filter returned nothing")
+	}
+	ci := tab.ColumnIndex("class")
+	for _, row := range tab.Rows {
+		if row[ci] != "G" {
+			t.Fatalf("row class %q leaked through filter", row[ci])
+		}
+	}
+	if _, err := units.New(NameDataAccess, units.Params{"where": "=bad"}); err == nil {
+		t.Error("bad where accepted")
+	}
+	if _, err := units.New(NameDataAccess, units.Params{"dataset": "nope"}); err == nil {
+		t.Error("unknown dataset accepted at init")
+	}
+	bad := mustNew(t, NameDataAccess, units.Params{"where": "nocol=1"})
+	if _, err := bad.Process(units.TestContext(), nil); err == nil {
+		t.Error("filter on missing column accepted")
+	}
+}
+
+func TestDataManipSelectFilterSortLimit(t *testing.T) {
+	src := mustNew(t, NameDataAccess, units.Params{"dataset": "stars", "rows": "300"})
+	tab := run1(t, src).(*types.Table)
+
+	m := mustNew(t, NameDataManip, units.Params{
+		"select": "id,magnitude", "min": "magnitude:5", "sortBy": "magnitude", "limit": "10"})
+	out := run1(t, m, tab).(*types.Table)
+	if len(out.Columns) != 2 || out.Columns[0] != "id" {
+		t.Fatalf("columns = %v", out.Columns)
+	}
+	if out.NumRows() != 10 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	prev := -1e18
+	for _, row := range out.Rows {
+		f, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || f < 5 {
+			t.Fatalf("magnitude %q under min", row[1])
+		}
+		if f < prev {
+			t.Fatal("not sorted ascending")
+		}
+		prev = f
+	}
+	// Input untouched.
+	if len(tab.Columns) != 5 {
+		t.Error("manip mutated input")
+	}
+	// Errors.
+	if _, err := units.New(NameDataManip, units.Params{"min": "bad"}); err == nil {
+		t.Error("bad min accepted")
+	}
+	if _, err := units.New(NameDataManip, units.Params{"min": "col:xx"}); err == nil {
+		t.Error("non-numeric min accepted")
+	}
+	missing := mustNew(t, NameDataManip, units.Params{"select": "ghost"})
+	if _, err := missing.Process(units.TestContext(), []types.Data{tab}); err == nil {
+		t.Error("missing select column accepted")
+	}
+}
+
+func TestDataVisualise(t *testing.T) {
+	src := mustNew(t, NameDataAccess, units.Params{"dataset": "observations", "rows": "500"})
+	tab := run1(t, src).(*types.Table)
+	v := mustNew(t, NameDataVisualise, units.Params{"column": "snr", "bins": "8"})
+	h := run1(t, v, tab).(*types.Histogram)
+	if len(h.Counts) != 8 {
+		t.Fatalf("bins = %d", len(h.Counts))
+	}
+	if h.Total() != 500 {
+		t.Errorf("binned %g of 500", h.Total())
+	}
+	if _, err := units.New(NameDataVisualise, nil); err == nil {
+		t.Error("missing column accepted")
+	}
+	vm := mustNew(t, NameDataVisualise, units.Params{"column": "ghost"})
+	if _, err := vm.Process(units.TestContext(), []types.Data{tab}); err == nil {
+		t.Error("missing column at process accepted")
+	}
+	// Non-numeric column yields an empty but well-formed histogram.
+	vt := mustNew(t, NameDataVisualise, units.Params{"column": "detector"})
+	h2 := run1(t, vt, tab).(*types.Histogram)
+	if h2.Total() != 0 {
+		t.Error("text column binned")
+	}
+}
+
+func TestDataVerifyVerdicts(t *testing.T) {
+	src := mustNew(t, NameDataAccess, units.Params{"dataset": "stars", "rows": "50"})
+	tab := run1(t, src).(*types.Table)
+	v := mustNew(t, NameDataVerify, units.Params{"numeric": "magnitude,distance_pc", "minRows": "10"})
+	verdict := run1(t, v, tab).(*types.Table)
+	if !Passed(verdict) {
+		t.Fatalf("clean dataset failed verification: %+v", verdict.Rows)
+	}
+	// Break a cell and verify the numeric check trips.
+	tab.Rows[3][tab.ColumnIndex("magnitude")] = "not-a-number"
+	verdict = run1(t, v, tab).(*types.Table)
+	if Passed(verdict) {
+		t.Error("corrupted dataset passed verification")
+	}
+	// Too few rows trips min-rows.
+	small := &types.Table{Columns: tab.Columns, Rows: tab.Rows[:2]}
+	verdict = run1(t, v, small).(*types.Table)
+	if Passed(verdict) {
+		t.Error("undersized dataset passed verification")
+	}
+	// Missing numeric column is reported, not fatal.
+	vm := mustNew(t, NameDataVerify, units.Params{"numeric": "ghost"})
+	verdict = run1(t, vm, tab).(*types.Table)
+	if Passed(verdict) {
+		t.Error("missing numeric column passed")
+	}
+	// Passed on a non-verdict table is false.
+	if Passed(&types.Table{Columns: []string{"x"}}) {
+		t.Error("Passed on non-verdict table")
+	}
+}
+
+// TestCase3PipelineEndToEnd chains all four services as §3.6.3 describes:
+// access -> manipulate -> visualise, with verification on the manipulated
+// table.
+func TestCase3PipelineEndToEnd(t *testing.T) {
+	ctx := units.TestContext()
+	access := mustNew(t, NameDataAccess, units.Params{"dataset": "stars", "rows": "400"})
+	manip := mustNew(t, NameDataManip, units.Params{"min": "distance_pc:1000"})
+	visual := mustNew(t, NameDataVisualise, units.Params{"column": "distance_pc", "bins": "4"})
+	verify := mustNew(t, NameDataVerify, units.Params{"numeric": "distance_pc", "minRows": "1"})
+
+	raw, err := access.Process(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := manip.Process(ctx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := visual.Process(ctx, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := verify.Process(ctx, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRows := filtered[0].(*types.Table).NumRows()
+	if nRows == 0 || nRows >= 400 {
+		t.Errorf("filter kept %d rows of 400", nRows)
+	}
+	if got := hist[0].(*types.Histogram).Total(); got != float64(nRows) {
+		t.Errorf("histogram binned %g of %d", got, nRows)
+	}
+	if !Passed(verdict[0].(*types.Table)) {
+		t.Error("pipeline output failed verification")
+	}
+}

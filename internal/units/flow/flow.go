@@ -1,0 +1,222 @@
+// Package flow implements the plumbing units of the Triana toolbox:
+// duplication, sinks, pass-through counters, stream sampling and delays.
+// These carry no domain logic but make realistic graphs expressible.
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameDuplicate = "triana.flow.Duplicate"
+	NameNull      = "triana.flow.Null"
+	NameCounter   = "triana.flow.Counter"
+	NameSampler   = "triana.flow.Sampler"
+	NameDelay     = "triana.flow.Delay"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameDuplicate,
+		Description: "Copies its input onto two outputs (deep clones, no aliasing).",
+		In:          1, Out: 2,
+		InTypes:  [][]string{{types.AnyType}},
+		OutTypes: []string{types.AnyType, types.AnyType},
+	}, func() units.Unit { return &Duplicate{} })
+
+	units.Register(units.Meta{
+		Name:        NameNull,
+		Description: "Discards its input (a sink for unused outputs).",
+		In:          1, Out: 0,
+		InTypes: [][]string{{types.AnyType}},
+	}, func() units.Unit { return &Null{} })
+
+	units.Register(units.Meta{
+		Name:        NameCounter,
+		Description: "Passes data through unchanged while counting the data seen; the count is exposed on the second output as a Const.",
+		In:          1, Out: 2,
+		InTypes:  [][]string{{types.AnyType}},
+		OutTypes: []string{types.AnyType, types.NameConst},
+		Stateful: true,
+	}, func() units.Unit { return &Counter{} })
+
+	units.Register(units.Meta{
+		Name:        NameSampler,
+		Description: "Passes every n-th datum through; others are replaced by nothing downstream sees (the engine drops skipped outputs).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.AnyType}},
+		OutTypes: []string{types.AnyType},
+		Params: []units.ParamSpec{
+			{Name: "every", Default: "1", Description: "keep one datum out of this many"},
+		},
+		Stateful: true,
+	}, func() units.Unit { return &Sampler{} })
+
+	units.Register(units.Meta{
+		Name:        NameDelay,
+		Description: "Delays the stream by k iterations, emitting the datum received k calls ago (zero-filled Const until primed).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.AnyType}},
+		OutTypes: []string{types.AnyType},
+		Params: []units.ParamSpec{
+			{Name: "depth", Default: "1", Description: "delay depth in iterations"},
+		},
+		Stateful: true,
+	}, func() units.Unit { return &Delay{} })
+}
+
+// Duplicate fans one stream into two.
+type Duplicate struct{}
+
+// Name implements Unit.
+func (*Duplicate) Name() string { return NameDuplicate }
+
+// Init implements Unit.
+func (*Duplicate) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*Duplicate) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDuplicate, 1, in); err != nil {
+		return nil, err
+	}
+	return []types.Data{in[0].Clone(), in[0].Clone()}, nil
+}
+
+// Null discards.
+type Null struct{}
+
+// Name implements Unit.
+func (*Null) Name() string { return NameNull }
+
+// Init implements Unit.
+func (*Null) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*Null) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameNull, 1, in); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Counter counts and passes through.
+type Counter struct {
+	n uint64
+}
+
+// Name implements Unit.
+func (c *Counter) Name() string { return NameCounter }
+
+// Init implements Unit.
+func (c *Counter) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (c *Counter) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameCounter, 1, in); err != nil {
+		return nil, err
+	}
+	c.n++
+	return []types.Data{in[0], &types.Const{Value: float64(c.n)}}, nil
+}
+
+// Count reports data seen so far.
+func (c *Counter) Count() uint64 { return c.n }
+
+// Reset implements Resettable.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Checkpoint implements Checkpointable.
+func (c *Counter) Checkpoint() ([]byte, error) {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, c.n)
+	return b, nil
+}
+
+// Restore implements Checkpointable.
+func (c *Counter) Restore(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("flow: Counter checkpoint length %d", len(b))
+	}
+	c.n = binary.LittleEndian.Uint64(b)
+	return nil
+}
+
+// Sampler keeps every n-th datum. A skipped datum yields a nil output,
+// which the engine interprets as "emit nothing downstream this iteration".
+type Sampler struct {
+	every int
+	seen  int
+}
+
+// Name implements Unit.
+func (s *Sampler) Name() string { return NameSampler }
+
+// Init implements Unit.
+func (s *Sampler) Init(p units.Params) error {
+	var err error
+	if s.every, err = p.Int("every", 1); err != nil {
+		return err
+	}
+	if s.every < 1 {
+		return fmt.Errorf("flow: Sampler every=%d < 1", s.every)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (s *Sampler) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameSampler, 1, in); err != nil {
+		return nil, err
+	}
+	s.seen++
+	if (s.seen-1)%s.every != 0 {
+		return []types.Data{nil}, nil // dropped
+	}
+	return []types.Data{in[0]}, nil
+}
+
+// Reset implements Resettable.
+func (s *Sampler) Reset() { s.seen = 0 }
+
+// Delay is a k-stage shift register.
+type Delay struct {
+	depth int
+	buf   []types.Data
+}
+
+// Name implements Unit.
+func (d *Delay) Name() string { return NameDelay }
+
+// Init implements Unit.
+func (d *Delay) Init(p units.Params) error {
+	var err error
+	if d.depth, err = p.Int("depth", 1); err != nil {
+		return err
+	}
+	if d.depth < 1 {
+		return fmt.Errorf("flow: Delay depth=%d < 1", d.depth)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (d *Delay) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDelay, 1, in); err != nil {
+		return nil, err
+	}
+	d.buf = append(d.buf, in[0])
+	if len(d.buf) <= d.depth {
+		return []types.Data{&types.Const{Value: 0}}, nil // not yet primed
+	}
+	out := d.buf[0]
+	d.buf = d.buf[1:]
+	return []types.Data{out}, nil
+}
+
+// Reset implements Resettable.
+func (d *Delay) Reset() { d.buf = nil }

@@ -1,0 +1,133 @@
+package flow
+
+import (
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func mustNew(t *testing.T, name string, p units.Params) units.Unit {
+	t.Helper()
+	u, err := units.New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return u
+}
+
+func TestDuplicateDeepCopies(t *testing.T) {
+	u := mustNew(t, NameDuplicate, nil)
+	in := types.NewVec([]float64{1, 2})
+	out, err := u.Process(units.TestContext(), []types.Data{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	out[0].(*types.Vec).Values[0] = 99
+	if in.Values[0] != 1 || out[1].(*types.Vec).Values[0] != 1 {
+		t.Error("Duplicate aliases")
+	}
+}
+
+func TestNullDiscards(t *testing.T) {
+	u := mustNew(t, NameNull, nil)
+	out, err := u.Process(units.TestContext(), []types.Data{&types.Const{}})
+	if err != nil || len(out) != 0 {
+		t.Errorf("Null = %v, %v", out, err)
+	}
+}
+
+func TestCounterPassthroughAndCheckpoint(t *testing.T) {
+	u := mustNew(t, NameCounter, nil).(*Counter)
+	ctx := units.TestContext()
+	in := &types.Const{Value: 7}
+	for i := 1; i <= 3; i++ {
+		out, err := u.Process(ctx, []types.Data{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != in {
+			t.Error("Counter did not pass datum through")
+		}
+		if out[1].(*types.Const).Value != float64(i) {
+			t.Errorf("count output = %v at %d", out[1], i)
+		}
+	}
+	cp, err := u.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Reset()
+	if u.Count() != 0 {
+		t.Error("Reset failed")
+	}
+	v := mustNew(t, NameCounter, nil).(*Counter)
+	if err := v.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if v.Count() != 3 {
+		t.Errorf("restored count = %d", v.Count())
+	}
+	if err := v.Restore([]byte{1}); err == nil {
+		t.Error("short checkpoint accepted")
+	}
+}
+
+func TestSamplerKeepsEveryNth(t *testing.T) {
+	u := mustNew(t, NameSampler, units.Params{"every": "3"}).(*Sampler)
+	ctx := units.TestContext()
+	var kept int
+	for i := 0; i < 9; i++ {
+		out, err := u.Process(ctx, []types.Data{&types.Const{Value: float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != nil {
+			kept++
+			if int(out[0].(*types.Const).Value)%3 != 0 {
+				t.Errorf("kept datum %v", out[0])
+			}
+		}
+	}
+	if kept != 3 {
+		t.Errorf("kept %d of 9", kept)
+	}
+	u.Reset()
+	out, _ := u.Process(ctx, []types.Data{&types.Const{Value: 42}})
+	if out[0] == nil {
+		t.Error("first datum after Reset dropped")
+	}
+	if _, err := units.New(NameSampler, units.Params{"every": "0"}); err == nil {
+		t.Error("every=0 accepted")
+	}
+}
+
+func TestDelayShiftsStream(t *testing.T) {
+	u := mustNew(t, NameDelay, units.Params{"depth": "2"}).(*Delay)
+	ctx := units.TestContext()
+	var got []float64
+	for i := 1; i <= 5; i++ {
+		out, err := u.Process(ctx, []types.Data{&types.Const{Value: float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out[0].(*types.Const).Value)
+	}
+	want := []float64{0, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delayed = %v, want %v", got, want)
+		}
+	}
+	u.Reset()
+	out, _ := u.Process(ctx, []types.Data{&types.Const{Value: 9}})
+	if out[0].(*types.Const).Value != 0 {
+		t.Error("Reset did not clear buffer")
+	}
+	if _, err := units.New(NameDelay, units.Params{"depth": "0"}); err == nil {
+		t.Error("depth=0 accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package imaging implements the image-processing units: the SPH
+// column-density renderer of the galaxy-formation scenario ("processed to
+// calculate the column density using smooth particle hydrodynamics",
+// §3.6.1), plus normalisation, downsampling and statistics.
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameColumnDensity = "triana.imaging.ColumnDensity"
+	NameNormalize     = "triana.imaging.Normalize"
+	NameDownsample    = "triana.imaging.Downsample"
+	NameImageStats    = "triana.imaging.ImageStats"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameColumnDensity,
+		Description: "Projects a ParticleSet onto the x/y plane as a column-density Image using an SPH cubic-spline kernel.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameParticleSet}},
+		OutTypes: []string{types.NameImage},
+		Params: []units.ParamSpec{
+			{Name: "width", Default: "128", Description: "image width in pixels"},
+			{Name: "height", Default: "128", Description: "image height in pixels"},
+			{Name: "extent", Default: "4", Description: "half-width of the rendered region in world units"},
+		},
+	}, func() units.Unit { return &ColumnDensity{} })
+
+	units.Register(units.Meta{
+		Name:        NameNormalize,
+		Description: "Scales an Image so its peak intensity is 1 (log scaling optional).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameImage}},
+		OutTypes: []string{types.NameImage},
+		Params: []units.ParamSpec{
+			{Name: "log", Default: "false", Description: "apply log(1+x) before scaling"},
+		},
+	}, func() units.Unit { return &Normalize{} })
+
+	units.Register(units.Meta{
+		Name:        NameDownsample,
+		Description: "Box-filters an Image down by an integer factor.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameImage}},
+		OutTypes: []string{types.NameImage},
+		Params: []units.ParamSpec{
+			{Name: "factor", Default: "2", Description: "downsampling factor"},
+		},
+	}, func() units.Unit { return &Downsample{} })
+
+	units.Register(units.Meta{
+		Name:        NameImageStats,
+		Description: "Summarises an Image as a one-row Table (w, h, frame, total, peak, centroid).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameImage}},
+		OutTypes: []string{types.NameTable},
+	}, func() units.Unit { return &ImageStats{} })
+}
+
+// sphKernel is the standard 2D cubic-spline projection kernel, normalised
+// so integrating over the plane gives 1.
+func sphKernel(q float64) float64 {
+	const sigma = 10.0 / (7.0 * math.Pi)
+	switch {
+	case q < 1:
+		return sigma * (1 - 1.5*q*q + 0.75*q*q*q)
+	case q < 2:
+		d := 2 - q
+		return sigma * 0.25 * d * d * d
+	default:
+		return 0
+	}
+}
+
+// ColumnDensity renders particles to pixels.
+type ColumnDensity struct {
+	w, h   int
+	extent float64
+}
+
+// Name implements Unit.
+func (c *ColumnDensity) Name() string { return NameColumnDensity }
+
+// Init implements Unit.
+func (c *ColumnDensity) Init(p units.Params) error {
+	var err error
+	if c.w, err = p.Int("width", 128); err != nil {
+		return err
+	}
+	if c.h, err = p.Int("height", 128); err != nil {
+		return err
+	}
+	if c.extent, err = p.Float("extent", 4); err != nil {
+		return err
+	}
+	if c.w <= 0 || c.h <= 0 || c.extent <= 0 {
+		return fmt.Errorf("imaging: ColumnDensity needs positive width/height/extent")
+	}
+	return nil
+}
+
+// Render projects ps onto the image plane. Exported so experiments can
+// call the kernel without an engine run.
+func (c *ColumnDensity) Render(ps *types.ParticleSet) *types.Image {
+	im := types.NewImage(c.w, c.h)
+	im.Frame = ps.Frame
+	sx := float64(c.w) / (2 * c.extent) // pixels per world unit
+	sy := float64(c.h) / (2 * c.extent)
+	for i := range ps.X {
+		// World -> pixel coordinates, centre of image at origin.
+		px := (ps.X[i] + c.extent) * sx
+		py := (ps.Y[i] + c.extent) * sy
+		hWorld := ps.Smoothing[i]
+		if hWorld <= 0 {
+			hWorld = 0.05
+		}
+		hPix := hWorld * sx
+		if hPix < 0.5 {
+			hPix = 0.5
+		}
+		r := int(math.Ceil(2 * hPix))
+		x0, x1 := int(px)-r, int(px)+r
+		y0, y1 := int(py)-r, int(py)+r
+		if x1 < 0 || y1 < 0 || x0 >= c.w || y0 >= c.h {
+			continue
+		}
+		norm := ps.Mass[i] / (hPix * hPix)
+		for y := max(y0, 0); y <= min(y1, c.h-1); y++ {
+			for x := max(x0, 0); x <= min(x1, c.w-1); x++ {
+				dx := (float64(x) + 0.5 - px) / hPix
+				dy := (float64(y) + 0.5 - py) / hPix
+				q := math.Sqrt(dx*dx + dy*dy)
+				if w := sphKernel(q); w > 0 {
+					im.Pix[y*c.w+x] += norm * w
+				}
+			}
+		}
+	}
+	return im
+}
+
+// Process implements Unit.
+func (c *ColumnDensity) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameColumnDensity, 1, in); err != nil {
+		return nil, err
+	}
+	ps, ok := in[0].(*types.ParticleSet)
+	if !ok {
+		return nil, fmt.Errorf("imaging: ColumnDensity got %s", in[0].TypeName())
+	}
+	if !ps.Valid() {
+		return nil, fmt.Errorf("imaging: ragged particle set")
+	}
+	return []types.Data{c.Render(ps)}, nil
+}
+
+// Normalize rescales to unit peak.
+type Normalize struct {
+	log bool
+}
+
+// Name implements Unit.
+func (n *Normalize) Name() string { return NameNormalize }
+
+// Init implements Unit.
+func (n *Normalize) Init(p units.Params) error {
+	var err error
+	n.log, err = p.Bool("log", false)
+	return err
+}
+
+// Process implements Unit.
+func (n *Normalize) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameNormalize, 1, in); err != nil {
+		return nil, err
+	}
+	im, ok := in[0].(*types.Image)
+	if !ok {
+		return nil, fmt.Errorf("imaging: Normalize got %s", in[0].TypeName())
+	}
+	out := im.Clone().(*types.Image)
+	if n.log {
+		for i, v := range out.Pix {
+			out.Pix[i] = math.Log1p(v)
+		}
+	}
+	peak := out.MaxIntensity()
+	if peak > 0 {
+		inv := 1 / peak
+		for i := range out.Pix {
+			out.Pix[i] *= inv
+		}
+	}
+	return []types.Data{out}, nil
+}
+
+// Downsample reduces resolution.
+type Downsample struct {
+	factor int
+}
+
+// Name implements Unit.
+func (d *Downsample) Name() string { return NameDownsample }
+
+// Init implements Unit.
+func (d *Downsample) Init(p units.Params) error {
+	var err error
+	if d.factor, err = p.Int("factor", 2); err != nil {
+		return err
+	}
+	if d.factor < 1 {
+		return fmt.Errorf("imaging: Downsample factor %d < 1", d.factor)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (d *Downsample) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameDownsample, 1, in); err != nil {
+		return nil, err
+	}
+	im, ok := in[0].(*types.Image)
+	if !ok {
+		return nil, fmt.Errorf("imaging: Downsample got %s", in[0].TypeName())
+	}
+	f := d.factor
+	w, h := im.W/f, im.H/f
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("imaging: Downsample factor %d too large for %dx%d", f, im.W, im.H)
+	}
+	out := types.NewImage(w, h)
+	out.Frame = im.Frame
+	inv := 1 / float64(f*f)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for dy := 0; dy < f; dy++ {
+				for dx := 0; dx < f; dx++ {
+					s += im.At(x*f+dx, y*f+dy)
+				}
+			}
+			out.Set(x, y, s*inv)
+		}
+	}
+	return []types.Data{out}, nil
+}
+
+// ImageStats summarises an image.
+type ImageStats struct{}
+
+// Name implements Unit.
+func (*ImageStats) Name() string { return NameImageStats }
+
+// Init implements Unit.
+func (*ImageStats) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*ImageStats) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameImageStats, 1, in); err != nil {
+		return nil, err
+	}
+	im, ok := in[0].(*types.Image)
+	if !ok {
+		return nil, fmt.Errorf("imaging: ImageStats got %s", in[0].TypeName())
+	}
+	var total, cx, cy float64
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			total += v
+			cx += v * float64(x)
+			cy += v * float64(y)
+		}
+	}
+	if total > 0 {
+		cx /= total
+		cy /= total
+	}
+	tab := &types.Table{
+		Columns: []string{"w", "h", "frame", "total", "peak", "cx", "cy"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", im.W), fmt.Sprintf("%d", im.H),
+			fmt.Sprintf("%d", im.Frame),
+			fmt.Sprintf("%g", total), fmt.Sprintf("%g", im.MaxIntensity()),
+			fmt.Sprintf("%.3f", cx), fmt.Sprintf("%.3f", cy),
+		}},
+	}
+	return []types.Data{tab}, nil
+}

@@ -1,0 +1,230 @@
+package imaging
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func mustNew(t *testing.T, name string, p units.Params) units.Unit {
+	t.Helper()
+	u, err := units.New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return u
+}
+
+func run1(t *testing.T, u units.Unit, in ...types.Data) types.Data {
+	t.Helper()
+	out, err := u.Process(units.TestContext(), in)
+	if err != nil {
+		t.Fatalf("%s: %v", u.Name(), err)
+	}
+	return out[0]
+}
+
+func onePointSet(x, y, mass, h float64) *types.ParticleSet {
+	ps := types.NewParticleSet(1)
+	ps.X[0], ps.Y[0] = x, y
+	ps.Mass[0] = mass
+	ps.Smoothing[0] = h
+	return ps
+}
+
+func TestSPHKernelProperties(t *testing.T) {
+	if sphKernel(0) <= sphKernel(0.5) || sphKernel(0.5) <= sphKernel(1.5) {
+		t.Error("kernel not monotone decreasing")
+	}
+	if sphKernel(2) != 0 || sphKernel(3) != 0 {
+		t.Error("kernel has support beyond 2h")
+	}
+	// Continuity at the knot q=1.
+	if math.Abs(sphKernel(1-1e-9)-sphKernel(1+1e-9)) > 1e-6 {
+		t.Error("kernel discontinuous at q=1")
+	}
+}
+
+func TestColumnDensityCentersMassAndConservesIt(t *testing.T) {
+	cd := mustNew(t, NameColumnDensity,
+		units.Params{"width": "64", "height": "64", "extent": "2"}).(*ColumnDensity)
+	ps := onePointSet(0, 0, 5, 0.3)
+	ps.Frame = 7
+	im := run1(t, cd, ps).(*types.Image)
+	if im.W != 64 || im.H != 64 || im.Frame != 7 {
+		t.Fatalf("image = %dx%d frame %d", im.W, im.H, im.Frame)
+	}
+	// Peak must be at the image centre.
+	px, py, peak := 0, 0, 0.0
+	var total float64
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := im.At(x, y)
+			total += v
+			if v > peak {
+				px, py, peak = x, y, v
+			}
+		}
+	}
+	if abs(px-32) > 1 || abs(py-32) > 1 {
+		t.Errorf("peak at (%d,%d), want ~(32,32)", px, py)
+	}
+	// The kernel is normalised in pixel units (norm = mass/hPix² and q is
+	// measured in pixels), so the plain pixel sum approximates the
+	// particle mass.
+	if got := total / 5; math.Abs(got-1) > 0.15 {
+		t.Errorf("mass conservation off: ratio %g", got)
+	}
+}
+
+func TestColumnDensityOffscreenParticleIgnored(t *testing.T) {
+	cd := mustNew(t, NameColumnDensity,
+		units.Params{"width": "32", "height": "32", "extent": "1"}).(*ColumnDensity)
+	im := run1(t, cd, onePointSet(50, 50, 1, 0.1)).(*types.Image)
+	if im.MaxIntensity() != 0 {
+		t.Error("offscreen particle rendered")
+	}
+}
+
+func TestColumnDensityValidation(t *testing.T) {
+	if _, err := units.New(NameColumnDensity, units.Params{"width": "0"}); err == nil {
+		t.Error("zero width accepted")
+	}
+	cd := mustNew(t, NameColumnDensity, nil)
+	ragged := &types.ParticleSet{X: []float64{1}}
+	if _, err := cd.Process(units.TestContext(), []types.Data{ragged}); err == nil {
+		t.Error("ragged particle set accepted")
+	}
+	if _, err := cd.Process(units.TestContext(), []types.Data{&types.Text{}}); err == nil {
+		t.Error("Text accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	im := types.NewImage(2, 2)
+	im.Set(1, 1, 4)
+	out := run1(t, mustNew(t, NameNormalize, nil), im).(*types.Image)
+	if out.MaxIntensity() != 1 || out.At(0, 0) != 0 {
+		t.Errorf("normalized = %v", out.Pix)
+	}
+	if im.MaxIntensity() != 4 {
+		t.Error("input mutated")
+	}
+	logOut := run1(t, mustNew(t, NameNormalize, units.Params{"log": "true"}), im).(*types.Image)
+	if logOut.MaxIntensity() != 1 {
+		t.Error("log normalize peak wrong")
+	}
+	// All-zero image stays zero without NaNs.
+	zero := run1(t, mustNew(t, NameNormalize, nil), types.NewImage(2, 2)).(*types.Image)
+	for _, v := range zero.Pix {
+		if v != 0 || math.IsNaN(v) {
+			t.Error("zero image mangled")
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im := types.NewImage(4, 4)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i)
+	}
+	im.Frame = 3
+	out := run1(t, mustNew(t, NameDownsample, units.Params{"factor": "2"}), im).(*types.Image)
+	if out.W != 2 || out.H != 2 || out.Frame != 3 {
+		t.Fatalf("downsampled = %dx%d", out.W, out.H)
+	}
+	// Top-left 2x2 block of values {0,1,4,5} -> mean 2.5.
+	if out.At(0, 0) != 2.5 {
+		t.Errorf("box filter = %g, want 2.5", out.At(0, 0))
+	}
+	if _, err := mustNew(t, NameDownsample, units.Params{"factor": "8"}).
+		Process(units.TestContext(), []types.Data{types.NewImage(4, 4)}); err == nil {
+		t.Error("oversized factor accepted")
+	}
+	if _, err := units.New(NameDownsample, units.Params{"factor": "0"}); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestImageStats(t *testing.T) {
+	im := types.NewImage(3, 3)
+	im.Set(2, 1, 10)
+	im.Frame = 5
+	tab := run1(t, mustNew(t, NameImageStats, nil), im).(*types.Table)
+	get := func(col string) float64 {
+		f, _ := strconv.ParseFloat(tab.Rows[0][tab.ColumnIndex(col)], 64)
+		return f
+	}
+	if get("total") != 10 || get("peak") != 10 || get("frame") != 5 {
+		t.Errorf("stats = %v", tab.Rows[0])
+	}
+	if get("cx") != 2 || get("cy") != 1 {
+		t.Errorf("centroid = (%g, %g)", get("cx"), get("cy"))
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGaussianBlurSpreadsAndConservesMass(t *testing.T) {
+	im := types.NewImage(21, 21)
+	im.Set(10, 10, 100)
+	im.Frame = 4
+	out := run1(t, mustNew(t, NameGaussianBlur, units.Params{"sigma": "2"}), im).(*types.Image)
+	if out.Frame != 4 {
+		t.Error("frame index lost")
+	}
+	// Peak drops, neighbours rise, total is conserved (interior impulse).
+	if out.At(10, 10) >= 100 || out.At(10, 10) <= 0 {
+		t.Errorf("centre = %g", out.At(10, 10))
+	}
+	if out.At(12, 10) <= 0 || out.At(10, 13) <= 0 {
+		t.Error("blur did not spread")
+	}
+	var total float64
+	for _, v := range out.Pix {
+		total += v
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Errorf("mass after blur = %g", total)
+	}
+	// Symmetry about the impulse.
+	if math.Abs(out.At(8, 10)-out.At(12, 10)) > 1e-9 {
+		t.Error("blur asymmetric")
+	}
+	if _, err := units.New(NameGaussianBlur, units.Params{"sigma": "0"}); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, err := mustNew(t, NameGaussianBlur, nil).
+		Process(units.TestContext(), []types.Data{&types.Text{}}); err == nil {
+		t.Error("Text accepted")
+	}
+}
+
+func TestEdgeDetectHighlightsBoundary(t *testing.T) {
+	// Left half 0, right half 10: edges only at the boundary column.
+	im := types.NewImage(10, 6)
+	for y := 0; y < 6; y++ {
+		for x := 5; x < 10; x++ {
+			im.Set(x, y, 10)
+		}
+	}
+	out := run1(t, mustNew(t, NameEdgeDetect, nil), im).(*types.Image)
+	if out.At(4, 3) <= 0 || out.At(5, 3) <= 0 {
+		t.Error("boundary not detected")
+	}
+	if out.At(1, 3) != 0 || out.At(8, 3) != 0 {
+		t.Errorf("flat regions not zero: %g %g", out.At(1, 3), out.At(8, 3))
+	}
+	if _, err := mustNew(t, NameEdgeDetect, nil).
+		Process(units.TestContext(), []types.Data{&types.Text{}}); err == nil {
+		t.Error("Text accepted")
+	}
+}

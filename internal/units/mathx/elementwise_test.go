@@ -1,0 +1,137 @@
+package mathx
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// runEW applies a unary unit to a Vec and returns the output values.
+func runEW(t *testing.T, name string, p units.Params, in []float64) []float64 {
+	t.Helper()
+	u := mustNew(t, name, p)
+	out := run1(t, u, types.NewVec(in))
+	xs, ok := types.Floats(out)
+	if !ok {
+		t.Fatalf("%s emitted non-numeric %T", name, out)
+	}
+	return xs
+}
+
+func TestElementwiseUnits(t *testing.T) {
+	in := []float64{-2, 0, 0.5, 3}
+	cases := []struct {
+		name   string
+		params units.Params
+		want   []float64
+	}{
+		{NameAbs, nil, []float64{2, 0, 0.5, 3}},
+		{NameSquare, nil, []float64{4, 0, 0.25, 9}},
+		{NameNegate, nil, []float64{2, 0, -0.5, -3}},
+		{NameClip, units.Params{"lo": "-1", "hi": "1"}, []float64{-1, 0, 0.5, 1}},
+		{NameCumSum, nil, []float64{-2, -2, -1.5, 1.5}},
+		{NameDiff, nil, []float64{0, 2, 0.5, 2.5}},
+		{NameReverse, nil, []float64{3, 0.5, 0, -2}},
+		{NameSortValues, nil, []float64{-2, 0, 0.5, 3}},
+	}
+	for _, c := range cases {
+		got := runEW(t, c.name, c.params, in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s(%v) = %v, want %v", c.name, in, got, c.want)
+		}
+	}
+}
+
+func TestElementwiseSpecialFunctions(t *testing.T) {
+	got := runEW(t, NameSqrt, nil, []float64{4, 9})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("Sqrt = %v", got)
+	}
+	if !math.IsNaN(runEW(t, NameSqrt, nil, []float64{-1})[0]) {
+		t.Error("Sqrt(-1) should be NaN")
+	}
+	exp := runEW(t, NameExp, nil, []float64{0, 1})
+	if exp[0] != 1 || math.Abs(exp[1]-math.E) > 1e-12 {
+		t.Errorf("Exp = %v", exp)
+	}
+	// Log is sign-preserving log1p of magnitude.
+	lg := runEW(t, NameLog, nil, []float64{0, math.E - 1, -(math.E - 1)})
+	if lg[0] != 0 || math.Abs(lg[1]-1) > 1e-12 || math.Abs(lg[2]+1) > 1e-12 {
+		t.Errorf("Log = %v", lg)
+	}
+	norm := runEW(t, NameNormalize, nil, []float64{-4, 2})
+	if norm[0] != -1 || norm[1] != 0.5 {
+		t.Errorf("Normalize = %v", norm)
+	}
+	zero := runEW(t, NameNormalize, nil, []float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("Normalize of zeros = %v", zero)
+	}
+}
+
+func TestElementwisePreservesConcreteType(t *testing.T) {
+	s := types.NewSampleSet(2000, []float64{-1, 2})
+	out := run1(t, mustNew(t, NameAbs, nil), s)
+	ss, ok := out.(*types.SampleSet)
+	if !ok || ss.SamplingRate != 2000 {
+		t.Fatalf("Abs lost SampleSet identity: %T", out)
+	}
+	if s.Samples[0] != -1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestClipValidation(t *testing.T) {
+	if _, err := units.New(NameClip, units.Params{"lo": "2", "hi": "1"}); err == nil {
+		t.Error("inverted clip bounds accepted")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	in := []float64{3, -4, 1, -1}
+	cases := map[string]float64{
+		NameRMSReduce: math.Sqrt((9.0 + 16 + 1 + 1) / 4),
+		NameMinReduce: -4,
+		NameMaxReduce: 3,
+		NameZeroCross: 3, // 3->-4, -4->1, 1->-1
+	}
+	for name, want := range cases {
+		out := run1(t, mustNew(t, name, nil), types.NewVec(in))
+		got := out.(*types.Const).Value
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	// Empty inputs are zero, not panics.
+	for name := range cases {
+		out := run1(t, mustNew(t, name, nil), types.NewVec(nil))
+		if out.(*types.Const).Value != 0 {
+			t.Errorf("%s on empty input = %v", name, out)
+		}
+	}
+}
+
+func TestZeroCrossEstimatesFrequency(t *testing.T) {
+	// A 50 Hz sine over 1 s at 1 kHz crosses zero ~100 times.
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * 50 * float64(i) / 1000)
+	}
+	got := run1(t, mustNew(t, NameZeroCross, nil), types.NewVec(xs)).(*types.Const).Value
+	if math.Abs(got-100) > 2 {
+		t.Errorf("zero crossings = %g, want ~100", got)
+	}
+}
+
+func TestElementwiseRejectNonNumeric(t *testing.T) {
+	for _, name := range []string{NameAbs, NameRMSReduce, NameSortValues} {
+		u := mustNew(t, name, nil)
+		if _, err := u.Process(units.TestContext(), []types.Data{&types.Text{}}); err == nil {
+			t.Errorf("%s accepted Text", name)
+		}
+	}
+}

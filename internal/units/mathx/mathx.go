@@ -1,0 +1,380 @@
+// Package mathx implements the numeric utility units of the Triana
+// toolbox: constants, element-wise arithmetic over the Vec family,
+// scaling, reductions, thresholding and histogramming.
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameConstGen  = "triana.mathx.ConstGen"
+	NameAdd       = "triana.mathx.Add"
+	NameSubtract  = "triana.mathx.Subtract"
+	NameMultiply  = "triana.mathx.Multiply"
+	NameScale     = "triana.mathx.Scale"
+	NameMean      = "triana.mathx.Mean"
+	NameStats     = "triana.mathx.Stats"
+	NameThreshold = "triana.mathx.Threshold"
+	NameHistogram = "triana.mathx.Histogram"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameConstGen,
+		Description: "Emits a constant scalar each iteration.",
+		In:          0, Out: 1,
+		OutTypes: []string{types.NameConst},
+		Params: []units.ParamSpec{
+			{Name: "value", Default: "0", Description: "the constant"},
+		},
+	}, func() units.Unit { return &ConstGen{} })
+
+	reg2 := func(name, desc string, op func(a, b float64) float64) {
+		units.Register(units.Meta{
+			Name: name, Description: desc,
+			In: 2, Out: 1,
+			InTypes:  [][]string{{types.NameVec}, {types.NameVec}},
+			OutTypes: []string{types.NameVec},
+		}, func() units.Unit { return &binaryOp{name: name, op: op} })
+	}
+	reg2(NameAdd, "Element-wise sum of two Vec-family inputs.", func(a, b float64) float64 { return a + b })
+	reg2(NameSubtract, "Element-wise difference of two Vec-family inputs.", func(a, b float64) float64 { return a - b })
+	reg2(NameMultiply, "Element-wise product of two Vec-family inputs.", func(a, b float64) float64 { return a * b })
+
+	units.Register(units.Meta{
+		Name:        NameScale,
+		Description: "Applies y = gain*x + offset element-wise, preserving the input's concrete type.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameVec},
+		Params: []units.ParamSpec{
+			{Name: "gain", Default: "1", Description: "multiplier"},
+			{Name: "offset", Default: "0", Description: "additive offset"},
+		},
+	}, func() units.Unit { return &Scale{} })
+
+	units.Register(units.Meta{
+		Name:        NameMean,
+		Description: "Reduces a Vec-family input to its arithmetic mean.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameConst},
+	}, func() units.Unit { return &Mean{} })
+
+	units.Register(units.Meta{
+		Name:        NameStats,
+		Description: "Summarises a Vec-family input as a one-row Table (n, mean, std, min, max, rms).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameTable},
+	}, func() units.Unit { return &Stats{} })
+
+	units.Register(units.Meta{
+		Name:        NameThreshold,
+		Description: "Zeroes elements below the threshold (mode=gate) or maps to 0/1 (mode=binary).",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameVec},
+		Params: []units.ParamSpec{
+			{Name: "threshold", Default: "0", Description: "cut level"},
+			{Name: "mode", Default: "gate", Description: "gate|binary"},
+		},
+	}, func() units.Unit { return &Threshold{} })
+
+	units.Register(units.Meta{
+		Name:        NameHistogram,
+		Description: "Bins a Vec-family input into a fixed-width Histogram.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameVec}},
+		OutTypes: []string{types.NameHistogram},
+		Params: []units.ParamSpec{
+			{Name: "lo", Default: "-1", Description: "lower edge of first bin"},
+			{Name: "hi", Default: "1", Description: "upper edge of last bin"},
+			{Name: "bins", Default: "32", Description: "bin count"},
+		},
+	}, func() units.Unit { return &HistogramUnit{} })
+}
+
+func vecInput(unit string, d types.Data) ([]float64, error) {
+	xs, ok := types.Floats(d)
+	if !ok {
+		return nil, fmt.Errorf("mathx: %s got non-numeric %s", unit, d.TypeName())
+	}
+	return xs, nil
+}
+
+// ConstGen emits a constant each iteration.
+type ConstGen struct {
+	value float64
+}
+
+// Name implements Unit.
+func (c *ConstGen) Name() string { return NameConstGen }
+
+// Init implements Unit.
+func (c *ConstGen) Init(p units.Params) error {
+	var err error
+	c.value, err = p.Float("value", 0)
+	return err
+}
+
+// Process implements Unit.
+func (c *ConstGen) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameConstGen, 0, in); err != nil {
+		return nil, err
+	}
+	return []types.Data{&types.Const{Value: c.value}}, nil
+}
+
+// binaryOp implements Add/Subtract/Multiply.
+type binaryOp struct {
+	name string
+	op   func(a, b float64) float64
+}
+
+// Name implements Unit.
+func (b *binaryOp) Name() string { return b.name }
+
+// Init implements Unit.
+func (b *binaryOp) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (b *binaryOp) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(b.name, 2, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(b.name, in[0])
+	if err != nil {
+		return nil, err
+	}
+	ys, err := vecInput(b.name, in[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("mathx: %s length mismatch %d vs %d", b.name, len(xs), len(ys))
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = b.op(xs[i], ys[i])
+	}
+	return []types.Data{types.LikeWith(in[0], out)}, nil
+}
+
+// Scale applies gain and offset.
+type Scale struct {
+	gain, offset float64
+}
+
+// Name implements Unit.
+func (s *Scale) Name() string { return NameScale }
+
+// Init implements Unit.
+func (s *Scale) Init(p units.Params) error {
+	var err error
+	if s.gain, err = p.Float("gain", 1); err != nil {
+		return err
+	}
+	s.offset, err = p.Float("offset", 0)
+	return err
+}
+
+// Process implements Unit.
+func (s *Scale) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameScale, 1, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(NameScale, in[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = s.gain*v + s.offset
+	}
+	return []types.Data{types.LikeWith(in[0], out)}, nil
+}
+
+// Mean reduces to the arithmetic mean.
+type Mean struct{}
+
+// Name implements Unit.
+func (*Mean) Name() string { return NameMean }
+
+// Init implements Unit.
+func (*Mean) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*Mean) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameMean, 1, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(NameMean, in[0])
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean := 0.0
+	if len(xs) > 0 {
+		mean = sum / float64(len(xs))
+	}
+	return []types.Data{&types.Const{Value: mean}}, nil
+}
+
+// Stats summarises a vector.
+type Stats struct{}
+
+// Name implements Unit.
+func (*Stats) Name() string { return NameStats }
+
+// Init implements Unit.
+func (*Stats) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*Stats) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameStats, 1, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(NameStats, in[0])
+	if err != nil {
+		return nil, err
+	}
+	tab := &types.Table{Columns: []string{"n", "mean", "std", "min", "max", "rms"}}
+	n := len(xs)
+	if n == 0 {
+		tab.Rows = [][]string{{"0", "0", "0", "0", "0", "0"}}
+		return []types.Data{tab}, nil
+	}
+	var sum, sq float64
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		sum += v
+		sq += v * v
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	tab.Rows = [][]string{{
+		fmt.Sprintf("%d", n),
+		fmt.Sprintf("%g", mean),
+		fmt.Sprintf("%g", math.Sqrt(variance)),
+		fmt.Sprintf("%g", min),
+		fmt.Sprintf("%g", max),
+		fmt.Sprintf("%g", math.Sqrt(sq/float64(n))),
+	}}
+	return []types.Data{tab}, nil
+}
+
+// Threshold gates or binarises.
+type Threshold struct {
+	level  float64
+	binary bool
+}
+
+// Name implements Unit.
+func (t *Threshold) Name() string { return NameThreshold }
+
+// Init implements Unit.
+func (t *Threshold) Init(p units.Params) error {
+	var err error
+	if t.level, err = p.Float("threshold", 0); err != nil {
+		return err
+	}
+	switch mode := p.String("mode", "gate"); mode {
+	case "gate":
+		t.binary = false
+	case "binary":
+		t.binary = true
+	default:
+		return fmt.Errorf("mathx: Threshold mode %q (want gate|binary)", mode)
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (t *Threshold) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameThreshold, 1, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(NameThreshold, in[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		switch {
+		case t.binary && v >= t.level:
+			out[i] = 1
+		case t.binary:
+			out[i] = 0
+		case v >= t.level:
+			out[i] = v
+		default:
+			out[i] = 0
+		}
+	}
+	return []types.Data{types.LikeWith(in[0], out)}, nil
+}
+
+// HistogramUnit bins values.
+type HistogramUnit struct {
+	lo, hi float64
+	bins   int
+}
+
+// Name implements Unit.
+func (h *HistogramUnit) Name() string { return NameHistogram }
+
+// Init implements Unit.
+func (h *HistogramUnit) Init(p units.Params) error {
+	var err error
+	if h.lo, err = p.Float("lo", -1); err != nil {
+		return err
+	}
+	if h.hi, err = p.Float("hi", 1); err != nil {
+		return err
+	}
+	if h.bins, err = p.Int("bins", 32); err != nil {
+		return err
+	}
+	if h.bins <= 0 || h.hi <= h.lo {
+		return fmt.Errorf("mathx: Histogram needs bins > 0 and hi > lo")
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (h *HistogramUnit) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameHistogram, 1, in); err != nil {
+		return nil, err
+	}
+	xs, err := vecInput(NameHistogram, in[0])
+	if err != nil {
+		return nil, err
+	}
+	out := &types.Histogram{Lo: h.lo, Width: (h.hi - h.lo) / float64(h.bins),
+		Counts: make([]float64, h.bins)}
+	for _, v := range xs {
+		out.Add(v)
+	}
+	return []types.Data{out}, nil
+}
+
+// sortFloats keeps the elementwise table free of a sort import cycle.
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
+}

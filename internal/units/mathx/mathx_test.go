@@ -1,0 +1,148 @@
+package mathx
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func mustNew(t *testing.T, name string, p units.Params) units.Unit {
+	t.Helper()
+	u, err := units.New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return u
+}
+
+func run1(t *testing.T, u units.Unit, in ...types.Data) types.Data {
+	t.Helper()
+	out, err := u.Process(units.TestContext(), in)
+	if err != nil {
+		t.Fatalf("%s: %v", u.Name(), err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%s emitted %d outputs", u.Name(), len(out))
+	}
+	return out[0]
+}
+
+func TestConstGen(t *testing.T) {
+	out := run1(t, mustNew(t, NameConstGen, units.Params{"value": "3.5"}))
+	if out.(*types.Const).Value != 3.5 {
+		t.Errorf("ConstGen = %v", out)
+	}
+}
+
+func TestBinaryOpsPreserveConcreteType(t *testing.T) {
+	a := types.NewSampleSet(100, []float64{1, 2, 3})
+	b := types.NewSampleSet(100, []float64{10, 20, 30})
+	sum := run1(t, mustNew(t, NameAdd, nil), a, b)
+	ss, ok := sum.(*types.SampleSet)
+	if !ok {
+		t.Fatalf("Add returned %T, want SampleSet", sum)
+	}
+	if ss.SamplingRate != 100 || ss.Samples[2] != 33 {
+		t.Errorf("Add = %+v", ss)
+	}
+	diff := run1(t, mustNew(t, NameSubtract, nil), b, a).(*types.SampleSet)
+	if diff.Samples[1] != 18 {
+		t.Errorf("Subtract = %v", diff.Samples)
+	}
+	prod := run1(t, mustNew(t, NameMultiply, nil), a, b).(*types.SampleSet)
+	if prod.Samples[0] != 10 {
+		t.Errorf("Multiply = %v", prod.Samples)
+	}
+}
+
+func TestBinaryOpErrors(t *testing.T) {
+	ctx := units.TestContext()
+	add := mustNew(t, NameAdd, nil)
+	a := types.NewVec([]float64{1})
+	b := types.NewVec([]float64{1, 2})
+	if _, err := add.Process(ctx, []types.Data{a, b}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := add.Process(ctx, []types.Data{a, &types.Text{}}); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := add.Process(ctx, []types.Data{a}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	spec := &types.Spectrum{Resolution: 2, Amplitudes: []float64{1, 2}}
+	out := run1(t, mustNew(t, NameScale, units.Params{"gain": "3", "offset": "1"}), spec)
+	sp, ok := out.(*types.Spectrum)
+	if !ok || sp.Resolution != 2 {
+		t.Fatalf("Scale lost type: %T", out)
+	}
+	if sp.Amplitudes[0] != 4 || sp.Amplitudes[1] != 7 {
+		t.Errorf("Scale = %v", sp.Amplitudes)
+	}
+}
+
+func TestMeanAndStats(t *testing.T) {
+	v := types.NewVec([]float64{1, 2, 3, 4})
+	if got := run1(t, mustNew(t, NameMean, nil), v).(*types.Const).Value; got != 2.5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := run1(t, mustNew(t, NameMean, nil), types.NewVec(nil)).(*types.Const).Value; got != 0 {
+		t.Errorf("empty Mean = %g", got)
+	}
+	tab := run1(t, mustNew(t, NameStats, nil), v).(*types.Table)
+	want := map[string]float64{"n": 4, "mean": 2.5, "min": 1, "max": 4}
+	for col, exp := range want {
+		ci := tab.ColumnIndex(col)
+		got, _ := strconv.ParseFloat(tab.Rows[0][ci], 64)
+		if math.Abs(got-exp) > 1e-9 {
+			t.Errorf("Stats %s = %g, want %g", col, got, exp)
+		}
+	}
+	std, _ := strconv.ParseFloat(tab.Rows[0][tab.ColumnIndex("std")], 64)
+	if math.Abs(std-math.Sqrt(1.25)) > 1e-9 {
+		t.Errorf("std = %g", std)
+	}
+	empty := run1(t, mustNew(t, NameStats, nil), types.NewVec(nil)).(*types.Table)
+	if empty.Rows[0][0] != "0" {
+		t.Error("empty Stats row wrong")
+	}
+}
+
+func TestThresholdModes(t *testing.T) {
+	v := types.NewVec([]float64{-1, 0.5, 2})
+	gate := run1(t, mustNew(t, NameThreshold, units.Params{"threshold": "1"}), v).(*types.Vec)
+	if gate.Values[0] != 0 || gate.Values[1] != 0 || gate.Values[2] != 2 {
+		t.Errorf("gate = %v", gate.Values)
+	}
+	bin := run1(t, mustNew(t, NameThreshold,
+		units.Params{"threshold": "0", "mode": "binary"}), v).(*types.Vec)
+	if bin.Values[0] != 0 || bin.Values[1] != 1 || bin.Values[2] != 1 {
+		t.Errorf("binary = %v", bin.Values)
+	}
+	if _, err := units.New(NameThreshold, units.Params{"mode": "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestHistogramUnit(t *testing.T) {
+	v := types.NewVec([]float64{0.1, 0.2, 0.9, -5, 5})
+	h := run1(t, mustNew(t, NameHistogram,
+		units.Params{"lo": "0", "hi": "1", "bins": "2"}), v).(*types.Histogram)
+	if h.Total() != 5 {
+		t.Errorf("Total = %g", h.Total())
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 { // -5 clamps low, 5 and 0.9 high
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if _, err := units.New(NameHistogram, units.Params{"lo": "2", "hi": "1"}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := units.New(NameHistogram, units.Params{"bins": "0"}); err == nil {
+		t.Error("zero bins accepted")
+	}
+}

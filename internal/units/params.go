@@ -1,0 +1,108 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Params carries a task's configuration as string key/values, exactly as
+// they appear in the XML task graph's <param> elements.
+type Params map[string]string
+
+// ParamSpec documents one parameter in a unit's metadata.
+type ParamSpec struct {
+	Name string
+	// Default is the value used when the task graph omits the parameter.
+	Default string
+	// Description is shown by tooling (trianactl describe).
+	Description string
+}
+
+// WithDefaults returns a copy of p with every missing spec key filled
+// from its default. p itself is never modified.
+func (p Params) WithDefaults(specs []ParamSpec) Params {
+	out := make(Params, len(p)+len(specs))
+	for _, s := range specs {
+		if s.Default != "" {
+			out[s.Name] = s.Default
+		}
+	}
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// String returns the named parameter or def when absent.
+func (p Params) String(name, def string) string {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Float parses the named parameter as float64.
+func (p Params) Float(name string, def float64) (float64, error) {
+	v, ok := p[name]
+	if !ok || v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: param %s=%q: %w", name, v, err)
+	}
+	return f, nil
+}
+
+// Int parses the named parameter as int.
+func (p Params) Int(name string, def int) (int, error) {
+	v, ok := p[name]
+	if !ok || v == "" {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("units: param %s=%q: %w", name, v, err)
+	}
+	return i, nil
+}
+
+// Int64 parses the named parameter as int64.
+func (p Params) Int64(name string, def int64) (int64, error) {
+	v, ok := p[name]
+	if !ok || v == "" {
+		return def, nil
+	}
+	i, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: param %s=%q: %w", name, v, err)
+	}
+	return i, nil
+}
+
+// Bool parses the named parameter as bool ("true"/"false"/"1"/"0").
+func (p Params) Bool(name string, def bool) (bool, error) {
+	v, ok := p[name]
+	if !ok || v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("units: param %s=%q: %w", name, v, err)
+	}
+	return b, nil
+}
+
+// Duration parses the named parameter as a time.Duration ("500ms").
+func (p Params) Duration(name string, def time.Duration) (time.Duration, error) {
+	v, ok := p[name]
+	if !ok || v == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("units: param %s=%q: %w", name, v, err)
+	}
+	return d, nil
+}

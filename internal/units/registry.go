@@ -1,0 +1,130 @@
+package units
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"consumergrid/internal/taskgraph"
+)
+
+// Meta describes a registered unit: its typed nodes, parameters and
+// provenance. It is the information a peer needs to type-check a graph
+// and to advertise the unit's module bundle.
+type Meta struct {
+	// Name is the dotted registry key ("triana.signal.Wave").
+	Name string
+	// Description is one sentence for tooling.
+	Description string
+	// Version identifies the module bundle revision; bumped when the
+	// unit's behaviour changes so on-demand code download stays
+	// consistent ("the executable must be requested from the owner
+	// whenever an execution is to be undertaken", §3).
+	Version string
+	// In and Out are the node counts.
+	In, Out int
+	// InTypes[i] lists accepted type names on input node i (empty or
+	// containing types.AnyType accepts anything). OutTypes[i] names the
+	// type produced on output node i.
+	InTypes  [][]string
+	OutTypes []string
+	// Params documents the accepted parameters.
+	Params []ParamSpec
+	// Stateful marks units whose Process result depends on prior calls
+	// (they need checkpointing when migrated).
+	Stateful bool
+}
+
+// Factory creates an unconfigured unit instance.
+type Factory func() Unit
+
+type registryEntry struct {
+	meta    Meta
+	factory Factory
+}
+
+var (
+	regMu sync.RWMutex
+	reg   = make(map[string]registryEntry)
+)
+
+// Register adds a unit to the global registry; toolbox packages call it
+// from init. Duplicate names panic: unit names are global constants.
+func Register(meta Meta, f Factory) {
+	if meta.Name == "" {
+		panic("units: Register with empty name")
+	}
+	if f == nil {
+		panic("units: Register with nil factory for " + meta.Name)
+	}
+	if meta.Version == "" {
+		meta.Version = "1.0"
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[meta.Name]; dup {
+		panic("units: duplicate registration of " + meta.Name)
+	}
+	reg[meta.Name] = registryEntry{meta: meta, factory: f}
+}
+
+// Lookup returns the metadata for a registered unit name.
+func Lookup(name string) (Meta, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := reg[name]
+	return e.meta, ok
+}
+
+// New instantiates and configures a unit: the factory is invoked, the
+// params are defaulted from the spec, and Init is called.
+func New(name string, p Params) (Unit, error) {
+	regMu.RLock()
+	e, ok := reg[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("units: unknown unit %q", name)
+	}
+	u := e.factory()
+	if err := u.Init(p.WithDefaults(e.meta.Params)); err != nil {
+		return nil, fmt.Errorf("units: init %s: %w", name, err)
+	}
+	return u, nil
+}
+
+// Names returns all registered unit names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolver adapts the registry to the taskgraph validator's interface.
+func Resolver() taskgraph.Resolver {
+	return taskgraph.ResolverFunc(func(unit string) (taskgraph.UnitMeta, bool) {
+		m, ok := Lookup(unit)
+		if !ok {
+			return taskgraph.UnitMeta{}, false
+		}
+		return taskgraph.UnitMeta{InTypes: m.InTypes, OutTypes: m.OutTypes}, true
+	})
+}
+
+// NewTask builds a taskgraph.Task for a registered unit, pre-filling the
+// node counts from the unit metadata so graphs built programmatically
+// cannot drift from the registry.
+func NewTask(taskName, unitName string) (*taskgraph.Task, error) {
+	m, ok := Lookup(unitName)
+	if !ok {
+		return nil, fmt.Errorf("units: unknown unit %q", unitName)
+	}
+	return &taskgraph.Task{
+		Name: taskName, Unit: unitName, Version: m.Version,
+		In: m.In, Out: m.Out,
+	}, nil
+}

@@ -1,0 +1,150 @@
+package signal
+
+import (
+	"fmt"
+
+	"consumergrid/internal/dsp"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Filtering units. Cutoffs are given in Hz and normalised against each
+// arriving SampleSet's own rate, so one task graph works across streams
+// of different rates.
+const (
+	NameLowPass  = "triana.signal.LowPass"
+	NameHighPass = "triana.signal.HighPass"
+	NameSmooth   = "triana.signal.Smooth"
+	NameDCBlock  = "triana.signal.DCBlock"
+	NameEnvelope = "triana.signal.Envelope"
+)
+
+func init() {
+	regFilter := func(name, desc string, params []units.ParamSpec, f func(u *filterUnit, s *types.SampleSet) ([]float64, error)) {
+		units.Register(units.Meta{
+			Name: name, Description: desc,
+			In: 1, Out: 1,
+			InTypes:  [][]string{{types.NameSampleSet}},
+			OutTypes: []string{types.NameSampleSet},
+			Params:   params,
+		}, func() units.Unit { return &filterUnit{name: name, f: f} })
+	}
+	cutoffTaps := []units.ParamSpec{
+		{Name: "cutoffHz", Default: "100", Description: "corner frequency in Hz"},
+		{Name: "taps", Default: "63", Description: "FIR kernel length"},
+	}
+	regFilter(NameLowPass,
+		"Windowed-sinc low-pass FIR filter (linear phase, delay-compensated).",
+		cutoffTaps, func(u *filterUnit, s *types.SampleSet) ([]float64, error) {
+			h, err := dsp.LowPassFIR(u.taps, u.cutoffHz/s.SamplingRate)
+			if err != nil {
+				return nil, err
+			}
+			return dsp.FilterFIR(s.Samples, h), nil
+		})
+	regFilter(NameHighPass,
+		"Windowed-sinc high-pass FIR filter (spectral inversion of the low-pass).",
+		cutoffTaps, func(u *filterUnit, s *types.SampleSet) ([]float64, error) {
+			h, err := dsp.HighPassFIR(u.taps, u.cutoffHz/s.SamplingRate)
+			if err != nil {
+				return nil, err
+			}
+			return dsp.FilterFIR(s.Samples, h), nil
+		})
+	regFilter(NameSmooth,
+		"Centred moving-average smoother.",
+		[]units.ParamSpec{{Name: "window", Default: "5", Description: "odd window width in samples"}},
+		func(u *filterUnit, s *types.SampleSet) ([]float64, error) {
+			return dsp.MovingAverage(s.Samples, u.window), nil
+		})
+	regFilter(NameDCBlock,
+		"Removes the mean (DC offset) from each arriving chunk.",
+		nil, func(u *filterUnit, s *types.SampleSet) ([]float64, error) {
+			var mean float64
+			for _, v := range s.Samples {
+				mean += v
+			}
+			if len(s.Samples) > 0 {
+				mean /= float64(len(s.Samples))
+			}
+			out := make([]float64, len(s.Samples))
+			for i, v := range s.Samples {
+				out[i] = v - mean
+			}
+			return out, nil
+		})
+	regFilter(NameEnvelope,
+		"Amplitude envelope: rectify then moving-average over the given window.",
+		[]units.ParamSpec{{Name: "window", Default: "31", Description: "smoothing window in samples"}},
+		func(u *filterUnit, s *types.SampleSet) ([]float64, error) {
+			rect := make([]float64, len(s.Samples))
+			for i, v := range s.Samples {
+				if v < 0 {
+					v = -v
+				}
+				rect[i] = v
+			}
+			return dsp.MovingAverage(rect, u.window), nil
+		})
+}
+
+// filterUnit implements the SampleSet -> SampleSet filters.
+type filterUnit struct {
+	name     string
+	f        func(u *filterUnit, s *types.SampleSet) ([]float64, error)
+	cutoffHz float64
+	taps     int
+	window   int
+}
+
+// Name implements Unit.
+func (u *filterUnit) Name() string { return u.name }
+
+// Init implements Unit.
+func (u *filterUnit) Init(p units.Params) error {
+	var err error
+	if u.cutoffHz, err = p.Float("cutoffHz", 100); err != nil {
+		return err
+	}
+	if u.taps, err = p.Int("taps", 63); err != nil {
+		return err
+	}
+	if u.window, err = p.Int("window", 5); err != nil {
+		return err
+	}
+	switch u.name {
+	case NameLowPass, NameHighPass:
+		if u.cutoffHz <= 0 {
+			return fmt.Errorf("signal: %s needs a positive cutoffHz", u.name)
+		}
+		if u.taps < 3 {
+			return fmt.Errorf("signal: %s needs >= 3 taps", u.name)
+		}
+	case NameSmooth, NameEnvelope:
+		if u.window < 1 {
+			return fmt.Errorf("signal: %s needs window >= 1", u.name)
+		}
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (u *filterUnit) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(u.name, 1, in); err != nil {
+		return nil, err
+	}
+	s, ok := in[0].(*types.SampleSet)
+	if !ok {
+		return nil, fmt.Errorf("signal: %s got %s", u.name, in[0].TypeName())
+	}
+	if s.SamplingRate <= 0 && (u.name == NameLowPass || u.name == NameHighPass) {
+		return nil, fmt.Errorf("signal: %s needs a positive sampling rate", u.name)
+	}
+	out, err := u.f(u, s)
+	if err != nil {
+		return nil, fmt.Errorf("signal: %s: %w", u.name, err)
+	}
+	return []types.Data{&types.SampleSet{
+		SamplingRate: s.SamplingRate, Start: s.Start, Samples: out,
+	}}, nil
+}

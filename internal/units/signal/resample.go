@@ -1,0 +1,79 @@
+package signal
+
+import (
+	"fmt"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// NameResample is the rate-conversion unit.
+const NameResample = "triana.signal.Resample"
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameResample,
+		Description: "Converts a SampleSet to a new sampling rate by linear interpolation (upsampling) or averaging decimation; pairs of detectors at different rates can then be compared sample-for-sample.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameSampleSet}},
+		OutTypes: []string{types.NameSampleSet},
+		Params: []units.ParamSpec{
+			{Name: "targetRate", Default: "2000", Description: "output samples per second"},
+		},
+	}, func() units.Unit { return &Resample{} })
+}
+
+// Resample converts sampling rates.
+type Resample struct {
+	targetRate float64
+}
+
+// Name implements Unit.
+func (r *Resample) Name() string { return NameResample }
+
+// Init implements Unit.
+func (r *Resample) Init(p units.Params) error {
+	var err error
+	if r.targetRate, err = p.Float("targetRate", 2000); err != nil {
+		return err
+	}
+	if r.targetRate <= 0 {
+		return fmt.Errorf("signal: Resample targetRate must be positive")
+	}
+	return nil
+}
+
+// Process implements Unit.
+func (r *Resample) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameResample, 1, in); err != nil {
+		return nil, err
+	}
+	s, ok := in[0].(*types.SampleSet)
+	if !ok {
+		return nil, fmt.Errorf("signal: Resample got %s", in[0].TypeName())
+	}
+	if s.SamplingRate <= 0 {
+		return nil, fmt.Errorf("signal: Resample needs a positive source rate")
+	}
+	out := &types.SampleSet{SamplingRate: r.targetRate, Start: s.Start}
+	if len(s.Samples) == 0 {
+		return []types.Data{out}, nil
+	}
+	n := int(float64(len(s.Samples)) * r.targetRate / s.SamplingRate)
+	if n < 1 {
+		n = 1
+	}
+	out.Samples = make([]float64, n)
+	ratio := s.SamplingRate / r.targetRate
+	for i := range out.Samples {
+		pos := float64(i) * ratio
+		lo := int(pos)
+		if lo >= len(s.Samples)-1 {
+			out.Samples[i] = s.Samples[len(s.Samples)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out.Samples[i] = s.Samples[lo]*(1-frac) + s.Samples[lo+1]*frac
+	}
+	return []types.Data{out}, nil
+}

@@ -1,0 +1,185 @@
+// Package textproc implements the textual-data units of the Triana
+// toolbox ("functions that can be used to manipulate ... textual data",
+// §3.1): case mapping, line filtering, counting and accumulation.
+package textproc
+
+import (
+	"fmt"
+	"strings"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+// Unit names registered by this package.
+const (
+	NameUpperCase = "triana.textproc.UpperCase"
+	NameGrep      = "triana.textproc.Grep"
+	NameLineCount = "triana.textproc.LineCount"
+	NameConcat    = "triana.textproc.Concat"
+)
+
+func init() {
+	units.Register(units.Meta{
+		Name:        NameUpperCase,
+		Description: "Maps a Text to upper case.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameText}},
+		OutTypes: []string{types.NameText},
+	}, func() units.Unit { return &UpperCase{} })
+
+	units.Register(units.Meta{
+		Name:        NameGrep,
+		Description: "Keeps only the lines of a Text containing the pattern substring.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameText}},
+		OutTypes: []string{types.NameText},
+		Params: []units.ParamSpec{
+			{Name: "pattern", Description: "substring to match"},
+			{Name: "invert", Default: "false", Description: "keep non-matching lines instead"},
+		},
+	}, func() units.Unit { return &Grep{} })
+
+	units.Register(units.Meta{
+		Name:        NameLineCount,
+		Description: "Counts the lines of a Text, emitting a Const.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameText}},
+		OutTypes: []string{types.NameConst},
+	}, func() units.Unit { return &LineCount{} })
+
+	units.Register(units.Meta{
+		Name:        NameConcat,
+		Description: "Accumulates incoming Texts, emitting the concatenation so far each iteration.",
+		In:          1, Out: 1,
+		InTypes:  [][]string{{types.NameText}},
+		OutTypes: []string{types.NameText},
+		Params: []units.ParamSpec{
+			{Name: "separator", Default: "\n", Description: "joined between fragments"},
+		},
+		Stateful: true,
+	}, func() units.Unit { return &Concat{} })
+}
+
+func textInput(unit string, d types.Data) (*types.Text, error) {
+	t, ok := d.(*types.Text)
+	if !ok {
+		return nil, fmt.Errorf("textproc: %s got %s", unit, d.TypeName())
+	}
+	return t, nil
+}
+
+// UpperCase maps to upper case.
+type UpperCase struct{}
+
+// Name implements Unit.
+func (*UpperCase) Name() string { return NameUpperCase }
+
+// Init implements Unit.
+func (*UpperCase) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*UpperCase) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameUpperCase, 1, in); err != nil {
+		return nil, err
+	}
+	t, err := textInput(NameUpperCase, in[0])
+	if err != nil {
+		return nil, err
+	}
+	return []types.Data{&types.Text{S: strings.ToUpper(t.S)}}, nil
+}
+
+// Grep filters lines.
+type Grep struct {
+	pattern string
+	invert  bool
+}
+
+// Name implements Unit.
+func (g *Grep) Name() string { return NameGrep }
+
+// Init implements Unit.
+func (g *Grep) Init(p units.Params) error {
+	g.pattern = p.String("pattern", "")
+	if g.pattern == "" {
+		return fmt.Errorf("textproc: Grep needs a pattern parameter")
+	}
+	var err error
+	g.invert, err = p.Bool("invert", false)
+	return err
+}
+
+// Process implements Unit.
+func (g *Grep) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameGrep, 1, in); err != nil {
+		return nil, err
+	}
+	t, err := textInput(NameGrep, in[0])
+	if err != nil {
+		return nil, err
+	}
+	var kept []string
+	for _, line := range strings.Split(t.S, "\n") {
+		if strings.Contains(line, g.pattern) != g.invert {
+			kept = append(kept, line)
+		}
+	}
+	return []types.Data{&types.Text{S: strings.Join(kept, "\n")}}, nil
+}
+
+// LineCount counts lines.
+type LineCount struct{}
+
+// Name implements Unit.
+func (*LineCount) Name() string { return NameLineCount }
+
+// Init implements Unit.
+func (*LineCount) Init(units.Params) error { return nil }
+
+// Process implements Unit.
+func (*LineCount) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameLineCount, 1, in); err != nil {
+		return nil, err
+	}
+	t, err := textInput(NameLineCount, in[0])
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	if t.S != "" {
+		n = strings.Count(t.S, "\n") + 1
+	}
+	return []types.Data{&types.Const{Value: float64(n)}}, nil
+}
+
+// Concat accumulates.
+type Concat struct {
+	sep   string
+	parts []string
+}
+
+// Name implements Unit.
+func (c *Concat) Name() string { return NameConcat }
+
+// Init implements Unit.
+func (c *Concat) Init(p units.Params) error {
+	c.sep = p.String("separator", "\n")
+	return nil
+}
+
+// Process implements Unit.
+func (c *Concat) Process(ctx *units.Context, in []types.Data) ([]types.Data, error) {
+	if err := units.CheckArity(NameConcat, 1, in); err != nil {
+		return nil, err
+	}
+	t, err := textInput(NameConcat, in[0])
+	if err != nil {
+		return nil, err
+	}
+	c.parts = append(c.parts, t.S)
+	return []types.Data{&types.Text{S: strings.Join(c.parts, c.sep)}}, nil
+}
+
+// Reset implements Resettable.
+func (c *Concat) Reset() { c.parts = nil }

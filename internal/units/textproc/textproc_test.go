@@ -1,0 +1,82 @@
+package textproc
+
+import (
+	"testing"
+
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+)
+
+func mustNew(t *testing.T, name string, p units.Params) units.Unit {
+	t.Helper()
+	u, err := units.New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return u
+}
+
+func runText(t *testing.T, u units.Unit, s string) types.Data {
+	t.Helper()
+	out, err := u.Process(units.TestContext(), []types.Data{&types.Text{S: s}})
+	if err != nil {
+		t.Fatalf("%s: %v", u.Name(), err)
+	}
+	return out[0]
+}
+
+func TestUpperCase(t *testing.T) {
+	got := runText(t, mustNew(t, NameUpperCase, nil), "triana peer")
+	if got.(*types.Text).S != "TRIANA PEER" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	u := mustNew(t, NameGrep, units.Params{"pattern": "peer"})
+	got := runText(t, u, "peer one\ncontroller\npeer two")
+	if got.(*types.Text).S != "peer one\npeer two" {
+		t.Errorf("got %q", got.(*types.Text).S)
+	}
+	inv := mustNew(t, NameGrep, units.Params{"pattern": "peer", "invert": "true"})
+	got = runText(t, inv, "peer one\ncontroller\npeer two")
+	if got.(*types.Text).S != "controller" {
+		t.Errorf("inverted got %q", got.(*types.Text).S)
+	}
+	if _, err := units.New(NameGrep, nil); err == nil {
+		t.Error("missing pattern accepted")
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	u := mustNew(t, NameLineCount, nil)
+	if got := runText(t, u, "a\nb\nc").(*types.Const).Value; got != 3 {
+		t.Errorf("count = %g", got)
+	}
+	if got := runText(t, u, "").(*types.Const).Value; got != 0 {
+		t.Errorf("empty count = %g", got)
+	}
+}
+
+func TestConcatAccumulates(t *testing.T) {
+	u := mustNew(t, NameConcat, units.Params{"separator": "|"}).(*Concat)
+	runText(t, u, "a")
+	got := runText(t, u, "b").(*types.Text)
+	if got.S != "a|b" {
+		t.Errorf("concat = %q", got.S)
+	}
+	u.Reset()
+	got = runText(t, u, "c").(*types.Text)
+	if got.S != "c" {
+		t.Errorf("after reset = %q", got.S)
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	for _, n := range []string{NameUpperCase, NameLineCount, NameConcat} {
+		u := mustNew(t, n, nil)
+		if _, err := u.Process(units.TestContext(), []types.Data{&types.Const{}}); err == nil {
+			t.Errorf("%s accepted Const", n)
+		}
+	}
+}

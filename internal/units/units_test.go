@@ -1,0 +1,264 @@
+package units_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+
+	// Pull in the full toolbox so registry-wide assertions see everything.
+	_ "consumergrid/internal/units/astro"
+	_ "consumergrid/internal/units/convert"
+	_ "consumergrid/internal/units/dbase"
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/imaging"
+	_ "consumergrid/internal/units/mathx"
+	_ "consumergrid/internal/units/signal"
+	_ "consumergrid/internal/units/textproc"
+	_ "consumergrid/internal/units/unitio"
+)
+
+func TestRegistryPopulatedByToolboxes(t *testing.T) {
+	names := units.Names()
+	if len(names) < 60 {
+		t.Fatalf("only %d units registered; toolboxes missing?", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted at %d", i)
+		}
+	}
+	// Spot-check the Figure 1 units exist.
+	for _, n := range []string{
+		"triana.signal.Wave", "triana.signal.GaussianNoise",
+		"triana.signal.FFT", "triana.signal.AccumStat",
+		"triana.unitio.Grapher",
+	} {
+		if _, ok := units.Lookup(n); !ok {
+			t.Errorf("unit %q not registered", n)
+		}
+	}
+}
+
+func TestMetaConsistency(t *testing.T) {
+	// Every registered unit's metadata must be internally consistent and
+	// must instantiate + init cleanly with default parameters.
+	for _, n := range units.Names() {
+		m, ok := units.Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", n)
+		}
+		if m.Name != n {
+			t.Errorf("%s: meta name %q mismatched", n, m.Name)
+		}
+		if m.Description == "" {
+			t.Errorf("%s: missing description", n)
+		}
+		if m.Version == "" {
+			t.Errorf("%s: missing version", n)
+		}
+		if len(m.InTypes) > m.In {
+			t.Errorf("%s: %d InTypes for %d inputs", n, len(m.InTypes), m.In)
+		}
+		if len(m.OutTypes) > m.Out {
+			t.Errorf("%s: %d OutTypes for %d outputs", n, len(m.OutTypes), m.Out)
+		}
+		for i, out := range m.OutTypes {
+			if out != types.AnyType && !types.Registered(out) {
+				t.Errorf("%s: output %d names unknown type %q", n, i, out)
+			}
+		}
+		for i, ins := range m.InTypes {
+			for _, in := range ins {
+				if in != types.AnyType && !types.Registered(in) {
+					t.Errorf("%s: input %d accepts unknown type %q", n, i, in)
+				}
+			}
+		}
+		u, err := units.New(n, nil)
+		// Units with mandatory params (path, pattern, column) may reject
+		// empty config; that is fine as long as the error is explicit.
+		if err != nil {
+			if !strings.Contains(err.Error(), "needs") {
+				t.Errorf("%s: default init error not explanatory: %v", n, err)
+			}
+			continue
+		}
+		if u.Name() != n {
+			t.Errorf("%s: instance Name() = %q", n, u.Name())
+		}
+	}
+}
+
+func TestNewUnknownUnit(t *testing.T) {
+	if _, err := units.New("no.such.Unit", nil); err == nil {
+		t.Fatal("unknown unit should fail")
+	}
+}
+
+func TestNewBadParams(t *testing.T) {
+	if _, err := units.New("triana.signal.Wave", units.Params{"frequency": "abc"}); err == nil {
+		t.Fatal("malformed param should fail Init")
+	}
+}
+
+func TestResolverAdaptsRegistry(t *testing.T) {
+	res := units.Resolver()
+	m, ok := res.Lookup("triana.signal.FFT")
+	if !ok {
+		t.Fatal("resolver missing FFT")
+	}
+	if len(m.OutTypes) != 1 || m.OutTypes[0] != types.NameComplexSpectrum {
+		t.Errorf("FFT out types = %v", m.OutTypes)
+	}
+	if _, ok := res.Lookup("nope"); ok {
+		t.Error("resolver found nonexistent unit")
+	}
+}
+
+func TestNewTaskFillsNodeCounts(t *testing.T) {
+	task, err := units.NewTask("W", "triana.signal.Wave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.In != 0 || task.Out != 1 || task.Unit != "triana.signal.Wave" || task.Version == "" {
+		t.Errorf("task = %+v", task)
+	}
+	if _, err := units.NewTask("X", "missing.Unit"); err == nil {
+		t.Error("NewTask of unknown unit should fail")
+	}
+}
+
+func TestFigure1GraphValidatesAgainstRealRegistry(t *testing.T) {
+	g := taskgraph.New("fig1")
+	for _, spec := range []struct{ name, unit string }{
+		{"Wave", "triana.signal.Wave"},
+		{"Gaussian", "triana.signal.GaussianNoise"},
+		{"PowerSpec", "triana.signal.PowerSpectrum"},
+		{"AccumStat", "triana.signal.AccumStat"},
+		{"Grapher", "triana.unitio.Grapher"},
+	} {
+		task, err := units.NewTask(spec.name, spec.unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ConnectNamed("Wave", 0, "Gaussian", 0)
+	g.ConnectNamed("Gaussian", 0, "PowerSpec", 0)
+	g.ConnectNamed("PowerSpec", 0, "AccumStat", 0)
+	g.ConnectNamed("AccumStat", 0, "Grapher", 0)
+	if err := g.Validate(units.Resolver()); err != nil {
+		t.Fatalf("Figure 1 graph invalid: %v", err)
+	}
+	// And a type violation is caught end-to-end: FFT output into
+	// GaussianNoise input.
+	bad := taskgraph.New("bad")
+	fft, _ := units.NewTask("FFT", "triana.signal.FFT")
+	gn, _ := units.NewTask("GN", "triana.signal.GaussianNoise")
+	bad.MustAdd(fft)
+	bad.MustAdd(gn)
+	bad.ConnectNamed("FFT", 0, "GN", 0)
+	if err := bad.Validate(units.Resolver()); err == nil {
+		t.Error("ComplexSpectrum into GaussianNoise should fail validation")
+	}
+}
+
+func TestParamsTypedGetters(t *testing.T) {
+	p := units.Params{
+		"f": "2.5", "i": "7", "b": "true", "d": "250ms", "s": "hello", "neg": "-3",
+	}
+	if v, err := p.Float("f", 0); err != nil || v != 2.5 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+	if v, err := p.Int("i", 0); err != nil || v != 7 {
+		t.Errorf("Int = %v, %v", v, err)
+	}
+	if v, err := p.Int("neg", 0); err != nil || v != -3 {
+		t.Errorf("Int neg = %v, %v", v, err)
+	}
+	if v, err := p.Int64("i", 0); err != nil || v != 7 {
+		t.Errorf("Int64 = %v, %v", v, err)
+	}
+	if v, err := p.Bool("b", false); err != nil || !v {
+		t.Errorf("Bool = %v, %v", v, err)
+	}
+	if v, err := p.Duration("d", 0); err != nil || v != 250*time.Millisecond {
+		t.Errorf("Duration = %v, %v", v, err)
+	}
+	if p.String("s", "x") != "hello" || p.String("missing", "dflt") != "dflt" {
+		t.Error("String getter wrong")
+	}
+	// Defaults on absence.
+	if v, _ := p.Float("missing", 9.5); v != 9.5 {
+		t.Error("Float default wrong")
+	}
+	// Errors on malformed.
+	bad := units.Params{"x": "zzz"}
+	if _, err := bad.Float("x", 0); err == nil {
+		t.Error("malformed float accepted")
+	}
+	if _, err := bad.Int("x", 0); err == nil {
+		t.Error("malformed int accepted")
+	}
+	if _, err := bad.Bool("x", false); err == nil {
+		t.Error("malformed bool accepted")
+	}
+	if _, err := bad.Duration("x", 0); err == nil {
+		t.Error("malformed duration accepted")
+	}
+	if _, err := bad.Int64("x", 0); err == nil {
+		t.Error("malformed int64 accepted")
+	}
+}
+
+func TestWithDefaultsDoesNotMutate(t *testing.T) {
+	p := units.Params{"a": "1"}
+	specs := []units.ParamSpec{{Name: "a", Default: "9"}, {Name: "b", Default: "2"}}
+	out := p.WithDefaults(specs)
+	if out["a"] != "1" {
+		t.Error("explicit value overridden by default")
+	}
+	if out["b"] != "2" {
+		t.Error("default not applied")
+	}
+	if _, ok := p["b"]; ok {
+		t.Error("original params mutated")
+	}
+}
+
+func TestCheckArity(t *testing.T) {
+	if err := units.CheckArity("u", 1, []types.Data{&types.Const{}}); err != nil {
+		t.Errorf("valid arity: %v", err)
+	}
+	err := units.CheckArity("u", 2, []types.Data{&types.Const{}})
+	if err == nil || !strings.Contains(err.Error(), "expects 2 inputs, got 1") {
+		t.Errorf("arity error = %v", err)
+	}
+	if err := units.CheckArity("u", 1, []types.Data{nil}); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := units.TestContext()
+	if ctx.Canceled() {
+		t.Error("fresh context canceled")
+	}
+	var got string
+	ctx.Logf = func(f string, a ...any) { got = f }
+	ctx.Log("hello %d", 1)
+	if got != "hello %d" {
+		t.Error("Log did not reach Logf")
+	}
+	var quiet units.Context
+	quiet.Log("ignored") // nil Logf must not panic
+	if quiet.Canceled() {
+		t.Error("nil-ctx Canceled should be false")
+	}
+}

@@ -1,0 +1,114 @@
+// Package webstatus serves a Triana peer's state over plain HTTP, the
+// paper's §3.2 requirement that "users should be able to obtain progress
+// of their running network via the internet using a standard Web
+// browser". The pages are deliberately dependency-free HTML: peer
+// identity, hosted jobs and their states, the billing ledger, and the
+// unit toolbox.
+package webstatus
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"consumergrid/internal/service"
+	"consumergrid/internal/units"
+)
+
+// Handler builds the status mux for one service daemon.
+//
+//	GET /          overview: peer identity + job table
+//	GET /jobs      job table only (auto-refreshing)
+//	GET /billing   the resource-usage ledger
+//	GET /units     the unit toolbox
+func Handler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		var b strings.Builder
+		header(&b, "Triana peer "+svc.PeerID())
+		fmt.Fprintf(&b, "<p>peer <b>%s</b> at <code>%s</code></p>",
+			html.EscapeString(svc.PeerID()), html.EscapeString(svc.Addr()))
+		fetches, bytes := svc.Fetcher().Fetches()
+		fmt.Fprintf(&b, "<p>module bundles fetched on demand: %d (%d bytes)</p>", fetches, bytes)
+		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/units">units</a></p>`)
+		jobsTable(&b, svc)
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Jobs on "+svc.PeerID())
+		b.WriteString(`<meta http-equiv="refresh" content="2">`)
+		jobsTable(&b, svc)
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/billing", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Billing on "+svc.PeerID())
+		b.WriteString("<table><tr><th>requester</th><th>jobs</th><th>cpu</th><th>processed</th></tr>")
+		for _, e := range svc.Billing() {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%v</td><td>%d</td></tr>",
+				html.EscapeString(e.Requester), e.Jobs, e.CPU, e.Processed)
+		}
+		b.WriteString("</table>")
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/units", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Unit toolbox")
+		b.WriteString("<table><tr><th>unit</th><th>in/out</th><th>description</th></tr>")
+		for _, n := range units.Names() {
+			m, _ := units.Lookup(n)
+			fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td>%d/%d</td><td>%s</td></tr>",
+				html.EscapeString(n), m.In, m.Out, html.EscapeString(m.Description))
+		}
+		b.WriteString("</table>")
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	return mux
+}
+
+func jobsTable(b *strings.Builder, svc *service.Service) {
+	jobs := svc.Jobs()
+	if len(jobs) == 0 {
+		b.WriteString("<p>no jobs hosted yet</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>job</th><th>state</th><th>processed</th></tr>")
+	for _, j := range jobs {
+		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%s</td><td>%d</td></tr>",
+			html.EscapeString(j.ID), j.State, j.Processed)
+	}
+	b.WriteString("</table>")
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, "<!DOCTYPE html><html><head><title>%s</title>"+
+		"<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}"+
+		"td,th{border:1px solid #999;padding:2px 8px;text-align:left}</style>"+
+		"</head><body><h1>%s</h1>", html.EscapeString(title), html.EscapeString(title))
+}
+
+func footer(b *strings.Builder) { b.WriteString("</body></html>") }
+
+func writeHTML(w http.ResponseWriter, s string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, s)
+}
+
+// Serve starts the status server on addr in a background goroutine and
+// returns the listener's close function. It exists for trianad; tests
+// use Handler with httptest.
+func Serve(addr string, svc *service.Service) (*http.Server, error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(svc)}
+	go srv.ListenAndServe()
+	return srv, nil
+}

@@ -1,0 +1,123 @@
+package webstatus
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/service"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/signal"
+
+	_ "consumergrid/internal/units/flow"
+	_ "consumergrid/internal/units/unitio"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestStatusPages(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	worker, err := service.New(service.Options{
+		PeerID: "web-worker", Transport: tr, CPUMHz: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	ctl, err := service.New(service.Options{PeerID: "web-ctl", Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	srv := httptest.NewServer(Handler(worker))
+	defer srv.Close()
+
+	// Overview before any work.
+	home := get(t, srv, "/")
+	if !strings.Contains(home, "web-worker") || !strings.Contains(home, "no jobs hosted yet") {
+		t.Errorf("home = %s", home)
+	}
+	if get(t, srv, "/units"); false {
+		t.Fatal()
+	}
+	unitsPage := get(t, srv, "/units")
+	if !strings.Contains(unitsPage, signal.NameWave) {
+		t.Error("units page missing Wave")
+	}
+
+	// Run a distributed group through the worker, then re-check.
+	g := taskgraph.New("web")
+	w, _ := units.NewTask("Wave", signal.NameWave)
+	w.SetParam("samples", "128")
+	g.MustAdd(w)
+	gn, _ := units.NewTask("Gauss", signal.NameGaussianNoise)
+	g.MustAdd(gn)
+	sink, _ := units.NewTask("Null", "triana.flow.Null")
+	g.MustAdd(sink)
+	g.ConnectNamed("Wave", 0, "Gauss", 0)
+	g.ConnectNamed("Gauss", 0, "Null", 0)
+	if _, err := g.GroupTasks("G", []string{"Gauss"}); err != nil {
+		t.Fatal(err)
+	}
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"web-worker"}}
+	peers := map[string]service.PeerRef{"web-worker": {ID: "web-worker", Addr: worker.Addr()}}
+	if _, err := ctl.RunDistributed(context.Background(), g, "G", plan, peers,
+		service.DistOptions{Iterations: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := get(t, srv, "/jobs")
+	if !strings.Contains(jobs, "web-worker/job-1") || !strings.Contains(jobs, "done") {
+		t.Errorf("jobs page = %s", jobs)
+	}
+	billing := get(t, srv, "/billing")
+	if !strings.Contains(billing, "web-ctl") {
+		t.Errorf("billing page missing requester: %s", billing)
+	}
+
+	// Unknown paths 404.
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+func TestJobsSnapshotStates(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	worker, err := service.New(service.Options{PeerID: "w", Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	if jobs := worker.Jobs(); len(jobs) != 0 {
+		t.Errorf("fresh jobs = %+v", jobs)
+	}
+}

@@ -1,0 +1,57 @@
+package consumergrid_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"consumergrid/internal/engine"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/units"
+
+	_ "consumergrid/internal/core" // registers the full toolbox
+	"context"
+)
+
+// TestCheckedInWorkflowsValidateAndRun parses every document under
+// workflows/ in its declared dialect, type-checks it against the live
+// registry, and runs each one iteration locally: the shipped documents
+// must never rot.
+func TestCheckedInWorkflowsValidateAndRun(t *testing.T) {
+	entries, err := os.ReadDir("workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 6 {
+		t.Fatalf("only %d workflow documents found", len(entries))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			b, err := os.ReadFile(filepath.Join("workflows", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var g *taskgraph.Graph
+			switch {
+			case strings.Contains(string(b), "<flowModel"):
+				g, err = taskgraph.ParseWSFL(b)
+			case strings.Contains(string(b), "<pnml"):
+				g, err = taskgraph.ParsePNML(b)
+			default:
+				g, err = taskgraph.ParseXML(b)
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := g.Validate(units.Resolver()); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if _, err := engine.Run(context.Background(), g, engine.Options{
+				Iterations: 1, Seed: 1}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
