@@ -61,6 +61,14 @@ func main() {
 		ttl        = flag.Duration("advert-ttl", time.Hour, "service advertisement lifetime")
 		httpAddr   = flag.String("http", "", "serve browser status pages on this address (e.g. 127.0.0.1:8080)")
 		certified  = flag.String("certified", "", "comma-separated certified unit names; empty allows everything")
+
+		queryTimeout  = flag.Duration("query-timeout", 0, "discovery query timeout (0 = library default 500ms)")
+		rpcTimeout    = flag.Duration("rpc-timeout", 0, "per-attempt deadline for outbound RPCs (0 = default 10s)")
+		rpcAttempts   = flag.Int("rpc-attempts", 0, "max attempts per outbound RPC, first included (0 = default 3)")
+		rpcBackoff    = flag.Duration("rpc-backoff", 0, "backoff before the second RPC attempt, doubled per retry (0 = default 25ms)")
+		rpcBackoffCap = flag.Duration("rpc-backoff-max", 0, "backoff ceiling (0 = default 500ms)")
+		hbInterval    = flag.Duration("heartbeat-interval", 0, "failure-detector ping interval (0 = default 1s)")
+		hbMisses      = flag.Int("heartbeat-misses", 0, "consecutive missed heartbeats before a peer is declared dead (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -104,8 +112,17 @@ func main() {
 		Transport: jxtaserve.TCP{},
 		Addr:      *listen,
 		Discovery: discovery.Config{
-			Mode:       discovery.ModeRendezvous,
-			Rendezvous: rdvAddrs,
+			Mode:         discovery.ModeRendezvous,
+			Rendezvous:   rdvAddrs,
+			QueryTimeout: *queryTimeout,
+		},
+		Resilience: service.ResilienceOptions{
+			RequestTimeout:    *rpcTimeout,
+			MaxAttempts:       *rpcAttempts,
+			BaseDelay:         *rpcBackoff,
+			MaxDelay:          *rpcBackoffCap,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatMisses:   *hbMisses,
 		},
 		Sandbox:     pol,
 		RM:          rm,

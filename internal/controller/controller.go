@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"consumergrid/internal/advert"
 	"consumergrid/internal/engine"
 	"consumergrid/internal/policy"
 	"consumergrid/internal/service"
 	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
 	"consumergrid/internal/units"
 )
 
@@ -203,6 +205,50 @@ func (c *Controller) Run(ctx context.Context, g *taskgraph.Graph, opts RunOption
 		Dist: dist, Plan: plan, GroupName: groupName,
 		Peers: used, Annotated: annotated,
 	}, nil
+}
+
+// FarmOptions configures RunFarm: discovery filters for the worker
+// pool plus the chunked-farm knobs forwarded to service.FarmChunks.
+type FarmOptions struct {
+	// Discovery filters candidate workers (Iterations is ignored).
+	Discovery RunOptions
+	// Body builds the farmed group body (one external input, one
+	// external output) — fresh per attempt.
+	Body func() *taskgraph.Graph
+	// ChunkAttempts, AttemptTimeout, InitialState, Heartbeat, Seed and
+	// AfterChunk forward to service.FarmOptions.
+	ChunkAttempts  int
+	AttemptTimeout time.Duration
+	InitialState   map[string][]byte
+	Heartbeat      bool
+	Seed           int64
+	AfterChunk     func(chunk int)
+}
+
+// RunFarm discovers workers and streams the chunks through them with
+// the resilient re-despatch loop: a worker that dies mid-chunk loses
+// that chunk to an alternate peer with the checkpointed state restored,
+// so the committed output stream matches an uninterrupted run.
+func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*service.FarmReport, error) {
+	peers, err := c.DiscoverPeers(opts.Discovery)
+	if err != nil {
+		return nil, fmt.Errorf("controller: farm discovery: %w", err)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("controller: no peers available for farm")
+	}
+	c.log("controller: farming %d chunks over %d peers", len(chunks), len(peers))
+	return c.svc.FarmChunks(ctx, chunks, service.FarmOptions{
+		Body:           opts.Body,
+		Peers:          peers,
+		CodeAddr:       c.svc.Addr(),
+		ChunkAttempts:  opts.ChunkAttempts,
+		AttemptTimeout: opts.AttemptTimeout,
+		InitialState:   opts.InitialState,
+		Heartbeat:      opts.Heartbeat,
+		Seed:           opts.Seed,
+		AfterChunk:     opts.AfterChunk,
+	})
 }
 
 func (c *Controller) log(format string, args ...any) {

@@ -1,0 +1,95 @@
+package jxtaserve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzMessageRoundTrip drives arbitrary kinds, headers, and payloads
+// through WriteMessage/ReadMessage. Encodable messages must decode back
+// identically; unencodable ones (XML-unsafe strings) must be rejected at
+// write time rather than producing frames the reader chokes on.
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add("rpc", "method", "triana.run", []byte("payload"))
+	f.Add(KindPipeData, "pipe", "job/7/in", []byte{0, 1, 2, 255})
+	f.Add(KindPipeEOF, "", "", []byte(nil))
+	f.Add("rpc.error", "error", "no such method", []byte(nil))
+	f.Add("k", "h", "value with <xml> & \"quotes\"", []byte("x"))
+	f.Add("k\x00bad", "h", "v", []byte(nil))          // NUL in kind
+	f.Add("k", "h\xff", "v", []byte(nil))             // invalid UTF-8 name
+	f.Add("k", "h", "ctrl\x01char", []byte(nil))      // control char value
+	f.Add("k", "tab\tnewline\n", "cr\r", []byte(nil)) // allowed whitespace
+
+	f.Fuzz(func(t *testing.T, kind, hname, hval string, payload []byte) {
+		m := &Message{Kind: kind, Payload: payload}
+		if hname != "" || hval != "" {
+			m.SetHeader(hname, hval)
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return // rejected at write time: nothing reaches the wire
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("wrote ok but read failed: %v (kind=%q hname=%q hval=%q)", err, kind, hname, hval)
+		}
+		if got.Kind != m.Kind {
+			t.Fatalf("kind: got %q want %q", got.Kind, m.Kind)
+		}
+		if got.Header(hname) != m.Header(hname) {
+			t.Fatalf("header %q: got %q want %q", hname, got.Header(hname), m.Header(hname))
+		}
+		if !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("payload mismatch: got %d bytes want %d", len(got.Payload), len(m.Payload))
+		}
+	})
+}
+
+// FuzzReadMessage feeds raw bytes to the frame reader: it must return an
+// error or a message, never panic or over-allocate on lying prefixes.
+func FuzzReadMessage(f *testing.F) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, &Message{Kind: "rpc", Headers: map[string]string{"method": "x"}, Payload: []byte("p")})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge varint
+	f.Add([]byte{2, 200, '<', 'm'})                                           // payload len 200, truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	})
+}
+
+func TestWriteMessageRejectsXMLUnsafeStrings(t *testing.T) {
+	cases := []*Message{
+		{Kind: "k\x00"},
+		{Kind: "k", Headers: map[string]string{"h\x02": "v"}},
+		{Kind: "k", Headers: map[string]string{"h": "\xff\xfe"}},
+		{Kind: "k", Headers: map[string]string{"h": string(rune(0xFFFF))}},
+	}
+	for i, m := range cases {
+		if err := WriteMessage(io.Discard, m); !errors.Is(err, ErrBadHeader) {
+			t.Errorf("case %d: err = %v, want ErrBadHeader", i, err)
+		}
+	}
+}
+
+// TestReadMessageLyingPayloadLength: a frame claiming a huge payload but
+// delivering few bytes must fail with an IO error, not exhaust memory.
+func TestReadMessageLyingPayloadLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: "k", Payload: make([]byte, 4<<20)}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate: keep the header and a sliver of payload.
+	raw := buf.Bytes()[:64]
+	_, err := ReadMessage(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("truncated frame decoded successfully")
+	}
+}

@@ -186,33 +186,12 @@ func (h *Host) Handle(method string, fn Handler) {
 }
 
 // Request dials addr, performs one RPC round trip, and closes the
-// connection. The method name travels in the "method" header.
+// connection. The method name travels in the "method" header. Failures
+// are typed: *DialError when the peer was unreachable (safe to retry),
+// *RPCError when the remote handler rejected the request (retrying is
+// pointless). See RequestTimeout for a deadline-bounded variant.
 func (h *Host) Request(addr, method string, payload []byte, headers map[string]string) (*Message, error) {
-	conn, err := h.transport.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	req := &Message{Kind: KindRPC, Payload: payload}
-	for k, v := range headers {
-		req.SetHeader(k, v)
-	}
-	req.SetHeader("method", method)
-	req.SetHeader("from", h.peerID)
-	if err := conn.Send(req); err != nil {
-		return nil, err
-	}
-	reply, err := conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	if reply.Kind == KindRPCError {
-		return nil, fmt.Errorf("jxtaserve: rpc %s at %s: %s", method, addr, reply.Header("error"))
-	}
-	if reply.Kind != KindRPCReply {
-		return nil, fmt.Errorf("jxtaserve: rpc %s: unexpected reply kind %s", method, reply.Kind)
-	}
-	return reply, nil
+	return h.RequestTimeout(addr, method, payload, headers, 0)
 }
 
 // --- input pipes ------------------------------------------------------------

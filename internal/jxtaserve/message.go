@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"unicode/utf8"
 )
 
 // Message kinds used across the Consumer Grid. Subsystems may define
@@ -75,10 +76,42 @@ type xmlHeader struct {
 	Value string `xml:"value,attr"`
 }
 
+// ErrBadHeader is returned when a kind or header string cannot survive
+// the XML envelope (invalid UTF-8 or control characters: encoding/xml
+// would emit character references the decoder rejects, so the frame
+// could never be read back).
+var ErrBadHeader = errors.New("jxtaserve: kind or header not XML-safe")
+
+// xmlSafe reports whether s round-trips through an XML attribute:
+// valid UTF-8 and only characters XML 1.0 permits.
+func xmlSafe(s string) bool {
+	if !utf8.ValidString(s) {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r == '\t' || r == '\n' || r == '\r':
+		case r < 0x20:
+			return false
+		case r == 0xFFFE || r == 0xFFFF:
+			return false
+		}
+	}
+	return true
+}
+
 // WriteMessage frames m onto w.
 func WriteMessage(w io.Writer, m *Message) error {
 	if m.Kind == "" {
 		return errors.New("jxtaserve: message without kind")
+	}
+	if !xmlSafe(m.Kind) {
+		return ErrBadHeader
+	}
+	for k, v := range m.Headers {
+		if !xmlSafe(k) || !xmlSafe(v) {
+			return ErrBadHeader
+		}
 	}
 	env := xmlEnvelope{Kind: m.Kind}
 	keys := make([]string, 0, len(m.Headers))
@@ -146,12 +179,40 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		m.SetHeader(h.Name, h.Value)
 	}
 	if payloadLen > 0 {
-		m.Payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(r, m.Payload); err != nil {
+		p, err := readPayload(r, payloadLen)
+		if err != nil {
+			return nil, err
+		}
+		m.Payload = p
+	}
+	return m, nil
+}
+
+// readPayload reads n bytes, growing the buffer in bounded chunks so a
+// lying length prefix cannot make us allocate hundreds of megabytes for
+// a stream that ends after a few bytes.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20 // grow 1 MiB at a time
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
 			return nil, err
 		}
 	}
-	return m, nil
+	return buf, nil
 }
 
 // byteReader adapts an io.Reader lacking ReadByte. It reads one byte at a

@@ -1,0 +1,35 @@
+package metrics
+
+// ResilienceStats groups the counters the despatch resilience layer
+// maintains: how often RPCs were retried, parts re-despatched to
+// alternate peers, heartbeats missed, peers declared dead, and how many
+// computed items were discarded as wasted work when a failed attempt's
+// partial output was thrown away (§3.6.2 recovery accounting).
+type ResilienceStats struct {
+	Retries           Counter // RPC attempts beyond the first
+	Redespatches      Counter // parts moved to an alternate peer
+	HeartbeatMisses   Counter // individual heartbeat probes that failed
+	PeersDeclaredDead Counter // failure-detector verdicts
+	WastedItems       Counter // outputs discarded from failed attempts
+}
+
+// ResilienceSnapshot is a point-in-time copy of the counters, in the
+// shape the webstatus page and test assertions consume.
+type ResilienceSnapshot struct {
+	Retries           int64
+	Redespatches      int64
+	HeartbeatMisses   int64
+	PeersDeclaredDead int64
+	WastedItems       int64
+}
+
+// Snapshot reads every counter at once.
+func (s *ResilienceStats) Snapshot() ResilienceSnapshot {
+	return ResilienceSnapshot{
+		Retries:           s.Retries.Value(),
+		Redespatches:      s.Redespatches.Value(),
+		HeartbeatMisses:   s.HeartbeatMisses.Value(),
+		PeersDeclaredDead: s.PeersDeclaredDead.Value(),
+		WastedItems:       s.WastedItems.Value(),
+	}
+}

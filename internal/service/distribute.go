@@ -60,8 +60,15 @@ type RemoteJob struct {
 // Despatch ships a part to its peer: the remote service fetches modules
 // from codeAddr (empty disables on-demand code), opens its input pipes
 // and binds its outputs. It returns the job reference carrying the input
-// adverts.
+// adverts. Unreachable peers are retried per the resilience policy;
+// because triana.run is not idempotent, only dial failures retry — a
+// conversation that broke after the request was sent fails immediately
+// rather than risk despatching the part twice.
 func (s *Service) Despatch(part RemotePart, codeAddr string) (*RemoteJob, error) {
+	return s.despatchCtx(context.Background(), part, codeAddr)
+}
+
+func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr string) (*RemoteJob, error) {
 	if len(part.InLabels) != len(part.Body.ExternalIn) {
 		return nil, fmt.Errorf("service: %d in labels for %d external inputs",
 			len(part.InLabels), len(part.Body.ExternalIn))
@@ -94,7 +101,8 @@ func (s *Service) Despatch(part RemotePart, codeAddr string) (*RemoteJob, error)
 		headers[fmt.Sprintf("out.%d.label", i)] = tgt.Label
 		headers[fmt.Sprintf("out.%d.addr", i)] = tgt.Addr
 	}
-	reply, err := s.host.Request(part.Peer.Addr, MethodRun, payload, headers)
+	reply, err := s.requestRetry(ctx, part.Peer.Addr, MethodRun, payload, headers,
+		false, s.res.RequestTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("service: despatch to %s: %w", part.Peer.ID, err)
 	}
@@ -119,8 +127,16 @@ func (s *Service) WaitRemote(job *RemoteJob) (map[string]int, error) {
 // WaitRemoteState additionally returns the stateful units' checkpoints,
 // ready to feed another Despatch's RestoreState — the migration handoff.
 func (s *Service) WaitRemoteState(job *RemoteJob) (map[string]int, map[string][]byte, error) {
-	reply, err := s.host.Request(job.Part.Peer.Addr, MethodWait, nil,
-		map[string]string{"job": job.JobID})
+	return s.waitRemoteStateCtx(context.Background(), job)
+}
+
+// waitRemoteStateCtx is WaitRemoteState bounded by a context: the wait
+// RPC blocks as long as the job runs (no per-attempt deadline), so the
+// failure detector or attempt timeout cancels it through ctx. Waits are
+// idempotent, so broken conversations retry.
+func (s *Service) waitRemoteStateCtx(ctx context.Context, job *RemoteJob) (map[string]int, map[string][]byte, error) {
+	reply, err := s.requestRetry(ctx, job.Part.Peer.Addr, MethodWait, nil,
+		map[string]string{"job": job.JobID}, true, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,10 +156,11 @@ func (s *Service) WaitRemoteState(job *RemoteJob) (map[string]int, map[string][]
 	return counts, state, nil
 }
 
-// CancelRemote cancels a despatched job.
+// CancelRemote cancels a despatched job. Cancels are idempotent and
+// retried with a per-attempt deadline.
 func (s *Service) CancelRemote(job *RemoteJob) error {
-	_, err := s.host.Request(job.Part.Peer.Addr, MethodCancel, nil,
-		map[string]string{"job": job.JobID})
+	_, err := s.requestRetry(context.Background(), job.Part.Peer.Addr, MethodCancel, nil,
+		map[string]string{"job": job.JobID}, true, s.res.RequestTimeout)
 	return err
 }
 

@@ -1,0 +1,105 @@
+package service
+
+// Property: re-despatch is idempotent. For any seed, a farm whose
+// worker is killed mid-run — forcing a chunk to fail, be discarded, and
+// replay on an alternate peer with the checkpointed state restored —
+// produces the same committed output stream AND the same final
+// checkpoint as the uninterrupted run. This is the §3.6.2 migration
+// guarantee the chaos harness relies on, checked across seeds.
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"consumergrid/internal/simnet"
+	"consumergrid/internal/types"
+)
+
+func TestRedespatchIdempotencyProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1000003, 987654321} {
+		seed := seed
+		t.Run(formatSeed(seed), func(t *testing.T) {
+			const nChunks, perChunk = 3, 4
+			chunks := chaosChunks(seed, nChunks, perChunk)
+
+			// Uninterrupted reference run.
+			refNet := simnet.New()
+			refCtl, refPeers := chaosNet(t, refNet)
+			ref := runChaosFarm(t, refCtl, refPeers, chunks, FarmOptions{Seed: seed})
+
+			// Faulted run: the chunk-0 worker dies before chunk 1.
+			n := simnet.New()
+			ctl, peers := chaosNet(t, n)
+			rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{
+				Seed: seed,
+				AfterChunk: func(c int) {
+					if c == 0 {
+						n.Kill("w1")
+					}
+				},
+			})
+
+			if rep.Redespatches < 1 {
+				t.Fatalf("seed %d: kill caused no redespatch", seed)
+			}
+			assertSameOutputs(t, rep.Outputs, ref.Outputs)
+			assertSameState(t, rep.FinalState, ref.FinalState)
+		})
+	}
+}
+
+// TestRedespatchStateCarryMatchesMigration: the farm's chunk-to-chunk
+// state carry is the same mechanism as explicit migration — feeding the
+// farm's final checkpoint into a fresh despatch continues the
+// accumulation exactly.
+func TestRedespatchStateCarryMatchesMigration(t *testing.T) {
+	const seed = 99
+	chunks := chaosChunks(seed, 2, 5)
+	n := simnet.New()
+	ctl, peers := chaosNet(t, n)
+	rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{Seed: seed})
+	if len(rep.FinalState) == 0 {
+		t.Fatal("farm over a stateful body returned no checkpoint")
+	}
+
+	// Continue on a fresh peer with the farm's checkpoint; the running
+	// average must continue from all 10 farmed spectra, not restart.
+	cont, _ := feedSpectra(t, ctl, peers[1], "carry-sink", "carry-in", 1, 50, rep.FinalState)
+
+	// Reference: one uninterrupted accumulation over the same 11 inputs.
+	var all []types.Data
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	refNet := simnet.New()
+	refCtl, refPeers := chaosNet(t, refNet)
+	refRep := runChaosFarm(t, refCtl, refPeers, [][]types.Data{all}, FarmOptions{Seed: seed})
+	refCont, _ := feedSpectra(t, refCtl, refPeers[1], "carry-ref-sink", "carry-ref-in", 1, 50, refRep.FinalState)
+
+	assertSameOutputs(t, []types.Data{cont}, []types.Data{refCont})
+}
+
+func assertSameState(t *testing.T, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("state keys %d, want %d (%v vs %v)", len(got), len(want), keys(got), keys(want))
+	}
+	for k, w := range want {
+		if !bytes.Equal(got[k], w) {
+			t.Fatalf("state[%q] diverges after re-despatch: %x vs %x", k, got[k], w)
+		}
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func formatSeed(seed int64) string {
+	return "seed" + strconv.FormatInt(seed, 10)
+}

@@ -1,0 +1,376 @@
+// Resilient despatch: bounded retries with exponential backoff and
+// jitter around the RPC surface, heartbeat-based failure detection, and
+// a chunked farming loop that re-despatches failed work to alternate
+// peers with checkpointed state restored via the §3.6.2 migration path.
+//
+// The retry policy is built on jxtaserve's error taxonomy. A *DialError
+// means the request never left this peer, so even the non-idempotent
+// triana.run is safe to retry. A *RPCError means the remote handler ran
+// and said no; retrying is pointless. Any other failure is a broken
+// conversation with unknown remote side effects: idempotent methods
+// (wait, status, cancel, ping) retry through it, triana.run does not —
+// a duplicate job accepted by a lost reply would compute twice and
+// double-bill (§3.8). FarmChunks recovers from exactly that residue by
+// scoping every attempt to fresh pipe labels and discarding uncommitted
+// output.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+)
+
+// ResilienceOptions tunes retries, deadlines and failure detection for
+// outbound despatch traffic. The zero value selects the defaults noted
+// per field.
+type ResilienceOptions struct {
+	// RequestTimeout bounds each non-blocking RPC attempt (default 10s).
+	// Blocking job waits never get a per-attempt deadline; they are
+	// cancelled by the failure detector instead.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds tries per RPC, first included (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 25ms);
+	// it doubles per retry, capped at MaxDelay (default 500ms), and each
+	// sleep is jittered to 50–100% of the nominal value.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// RetrySeed seeds the backoff jitter (default 1) so retry schedules
+	// replay deterministically in tests.
+	RetrySeed int64
+	// HeartbeatInterval spaces failure-detector pings (default 1s);
+	// each ping gets HeartbeatTimeout (default 1s). HeartbeatMisses
+	// consecutive failures declare the peer dead (default 3).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	HeartbeatMisses   int
+}
+
+// withDefaults fills unset knobs.
+func (r ResilienceOptions) withDefaults() ResilienceOptions {
+	if r.RequestTimeout <= 0 {
+		r.RequestTimeout = 10 * time.Second
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 25 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 500 * time.Millisecond
+	}
+	if r.RetrySeed == 0 {
+		r.RetrySeed = 1
+	}
+	if r.HeartbeatInterval <= 0 {
+		r.HeartbeatInterval = time.Second
+	}
+	if r.HeartbeatTimeout <= 0 {
+		r.HeartbeatTimeout = time.Second
+	}
+	if r.HeartbeatMisses <= 0 {
+		r.HeartbeatMisses = 3
+	}
+	return r
+}
+
+// Resilience exposes the live resilience counters (webstatus renders
+// them; tests assert on them).
+func (s *Service) Resilience() *metrics.ResilienceStats { return &s.resStats }
+
+// retryJitter draws from the seeded retry RNG.
+func (s *Service) retryJitter() float64 {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	if s.retryRng == nil {
+		s.retryRng = rand.New(rand.NewSource(s.res.RetrySeed))
+	}
+	return s.retryRng.Float64()
+}
+
+// requestRetry performs an RPC with the configured retry policy. Only
+// idempotent methods retry after a conversation broke mid-exchange;
+// non-idempotent ones retry dial failures alone. Remote handler errors
+// (*jxtaserve.RPCError) never retry. timeout bounds each attempt; zero
+// means no per-attempt deadline.
+func (s *Service) requestRetry(ctx context.Context, addr, method string, payload []byte,
+	headers map[string]string, idempotent bool, timeout time.Duration) (*jxtaserve.Message, error) {
+
+	var lastErr error
+	delay := s.res.BaseDelay
+	for attempt := 1; attempt <= s.res.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			s.resStats.Retries.Inc()
+			// Jittered exponential backoff: sleep 50–100% of the nominal
+			// delay so synchronized retry storms decorrelate.
+			d := delay/2 + time.Duration(s.retryJitter()*float64(delay/2))
+			select {
+			case <-ctx.Done():
+				return nil, lastErr
+			case <-time.After(d):
+			}
+			delay *= 2
+			if delay > s.res.MaxDelay {
+				delay = s.res.MaxDelay
+			}
+		}
+		reply, err := s.host.RequestCtx(ctx, addr, method, payload, headers, timeout)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		var rpcErr *jxtaserve.RPCError
+		if errors.As(err, &rpcErr) {
+			return nil, err // the remote handler ran: its answer is final
+		}
+		if !idempotent {
+			var dialErr *jxtaserve.DialError
+			if !errors.As(err, &dialErr) {
+				return nil, err // request may have executed remotely
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// StartHeartbeat probes a peer with triana.ping on the configured
+// interval; after HeartbeatMisses consecutive failures it declares the
+// peer dead, invokes onDead once, and stops. The returned stop function
+// halts the detector (idempotent).
+func (s *Service) StartHeartbeat(addr string, onDead func()) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		misses := 0
+		ticker := time.NewTicker(s.res.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			if _, err := s.host.RequestTimeout(addr, MethodPing, nil, nil, s.res.HeartbeatTimeout); err != nil {
+				misses++
+				s.resStats.HeartbeatMisses.Inc()
+				if misses >= s.res.HeartbeatMisses {
+					s.resStats.PeersDeclaredDead.Inc()
+					s.logf("service: peer at %s declared dead after %d missed heartbeats", addr, misses)
+					onDead()
+					return
+				}
+			} else {
+				misses = 0
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// --- chunked resilient farming ----------------------------------------------
+
+// FarmOptions configures FarmChunks.
+type FarmOptions struct {
+	// Body builds the group body to despatch — a fresh graph per
+	// attempt, with exactly one external input and one external output
+	// (the streamed farm shape).
+	Body func() *taskgraph.Graph
+	// Peers are the candidate workers, used round-robin; a failed chunk
+	// attempt moves to the next peer.
+	Peers []PeerRef
+	// CodeAddr is the module owner remote peers fetch from ("" disables).
+	CodeAddr string
+	// ChunkAttempts bounds despatch attempts per chunk (default
+	// 2×len(Peers), minimum MaxAttempts).
+	ChunkAttempts int
+	// AttemptTimeout bounds one chunk attempt end to end (default 30s).
+	AttemptTimeout time.Duration
+	// InitialState primes the first chunk's RestoreState (resuming an
+	// earlier farm).
+	InitialState map[string][]byte
+	// Heartbeat runs the failure detector against the attempt's peer,
+	// cancelling the attempt when the peer is declared dead.
+	Heartbeat bool
+	// Seed is passed to every despatched part.
+	Seed int64
+	// AfterChunk, if set, runs after each chunk commits — a test hook for
+	// injecting faults at deterministic points.
+	AfterChunk func(chunk int)
+}
+
+// FarmReport summarises a FarmChunks run.
+type FarmReport struct {
+	// Outputs are the committed sink outputs, in chunk order.
+	Outputs []types.Data
+	// FinalState is the checkpoint after the last chunk, despatchable as
+	// the next farm's InitialState.
+	FinalState map[string][]byte
+	// Redespatches counts chunk attempts beyond each chunk's first.
+	Redespatches int64
+	// WastedOutputs counts outputs discarded from failed attempts.
+	WastedOutputs int64
+	// PeerChunks maps peer ID to committed chunk count.
+	PeerChunks map[string]int
+}
+
+// FarmChunks streams chunks of work through the body on the given
+// peers, surviving peer failure: each chunk is one despatch carrying
+// the checkpoint state of everything committed so far, and a failed
+// attempt is re-despatched to the next peer with that same state, so
+// the replay recomputes the chunk exactly and the committed output
+// stream equals an uninterrupted run's. Outputs of failed attempts are
+// discarded (counted as wasted work); a chunk commits only when its
+// attempt returned cleanly and produced one output per input.
+func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*FarmReport, error) {
+	if opts.Body == nil {
+		return nil, fmt.Errorf("service: FarmChunks needs a Body")
+	}
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("service: FarmChunks needs at least one peer")
+	}
+	if opts.ChunkAttempts <= 0 {
+		opts.ChunkAttempts = 2 * len(opts.Peers)
+		if opts.ChunkAttempts < s.res.MaxAttempts {
+			opts.ChunkAttempts = s.res.MaxAttempts
+		}
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 30 * time.Second
+	}
+	farmID := s.nextRunID.Add(1)
+	report := &FarmReport{PeerChunks: make(map[string]int)}
+	state := opts.InitialState
+	peerIdx := 0
+
+	for c, chunk := range chunks {
+		committed := false
+		for a := 0; a < opts.ChunkAttempts; a++ {
+			if err := ctx.Err(); err != nil {
+				return report, err
+			}
+			if a > 0 {
+				report.Redespatches++
+				s.resStats.Redespatches.Inc()
+			}
+			peer := opts.Peers[peerIdx%len(opts.Peers)]
+			got, newState, err := s.farmAttempt(ctx, peer, chunk, state, farmID, c, a, opts)
+			if err != nil || len(got) != len(chunk) {
+				// Discard the partial attempt: its outputs are wasted work
+				// and the chunk replays elsewhere from the same checkpoint.
+				report.WastedOutputs += int64(len(got))
+				s.resStats.WastedItems.Add(int64(len(got)))
+				s.logf("service: farm %d chunk %d attempt %d on %s failed (%d/%d outputs): %v",
+					farmID, c, a, peer.ID, len(got), len(chunk), err)
+				peerIdx++ // re-despatch to the next peer
+				continue
+			}
+			report.Outputs = append(report.Outputs, got...)
+			if len(newState) > 0 {
+				state = newState
+			}
+			report.PeerChunks[peer.ID]++
+			committed = true
+			break
+		}
+		if !committed {
+			return report, fmt.Errorf("service: farm chunk %d failed after %d attempts", c, opts.ChunkAttempts)
+		}
+		if opts.AfterChunk != nil {
+			opts.AfterChunk(c)
+		}
+	}
+	report.FinalState = state
+	return report, nil
+}
+
+// farmAttempt runs one chunk on one peer: despatch with restored state,
+// stream the chunk in, collect outputs until the sink pipe closes, then
+// fetch the completion state. Every pipe label is scoped to the
+// (farm, chunk, attempt) triple so residue from a lost attempt can
+// never leak into a later one.
+func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.Data,
+	state map[string][]byte, farmID int64, c, a int, opts FarmOptions) ([]types.Data, map[string][]byte, error) {
+
+	attemptCtx, cancel := context.WithTimeout(ctx, opts.AttemptTimeout)
+	defer cancel()
+
+	prefix := fmt.Sprintf("farm/%s/%d/c%d/a%d", s.opts.PeerID, farmID, c, a)
+	pipe, _, err := s.host.OpenInput(prefix+"/out", len(chunk)+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pipe.Close()
+	pipe.ExpectEOFs(1)
+
+	job, err := s.despatchCtx(attemptCtx, RemotePart{
+		Peer:         peer,
+		Body:         opts.Body(),
+		InLabels:     []string{prefix + "/in"},
+		OutTargets:   []PipeTarget{{Label: prefix + "/out", Addr: s.Addr()}},
+		Iterations:   1,
+		Seed:         opts.Seed,
+		RestoreState: state,
+	}, opts.CodeAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Heartbeat {
+		stop := s.StartHeartbeat(peer.Addr, cancel)
+		defer stop()
+	}
+
+	out, err := s.host.BindOutput(job.InAds[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	var sendErr error
+	for _, d := range chunk {
+		if sendErr = out.Send(d); sendErr != nil {
+			break
+		}
+	}
+	out.Close()
+
+	// Collect until the remote signals EOF (pipe.C closes) or the
+	// attempt dies. A worker that vanishes breaks its output conn, which
+	// counts as its EOF, so this loop always terminates.
+	var got []types.Data
+collect:
+	for {
+		select {
+		case d, ok := <-pipe.C:
+			if !ok {
+				break collect
+			}
+			got = append(got, d)
+		case <-attemptCtx.Done():
+			break collect
+		}
+	}
+	if sendErr != nil {
+		return got, nil, sendErr
+	}
+	if err := attemptCtx.Err(); err != nil {
+		// Abandoned attempt: tell the peer to stop, best effort.
+		s.CancelRemote(job)
+		return got, nil, err
+	}
+	_, newState, err := s.waitRemoteStateCtx(attemptCtx, job)
+	if err != nil {
+		return got, nil, err
+	}
+	return got, newState, nil
+}

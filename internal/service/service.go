@@ -18,6 +18,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"consumergrid/internal/gateway"
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/mcode"
+	"consumergrid/internal/metrics"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/types"
@@ -78,6 +80,9 @@ type Options struct {
 	// to only download executables that are selected from a pre-agreed,
 	// certified, software library" (§3.5).
 	Certified []string
+	// Resilience tunes outbound retry, deadline and heartbeat behaviour;
+	// zero values select defaults (see ResilienceOptions).
+	Resilience ResilienceOptions
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -95,6 +100,11 @@ type Service struct {
 	certified map[string]bool // nil = everything allowed
 	available atomic.Bool
 	nextRunID atomic.Int64
+
+	res      ResilienceOptions // normalized copy of opts.Resilience
+	resStats metrics.ResilienceStats
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -125,6 +135,7 @@ func New(opts Options) (*Service, error) {
 	}
 	s := &Service{
 		opts:    opts,
+		res:     opts.Resilience.withDefaults(),
 		host:    host,
 		fetcher: mcode.NewFetcher(host, mcode.NewStore(opts.CodeBudget)),
 		rm:      opts.RM,

@@ -1,0 +1,334 @@
+// Live fault injection for the simulated network: the paper's §3.6.2
+// downtime classes ("connection lost, user intervenes, computational
+// bandwidth not reached") made scriptable against the real protocol
+// stack. Four fault classes are modelled:
+//
+//   - message drops (DropProb / DropEvery): a lost frame breaks the
+//     carrying connection, the way a consumer DSL drop kills a TCP
+//     stream — senders observe an error rather than silent loss;
+//   - latency and jitter: per-link delay on every Send;
+//   - partitions: timed splits between peer groups that block dials and
+//     sever established crossing connections;
+//   - peer kill/restart: every connection a peer is party to breaks and
+//     new dials fail until Restart, optionally replayed from a
+//     churn.Trace so the §3.6.2 availability model drives live faults.
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"consumergrid/internal/churn"
+)
+
+// LinkFaults is one link's fault profile. A link is named by the dialled
+// address, the label of the peer owning it (when dialled through a
+// Peer-tagged transport), or "*" for every link.
+type LinkFaults struct {
+	// DropProb drops each message with this probability (seeded RNG;
+	// see FaultSeed). A dropped message breaks its connection.
+	DropProb float64
+	// DropEvery drops every n-th message on the link (deterministic;
+	// 0 disables). Counted per link key, independently of DropProb.
+	DropEvery int64
+	// Latency is added to every Send on the link.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) on top of Latency.
+	Jitter time.Duration
+}
+
+// faultRNG is the shared seeded randomness behind DropProb and Jitter.
+type faultRNG struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (f *faultRNG) seed(s int64) {
+	f.mu.Lock()
+	f.rng = rand.New(rand.NewSource(s))
+	f.mu.Unlock()
+}
+
+func (f *faultRNG) float() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64()
+}
+
+// FaultSeed reseeds the randomness behind DropProb and Jitter so fault
+// schedules replay deterministically.
+func (n *Network) FaultSeed(seed int64) { n.rng.seed(seed) }
+
+// SetLinkFaults installs a fault profile for a link key: a dialable
+// address, a Peer label, or "*" for all links. The zero LinkFaults
+// clears the key. Profiles apply to live connections immediately.
+func (n *Network) SetLinkFaults(key string, f LinkFaults) {
+	n.mu.Lock()
+	if (f == LinkFaults{}) {
+		delete(n.faults, key)
+	} else {
+		n.faults[key] = f
+		if n.links[key] == nil {
+			n.links[key] = new(int64)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// resolveFaultsLocked finds the profile governing a connection. Keys are
+// tried most-specific first: dialled address, owner label, source label,
+// then "*". Callers hold n.mu.
+func (n *Network) resolveFaultsLocked(meta connMeta) (key string, cfg LinkFaults, ok bool) {
+	for _, k := range []string{meta.dstAddr, meta.dstOwner, meta.src, "*"} {
+		if k == "" {
+			continue
+		}
+		if f, found := n.faults[k]; found {
+			return k, f, true
+		}
+	}
+	return "", LinkFaults{}, false
+}
+
+// DropError reports a message lost to an injected link fault. The
+// carrying connection is broken, so subsequent use fails with ErrClosed
+// — the §3.6.2 "connection lost" class.
+type DropError struct {
+	Link string
+}
+
+func (e *DropError) Error() string { return "simnet: message dropped on link " + e.Link }
+
+// PeerDownError reports a dial involving a killed peer.
+type PeerDownError struct {
+	Label string
+}
+
+func (e *PeerDownError) Error() string { return "simnet: peer " + e.Label + " is down" }
+
+// PartitionError reports a dial across an active partition.
+type PartitionError struct {
+	From, To string
+}
+
+func (e *PartitionError) Error() string {
+	return "simnet: " + e.From + " -> " + e.To + " crosses a partition"
+}
+
+// applyFaults runs one Send through the link's fault profile: delay,
+// then the drop decision. On a drop the connection is closed (both ends
+// observe ErrClosed) and a DropError is returned.
+func (n *Network) applyFaults(c *conn) error {
+	n.mu.Lock()
+	key, cfg, ok := n.resolveFaultsLocked(c.meta)
+	if !ok {
+		n.mu.Unlock()
+		return nil
+	}
+	// Per-link send counter: the deterministic DropEvery clock. The
+	// counter is keyed by the *resolved* profile key plus the link
+	// identity so each direction of each link counts independently.
+	counterKey := key
+	if id := c.meta.dstAddr; id != "" {
+		counterKey = key + "|" + id
+	} else if id := c.meta.src; id != "" {
+		counterKey = key + "|" + id
+	}
+	ctr := n.links[counterKey]
+	if ctr == nil {
+		ctr = new(int64)
+		n.links[counterKey] = ctr
+	}
+	*ctr++
+	count := *ctr
+	n.mu.Unlock()
+
+	if cfg.Latency > 0 || cfg.Jitter > 0 {
+		d := cfg.Latency
+		if cfg.Jitter > 0 {
+			d += time.Duration(n.rng.float() * float64(cfg.Jitter))
+		}
+		time.Sleep(d)
+	}
+	drop := cfg.DropEvery > 0 && count%cfg.DropEvery == 0
+	if !drop && cfg.DropProb > 0 && n.rng.float() < cfg.DropProb {
+		drop = true
+	}
+	if drop {
+		n.dropped.Add(1)
+		c.Close()
+		return &DropError{Link: counterKey}
+	}
+	return nil
+}
+
+// --- peer kill / restart ----------------------------------------------------
+
+// Kill takes a peer (by label or address) off the network: every
+// connection it is party to breaks and dials involving it fail until
+// Restart. The peer's listeners stay registered — the process is alive,
+// its connectivity is gone, which is exactly the consumer-grid DSL-drop
+// model.
+func (n *Network) Kill(label string) {
+	n.mu.Lock()
+	n.down[label] = true
+	victims := n.matchConnsLocked(func(meta connMeta) bool {
+		for _, l := range meta.labels() {
+			if l == label {
+				return true
+			}
+		}
+		return false
+	})
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Restart brings a killed peer back: dials involving it succeed again.
+func (n *Network) Restart(label string) {
+	n.mu.Lock()
+	delete(n.down, label)
+	n.mu.Unlock()
+}
+
+// matchConnsLocked snapshots connections matching the predicate.
+// Callers hold n.mu.
+func (n *Network) matchConnsLocked(match func(connMeta) bool) []*conn {
+	var out []*conn
+	for c, meta := range n.conns {
+		if match(meta) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// --- partitions -------------------------------------------------------------
+
+// partition is one active split: traffic between sideA and sideB fails.
+type partition struct {
+	sideA, sideB map[string]bool
+}
+
+func toSet(labels []string) map[string]bool {
+	s := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		s[l] = true
+	}
+	return s
+}
+
+// Partition splits the network between two label groups (peer labels or
+// addresses): dials crossing the split fail and established crossing
+// connections are severed. Heal removes it. Multiple partitions stack.
+func (n *Network) Partition(groupA, groupB []string) {
+	p := partition{sideA: toSet(groupA), sideB: toSet(groupB)}
+	n.mu.Lock()
+	n.parts = append(n.parts, p)
+	victims := n.matchConnsLocked(func(meta connMeta) bool {
+		return crosses(p, meta)
+	})
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// PartitionFor installs a partition that heals itself after d.
+func (n *Network) PartitionFor(d time.Duration, groupA, groupB []string) {
+	n.Partition(groupA, groupB)
+	time.AfterFunc(d, n.Heal)
+}
+
+// Heal removes every active partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.parts = nil
+	n.mu.Unlock()
+}
+
+// crosses reports whether a connection spans the partition: its source
+// labels on one side and destination labels on the other.
+func crosses(p partition, meta connMeta) bool {
+	srcA, srcB := p.sideA[meta.src], p.sideB[meta.src]
+	var dstA, dstB bool
+	for _, l := range []string{meta.dstAddr, meta.dstOwner} {
+		if l == "" {
+			continue
+		}
+		dstA = dstA || p.sideA[l]
+		dstB = dstB || p.sideB[l]
+	}
+	return (srcA && dstB) || (srcB && dstA)
+}
+
+// severedLocked reports whether a dial described by meta crosses any
+// active partition. Callers hold n.mu.
+func (n *Network) severedLocked(meta connMeta) bool {
+	for _, p := range n.parts {
+		if crosses(p, meta) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- scripted schedules -----------------------------------------------------
+
+// Event is one scripted fault action at an offset from Schedule time.
+type Event struct {
+	At time.Duration
+	Do func(n *Network)
+}
+
+// Schedule replays fault events on their offsets in a background
+// goroutine and returns a stop function. Events run in At order.
+func (n *Network) Schedule(events ...Event) (stop func()) {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		start := time.Now()
+		for _, ev := range evs {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-done:
+					return
+				case <-time.After(wait):
+				}
+			} else {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			ev.Do(n)
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// DriveTrace replays a churn.Trace availability timeline against a peer
+// label: down intervals Kill it, up intervals Restart it. One virtual
+// second maps to the given real duration. It returns a stop function.
+// This is the bridge from the paper's §3.6.2 churn model (internal/churn)
+// to live faults on real protocol code.
+func (n *Network) DriveTrace(tr *churn.Trace, label string, perSecond time.Duration) (stop func()) {
+	var events []Event
+	for _, iv := range tr.Intervals {
+		at := time.Duration(iv.Start * float64(perSecond))
+		if iv.Up {
+			events = append(events, Event{At: at, Do: func(n *Network) { n.Restart(label) }})
+		} else {
+			events = append(events, Event{At: at, Do: func(n *Network) { n.Kill(label) }})
+		}
+	}
+	return n.Schedule(events...)
+}

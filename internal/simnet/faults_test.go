@@ -1,0 +1,313 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"consumergrid/internal/churn"
+	"consumergrid/internal/jxtaserve"
+)
+
+// echoServer accepts connections on a tagged listener and echoes one
+// message per received message until the conn breaks.
+func echoServer(t *testing.T, tr jxtaserve.Transport) jxtaserve.Listener {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(m); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// sinkServer accepts connections and drains them without replying.
+func sinkServer(t *testing.T, tr jxtaserve.Transport) jxtaserve.Listener {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestDropEveryBreaksConnDeterministically(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	n.SetLinkFaults(l.Addr(), LinkFaults{DropEvery: 3})
+
+	c, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &jxtaserve.Message{Kind: "ping"}
+	// Sends 1 and 2 pass; send 3 drops and breaks the conn.
+	for i := 0; i < 2; i++ {
+		if err := c.Send(msg); err != nil {
+			t.Fatalf("send %d: %v", i+1, err)
+		}
+		if _, err := c.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i+1, err)
+		}
+	}
+	err = c.Send(msg)
+	var de *DropError
+	if !errors.As(err, &de) {
+		t.Fatalf("third send = %v, want DropError", err)
+	}
+	if err := c.Send(msg); !errors.Is(err, jxtaserve.ErrClosed) {
+		t.Fatalf("send after drop = %v, want ErrClosed", err)
+	}
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d", n.Dropped())
+	}
+}
+
+func TestDropProbSeededIsReproducible(t *testing.T) {
+	run := func(seed int64) int {
+		n := New()
+		n.FaultSeed(seed)
+		// Receive-only sink: the server never Sends, so the client's
+		// sends are the only RNG draws and the schedule is deterministic.
+		l := sinkServer(t, n.Peer("srv"))
+		n.SetLinkFaults(l.Addr(), LinkFaults{DropProb: 0.3})
+		drops := 0
+		for i := 0; i < 40; i++ {
+			c, err := n.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Send(&jxtaserve.Message{Kind: "x"}); err != nil {
+				drops++
+			}
+			c.Close()
+		}
+		return drops
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Errorf("same seed diverged: %d vs %d drops", a, b)
+	}
+	if a == 0 || a == 40 {
+		t.Errorf("drop rate degenerate: %d/40", a)
+	}
+}
+
+func TestJitterDelaysSend(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	n.SetLinkFaults(l.Addr(), LinkFaults{Latency: 5 * time.Millisecond, Jitter: time.Millisecond})
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send(&jxtaserve.Message{Kind: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("send took %v, want >= 5ms", d)
+	}
+}
+
+func TestKillBreaksBothDirectionsAndRestartHeals(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+
+	c, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&jxtaserve.Message{Kind: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Kill("srv")
+	if err := c.Send(&jxtaserve.Message{Kind: "x"}); err == nil {
+		t.Error("send over killed peer's conn succeeded")
+	}
+	if _, err := n.Peer("cli").Dial(l.Addr()); err == nil {
+		t.Error("dial to killed peer succeeded")
+	}
+	var pd *PeerDownError
+	_, err = n.Dial(l.Addr())
+	if !errors.As(err, &pd) || pd.Label != "srv" {
+		t.Errorf("dial err = %v", err)
+	}
+
+	n.Restart("srv")
+	c2, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Send(&jxtaserve.Message{Kind: "x"}); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+}
+
+// TestKillByDiallerLabel: killing the dialling peer breaks its outbound
+// connections too, not just inbound ones.
+func TestKillByDiallerLabel(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	c, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Kill("cli")
+	if err := c.Send(&jxtaserve.Message{Kind: "x"}); err == nil {
+		t.Error("killed dialler kept its conn")
+	}
+	if _, err := n.Peer("cli").Dial(l.Addr()); err == nil {
+		t.Error("killed dialler can still dial")
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	c, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.Partition([]string{"cli"}, []string{"srv"})
+	if err := c.Send(&jxtaserve.Message{Kind: "x"}); err == nil {
+		t.Error("established conn survived partition")
+	}
+	var pe *PartitionError
+	_, err = n.Peer("cli").Dial(l.Addr())
+	if !errors.As(err, &pe) {
+		t.Errorf("dial across partition = %v", err)
+	}
+	// An unrelated peer still reaches srv.
+	c3, err := n.Peer("other").Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("unrelated dial: %v", err)
+	}
+	c3.Close()
+
+	n.Heal()
+	c4, err := n.Peer("cli").Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c4.Close()
+}
+
+func TestPartitionForAutoHeals(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	n.PartitionFor(30*time.Millisecond, []string{"cli"}, []string{"srv"})
+	if _, err := n.Peer("cli").Dial(l.Addr()); err == nil {
+		t.Fatal("dial during partition succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := n.Peer("cli").Dial(l.Addr()); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestScheduleRunsEventsInOrder(t *testing.T) {
+	n := New()
+	ch := make(chan int, 2)
+	stop := n.Schedule(
+		Event{At: 20 * time.Millisecond, Do: func(*Network) { ch <- 2 }},
+		Event{At: 1 * time.Millisecond, Do: func(*Network) { ch <- 1 }},
+	)
+	defer stop()
+	if got := <-ch; got != 1 {
+		t.Errorf("first event = %d", got)
+	}
+	if got := <-ch; got != 2 {
+		t.Errorf("second event = %d", got)
+	}
+}
+
+func TestDriveTraceKillsDuringDownIntervals(t *testing.T) {
+	n := New()
+	l := echoServer(t, n.Peer("srv"))
+	// up [0,1), down [1,2), up [2,3) in virtual seconds; 20ms per second.
+	tr := &churn.Trace{Horizon: 3, Intervals: []churn.Interval{
+		{Start: 0, End: 1, Up: true},
+		{Start: 1, End: 2, Up: false},
+		{Start: 2, End: 3, Up: true},
+	}}
+	stop := n.DriveTrace(tr, "srv", 20*time.Millisecond)
+	defer stop()
+
+	if _, err := n.Peer("cli").Dial(l.Addr()); err != nil {
+		t.Fatalf("dial during initial up: %v", err)
+	}
+	// Wait for the down interval to take effect.
+	sawDown := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := n.Peer("cli").Dial(l.Addr()); err != nil {
+			sawDown = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawDown {
+		t.Fatal("trace never took the peer down")
+	}
+	// And the final up interval restores it.
+	for {
+		if _, err := n.Peer("cli").Dial(l.Addr()); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace never brought the peer back")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

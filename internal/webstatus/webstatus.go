@@ -35,8 +35,9 @@ func Handler(svc *service.Service) http.Handler {
 			html.EscapeString(svc.PeerID()), html.EscapeString(svc.Addr()))
 		fetches, bytes := svc.Fetcher().Fetches()
 		fmt.Fprintf(&b, "<p>module bundles fetched on demand: %d (%d bytes)</p>", fetches, bytes)
-		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/units">units</a></p>`)
+		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/units">units</a></p>`)
 		jobsTable(&b, svc)
+		resilienceTable(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
 	})
@@ -57,6 +58,14 @@ func Handler(svc *service.Service) http.Handler {
 				html.EscapeString(e.Requester), e.Jobs, e.CPU, e.Processed)
 		}
 		b.WriteString("</table>")
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/resilience", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Resilience on "+svc.PeerID())
+		b.WriteString(`<meta http-equiv="refresh" content="2">`)
+		resilienceTable(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
 	})
@@ -86,6 +95,28 @@ func jobsTable(b *strings.Builder, svc *service.Service) {
 	for _, j := range jobs {
 		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%s</td><td>%d</td></tr>",
 			html.EscapeString(j.ID), j.State, j.Processed)
+	}
+	b.WriteString("</table>")
+}
+
+// resilienceTable renders the despatch-recovery counters: how hard this
+// peer has had to work to keep distributed runs alive under churn.
+func resilienceTable(b *strings.Builder, svc *service.Service) {
+	snap := svc.Resilience().Snapshot()
+	b.WriteString("<h2>despatch resilience</h2>" +
+		"<table><tr><th>counter</th><th>value</th></tr>")
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"rpc retries", snap.Retries},
+		{"re-despatches", snap.Redespatches},
+		{"heartbeat misses", snap.HeartbeatMisses},
+		{"peers declared dead", snap.PeersDeclaredDead},
+		{"wasted outputs", snap.WastedItems},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)
 	}
 	b.WriteString("</table>")
 }
