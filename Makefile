@@ -1,0 +1,28 @@
+# Convenience targets for the consumergrid repo. The go toolchain is the
+# only dependency; everything routes through `go test`/`go run`.
+
+GOFLAGS ?=
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/engine/... ./internal/jxtaserve/... ./internal/dsp/...
+
+# Full benchmark snapshot: runs the whole suite and writes BENCH_<date>.json,
+# comparing against the previous snapshot.
+bench:
+	go run ./tools/benchreg -benchtime 300ms
+
+# Short CI smoke: only the kernel + codec + fan-out hot paths, gated at a
+# 25% ns/op regression against the committed snapshot.
+bench-smoke:
+	go run ./tools/benchreg \
+		-bench 'BenchmarkKernel|BenchmarkCodec|BenchmarkEngineFanOut' \
+		-gate 'BenchmarkKernelFFT|BenchmarkCodec' \
+		-benchtime 100ms -threshold 0.25 -no-save

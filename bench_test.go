@@ -14,6 +14,9 @@ import (
 	"consumergrid/internal/policy"
 	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/mathx"
+	"consumergrid/internal/units/signal"
 )
 
 // --- experiment benches: one per paper artefact ------------------------------
@@ -71,6 +74,7 @@ func BenchmarkKernelFFT(b *testing.B) {
 			}
 			buf := make([]complex128, n)
 			b.SetBytes(int64(n * 16))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(buf, x)
@@ -146,6 +150,39 @@ func BenchmarkEngineFigure1Local(b *testing.B) {
 			Samples: 1024, Policy: policy.NameLocal})
 		if _, err := engine.Run(context.Background(), wf, engine.Options{
 			Iterations: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFanOut isolates the engine's fan-out delivery path: one
+// source emitting a large SampleSet into a wide fan of read-only
+// consumers. Before copy-on-write sharing this deep-cloned the payload
+// once per extra edge; with sealed source outputs every consumer shares
+// the same buffer.
+func BenchmarkEngineFanOut(b *testing.B) {
+	const fan = 8
+	g := taskgraph.New("fanout")
+	wave, err := units.NewTask("Wave", signal.NameWave)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave.Params = map[string]string{"samples": "16384"}
+	g.MustAdd(wave)
+	for i := 0; i < fan; i++ {
+		mean, err := units.NewTask(fmt.Sprintf("Mean%d", i), mathx.NameMean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAdd(mean)
+		g.ConnectNamed("Wave", 0, mean.Name, 0)
+	}
+	b.SetBytes(16384 * 8 * fan)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(context.Background(), g, engine.Options{
+			Iterations: 4, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

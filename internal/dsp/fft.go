@@ -7,7 +7,6 @@ package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 )
 
@@ -39,85 +38,35 @@ func transform(x []complex128, inverse bool) {
 		return
 	}
 	if n&(n-1) == 0 {
-		radix2(x, inverse)
+		// Power-of-two lengths run off a cached plan (bit-reversal table
+		// + twiddle roots); see plan.go.
+		planFor(n).execute(x, inverse)
 		return
 	}
 	bluestein(x, inverse)
 }
 
-// radix2 is the iterative power-of-two kernel (bit-reversal permutation
-// followed by log2(n) butterfly passes).
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// w = exp(i*step) computed incrementally per block for cache
-		// friendliness; recomputed per block to bound error growth.
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			wStep := complex(math.Cos(step), math.Sin(step))
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
 // bluestein converts an arbitrary-length DFT into a convolution of
-// padded power-of-two length (chirp-z transform).
+// padded power-of-two length (chirp-z transform). The chirp factors and
+// the kernel's FFT come from a cached plan; only the signal-dependent
+// half of the convolution is computed per call, in pooled scratch.
 func bluestein(x []complex128, inverse bool) {
 	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp factors w[k] = exp(sign*i*pi*k^2/n).
-	w := make([]complex128, n)
+	p := bluesteinPlanFor(n, inverse)
+	rp := planFor(p.m)
+	sp, a := getCScratch(p.m)
+	defer putCScratch(sp)
 	for k := 0; k < n; k++ {
-		// k^2 mod 2n avoids precision loss for large k.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		theta := sign * math.Pi * float64(kk) / float64(n)
-		w[k] = complex(math.Cos(theta), math.Sin(theta))
+		a[k] = x[k] * p.w[k]
 	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		bk := complex(real(w[k]), -imag(w[k])) // conj
-		b[k] = bk
-		if k > 0 {
-			b[m-k] = bk
-		}
-	}
-	radix2(a, false)
-	radix2(b, false)
+	rp.execute(a, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= p.bfft[i]
 	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
+	rp.execute(a, true)
+	scale := complex(1/float64(p.m), 0)
 	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * w[k]
+		x[k] = a[k] * scale * p.w[k]
 	}
 }
 

@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossCorrelateBankMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Mixed template lengths exercise the shared padded length.
+	bank := make([][]float64, 9)
+	for i := range bank {
+		h := make([]float64, 5+13*i)
+		for j := range h {
+			h[j] = rng.NormFloat64()
+		}
+		bank[i] = h
+	}
+	out, err := CrossCorrelateBank(x, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(bank) {
+		t.Fatalf("got %d results for %d templates", len(out), len(bank))
+	}
+	for i, h := range bank {
+		want := CrossCorrelateDirect(x, h)
+		if len(out[i]) != len(want) {
+			t.Fatalf("template %d: %d lags, want %d", i, len(out[i]), len(want))
+		}
+		for l := range want {
+			if math.Abs(out[i][l]-want[l]) > 1e-8*float64(len(x)) {
+				t.Fatalf("template %d lag %d: %g vs %g", i, l, out[i][l], want[l])
+			}
+		}
+	}
+}
+
+func TestCrossCorrelateBankDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	bank := make([][]float64, 32)
+	for i := range bank {
+		h := make([]float64, 64)
+		for j := range h {
+			h[j] = rng.NormFloat64()
+		}
+		bank[i] = h
+	}
+	first, err := CrossCorrelateBank(x, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker fan-out must not perturb bit-level results or ordering.
+	for trial := 0; trial < 3; trial++ {
+		again, err := CrossCorrelateBank(x, bank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			for l := range first[i] {
+				if again[i][l] != first[i][l] {
+					t.Fatalf("trial %d template %d lag %d: %g != %g",
+						trial, i, l, again[i][l], first[i][l])
+				}
+			}
+		}
+	}
+}
+
+func TestCrossCorrelateBankErrors(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if _, err := CrossCorrelateBank(nil, [][]float64{{1}}); err == nil {
+		t.Error("empty signal accepted")
+	}
+	if _, err := CrossCorrelateBank(x, [][]float64{{1}, nil}); err == nil {
+		t.Error("empty template accepted")
+	}
+	if _, err := CrossCorrelateBank(x, [][]float64{{1, 2, 3, 4}}); err == nil {
+		t.Error("template longer than signal accepted")
+	}
+	out, err := CrossCorrelateBank(x, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty bank: %v, %v", out, err)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	// Run more distinct lengths than the cache holds; every transform must
+	// stay correct through evictions.
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		x := randComplex(n, rng)
+		orig := append([]complex128(nil), x...)
+		FFT(x)
+		IFFT(x)
+		if e := maxErr(x, orig); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: round-trip error %g after eviction churn", n, e)
+		}
+	}
+	fftPlans.Lock()
+	if len(fftPlans.byN) > maxFFTPlans {
+		t.Errorf("cache holds %d plans, bound is %d", len(fftPlans.byN), maxFFTPlans)
+	}
+	if len(fftPlans.order) != len(fftPlans.byN) {
+		t.Errorf("LRU order list (%d) out of sync with map (%d)",
+			len(fftPlans.order), len(fftPlans.byN))
+	}
+	fftPlans.Unlock()
+}

@@ -132,10 +132,13 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 
 	// Wire channels. Every data connection gets one channel owned by its
 	// producer side; input endpoints map 1:1 to a channel (validated).
+	// Internal fan-out edges and external output writers share one
+	// delivery list per (task, node): the send path treats them
+	// identically and closing the write side closes both kinds.
 	inChans := make(map[connKey]chan types.Data)
-	outFan := make(map[string]map[int][]chan types.Data) // task -> out node -> consumers
+	outs := make(map[string]map[int][]chan<- types.Data) // task -> out node -> targets
 	for _, t := range work.Tasks {
-		outFan[t.Name] = make(map[int][]chan types.Data)
+		outs[t.Name] = make(map[int][]chan<- types.Data)
 	}
 	for _, c := range work.Connections {
 		if c.Control {
@@ -143,7 +146,7 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 		}
 		ch := make(chan types.Data, opts.BufferSize)
 		inChans[connKey{c.To.Task, c.To.Node}] = ch
-		outFan[c.From.Task][c.From.Node] = append(outFan[c.From.Task][c.From.Node], ch)
+		outs[c.From.Task][c.From.Node] = append(outs[c.From.Task][c.From.Node], ch)
 	}
 
 	// External boundary wiring for group-body execution.
@@ -160,17 +163,13 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 		}
 		extReaders[key] = ch
 	}
-	extWriters := make(map[string]map[int][]chan<- types.Data)
 	for i, ch := range opts.ExternalOut {
 		if i < 0 || i >= len(work.ExternalOut) {
 			return nil, fmt.Errorf("engine: external output %d out of range (%d declared)",
 				i, len(work.ExternalOut))
 		}
 		e := work.ExternalOut[i]
-		if extWriters[e.Task] == nil {
-			extWriters[e.Task] = make(map[int][]chan<- types.Data)
-		}
-		extWriters[e.Task][e.Node] = append(extWriters[e.Task][e.Node], ch)
+		outs[e.Task][e.Node] = append(outs[e.Task][e.Node], ch)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -219,13 +218,8 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 			defer wg.Done()
 			// Close everything this task produces when it finishes.
 			defer func() {
-				for _, consumers := range outFan[t.Name] {
-					for _, ch := range consumers {
-						close(ch)
-					}
-				}
-				for _, writers := range extWriters[t.Name] {
-					for _, ch := range writers {
+				for _, targets := range outs[t.Name] {
+					for _, ch := range targets {
 						close(ch)
 					}
 				}
@@ -239,26 +233,16 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 				Logf:     opts.Logf,
 			}
 
+			// send delivers one datum to every edge of an output node.
+			// Sealed data is shared across the whole fan-out (consumers
+			// may only read it); mutable data is handed as-is to the
+			// first edge — the producer relinquishes ownership — and
+			// deep-cloned for each extra edge so no two owners alias.
 			send := func(node int, d types.Data) bool {
-				consumers := outFan[t.Name][node]
-				writers := extWriters[t.Name][node]
-				total := len(consumers) + len(writers)
-				sent := 0
-				for _, ch := range consumers {
+				share := d.Immutable()
+				for i, ch := range outs[t.Name][node] {
 					v := d
-					if sent > 0 {
-						v = d.Clone() // fan-out must not alias
-					}
-					select {
-					case ch <- v:
-					case <-runCtx.Done():
-						return false
-					}
-					sent++
-				}
-				for _, ch := range writers {
-					v := d
-					if sent > 0 {
+					if i > 0 && !share {
 						v = d.Clone()
 					}
 					select {
@@ -266,11 +250,10 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 					case <-runCtx.Done():
 						return false
 					}
-					sent++
 				}
-				_ = total
 				return true
 			}
+			isSource := len(inputs) == 0
 
 			for iter := 0; ; iter++ {
 				if len(inputs) == 0 && iter >= opts.Iterations {
@@ -314,6 +297,14 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 				for node, d := range out {
 					if d == nil {
 						continue // dropped datum (Sampler semantics)
+					}
+					if isSource {
+						// Source outputs are sealed by default: snapshots
+						// leaving a generator are read-only, so wide
+						// fan-out graphs share one buffer instead of
+						// cloning per edge. Downstream mutators take a
+						// private copy via types.Mutable.
+						types.Seal(d)
 					}
 					if !send(node, d) {
 						return

@@ -144,7 +144,11 @@ func (h *Host) servePipe(conn Conn, name string) {
 			if err != nil {
 				return
 			}
-			if !pipe.deliver(d) {
+			// Decoded network data is sealed before delivery: the codec
+			// allocated it fresh, nothing else aliases it, and sealing
+			// lets the engine share it across a local fan-out without
+			// per-edge clones.
+			if !pipe.deliver(types.Seal(d)) {
 				return // pipe closed locally
 			}
 		case KindPipeEOF:

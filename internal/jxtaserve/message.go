@@ -13,12 +13,15 @@
 package jxtaserve
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/xml"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"unicode/utf8"
 )
 
@@ -83,8 +86,39 @@ type xmlHeader struct {
 var ErrBadHeader = errors.New("jxtaserve: kind or header not XML-safe")
 
 // xmlSafe reports whether s round-trips through an XML attribute:
-// valid UTF-8 and only characters XML 1.0 permits.
+// valid UTF-8 and only characters XML 1.0 permits. Verdicts for short
+// strings are cached: kinds and header keys come from a tiny fixed
+// vocabulary ("pipe.data", "method", ...) that recurs on every frame.
 func xmlSafe(s string) bool {
+	if len(s) <= maxCachedVerdictLen {
+		if v, ok := xmlSafeCache.Load(s); ok {
+			return v.(bool)
+		}
+		v := xmlSafeSlow(s)
+		if n := xmlSafeCacheLen.Add(1); n > maxCachedVerdicts {
+			// A hostile peer spraying unique keys must not grow the
+			// cache without bound; dropping it keeps the common
+			// vocabulary hot and the memory footprint fixed.
+			xmlSafeCache.Range(func(k, _ any) bool { xmlSafeCache.Delete(k); return true })
+			xmlSafeCacheLen.Store(0)
+		}
+		xmlSafeCache.Store(s, v)
+		return v
+	}
+	return xmlSafeSlow(s)
+}
+
+const (
+	maxCachedVerdictLen = 64
+	maxCachedVerdicts   = 4096
+)
+
+var (
+	xmlSafeCache    sync.Map
+	xmlSafeCacheLen atomic.Int64
+)
+
+func xmlSafeSlow(s string) bool {
 	if !utf8.ValidString(s) {
 		return false
 	}
@@ -100,7 +134,21 @@ func xmlSafe(s string) bool {
 	return true
 }
 
-// WriteMessage frames m onto w.
+// envScratch is the per-WriteMessage working set: the envelope bytes and
+// the sorted header keys. Pooling it makes framing allocation-free for
+// the steady-state pipe.data traffic.
+type envScratch struct {
+	buf  bytes.Buffer
+	keys []string
+}
+
+var envPool = sync.Pool{New: func() any { return new(envScratch) }}
+
+// WriteMessage frames m onto w. The XML envelope is rendered by hand
+// into a pooled buffer — it is a fixed two-element grammar, so going
+// through encoding/xml's reflective marshaller only costs allocations —
+// and the decoder still reads it with xml.Unmarshal, which accepts both
+// this form and the reflective one.
 func WriteMessage(w io.Writer, m *Message) error {
 	if m.Kind == "" {
 		return errors.New("jxtaserve: message without kind")
@@ -113,29 +161,40 @@ func WriteMessage(w io.Writer, m *Message) error {
 			return ErrBadHeader
 		}
 	}
-	env := xmlEnvelope{Kind: m.Kind}
-	keys := make([]string, 0, len(m.Headers))
+	scratch := envPool.Get().(*envScratch)
+	defer func() {
+		scratch.buf.Reset()
+		scratch.keys = scratch.keys[:0]
+		envPool.Put(scratch)
+	}()
 	for k := range m.Headers {
-		keys = append(keys, k)
+		scratch.keys = append(scratch.keys, k)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		env.Headers = append(env.Headers, xmlHeader{Name: k, Value: m.Headers[k]})
+	sort.Strings(scratch.keys)
+
+	buf := &scratch.buf
+	buf.WriteString(`<message kind="`)
+	writeXMLAttr(buf, m.Kind)
+	buf.WriteString(`">`)
+	for _, k := range scratch.keys {
+		buf.WriteString(`<header name="`)
+		writeXMLAttr(buf, k)
+		buf.WriteString(`" value="`)
+		writeXMLAttr(buf, m.Headers[k])
+		buf.WriteString(`"></header>`)
 	}
-	envBytes, err := xml.Marshal(env)
-	if err != nil {
-		return err
-	}
-	if len(envBytes) > maxEnvelopeLen || len(m.Payload) > maxPayloadLen {
+	buf.WriteString(`</message>`)
+
+	if buf.Len() > maxEnvelopeLen || len(m.Payload) > maxPayloadLen {
 		return ErrFrameTooLarge
 	}
 	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(envBytes)))
+	n := binary.PutUvarint(hdr[:], uint64(buf.Len()))
 	n += binary.PutUvarint(hdr[n:], uint64(len(m.Payload)))
 	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := w.Write(envBytes); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		return err
 	}
 	if len(m.Payload) > 0 {
@@ -144,6 +203,35 @@ func WriteMessage(w io.Writer, m *Message) error {
 		}
 	}
 	return nil
+}
+
+// writeXMLAttr escapes s for an XML attribute value. Every character
+// needing escape is ASCII, so the byte loop passes multi-byte UTF-8
+// through untouched; xmlSafe has already rejected anything the XML 1.0
+// charset forbids.
+func writeXMLAttr(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			buf.WriteString("&amp;")
+		case '<':
+			buf.WriteString("&lt;")
+		case '>':
+			buf.WriteString("&gt;")
+		case '"':
+			buf.WriteString("&quot;")
+		case '\'':
+			buf.WriteString("&apos;")
+		case '\t':
+			buf.WriteString("&#x9;")
+		case '\n':
+			buf.WriteString("&#xA;")
+		case '\r':
+			buf.WriteString("&#xD;")
+		default:
+			buf.WriteByte(c)
+		}
+	}
 }
 
 // ReadMessage reads one framed message from r.
@@ -163,7 +251,14 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if envLen > maxEnvelopeLen || payloadLen > maxPayloadLen {
 		return nil, ErrFrameTooLarge
 	}
-	envBytes := make([]byte, envLen)
+	// The envelope bytes live only until xml.Unmarshal copies the attr
+	// strings out, so the slab is pooled rather than allocated per frame.
+	slab := envSlabPool.Get().(*[]byte)
+	defer envSlabPool.Put(slab)
+	if uint64(cap(*slab)) < envLen {
+		*slab = make([]byte, envLen)
+	}
+	envBytes := (*slab)[:envLen]
 	if _, err := io.ReadFull(r, envBytes); err != nil {
 		return nil, err
 	}
@@ -188,11 +283,19 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	return m, nil
 }
 
+var envSlabPool = sync.Pool{New: func() any {
+	b := make([]byte, 512)
+	return &b
+}}
+
 // readPayload reads n bytes, growing the buffer in bounded chunks so a
 // lying length prefix cannot make us allocate hundreds of megabytes for
-// a stream that ends after a few bytes.
+// a stream that ends after a few bytes: capacity never exceeds twice the
+// bytes that have actually arrived (clamped to n). Each chunk is read
+// with io.ReadFull directly into the tail of the buffer — no zero-filled
+// temporaries, no append re-copying beyond the amortized doubling.
 func readPayload(r io.Reader, n uint64) ([]byte, error) {
-	const chunk = 1 << 20 // grow 1 MiB at a time
+	const chunk = 1 << 20 // read (and initially trust) 1 MiB at a time
 	if n <= chunk {
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -200,14 +303,26 @@ func readPayload(r io.Reader, n uint64) ([]byte, error) {
 		}
 		return buf, nil
 	}
-	buf := make([]byte, 0, chunk)
+	buf := make([]byte, chunk)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
 	for uint64(len(buf)) < n {
 		step := n - uint64(len(buf))
 		if step > chunk {
 			step = chunk
 		}
-		start := len(buf)
-		buf = append(buf, make([]byte, step)...)
+		start := uint64(len(buf))
+		if uint64(cap(buf)) < start+step {
+			newCap := 2 * uint64(cap(buf))
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, start, newCap)
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:start+step]
 		if _, err := io.ReadFull(r, buf[start:]); err != nil {
 			return nil, err
 		}

@@ -72,8 +72,17 @@ func (TCP) Dial(addr string) (Conn, error) {
 	return newTCPConn(c), nil
 }
 
+// bwPool recycles write buffers across connection lifetimes: service
+// hosts churn one short-lived conn per pipe bind, and each bufio.Writer
+// carries a 4 KiB buffer worth reusing. The read side is deliberately
+// not pooled — Close may race with a blocked Recv (that is how callers
+// unblock it), so handing the reader to another conn would alias it.
+var bwPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+
 func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(c)
+	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bw}
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -90,6 +99,9 @@ func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 func (c *tcpConn) Send(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.bw == nil {
+		return ErrClosed
+	}
 	if err := WriteMessage(c.bw, m); err != nil {
 		return err
 	}
@@ -97,7 +109,18 @@ func (c *tcpConn) Send(m *Message) error {
 }
 
 func (c *tcpConn) Recv() (*Message, error) { return ReadMessage(c.br) }
-func (c *tcpConn) Close() error            { return c.c.Close() }
+
+func (c *tcpConn) Close() error {
+	err := c.c.Close()
+	c.mu.Lock()
+	if c.bw != nil {
+		c.bw.Reset(nil)
+		bwPool.Put(c.bw)
+		c.bw = nil
+	}
+	c.mu.Unlock()
+	return err
+}
 
 // --- in-process -------------------------------------------------------------
 

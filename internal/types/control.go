@@ -53,6 +53,7 @@ func (k ControlKind) String() string {
 // connections. Attributes carry small string key/values (e.g. the peer a
 // rewired subgraph is now assigned to).
 type ControlSignal struct {
+	sealable
 	Kind ControlKind
 	// Seq orders signals from the same source.
 	Seq uint64

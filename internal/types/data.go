@@ -10,6 +10,7 @@
 package types
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Data is the interface satisfied by every value that can travel along a
@@ -29,8 +31,14 @@ type Data interface {
 	// type-checking and for codec dispatch.
 	TypeName() string
 
-	// Clone returns a deep copy sharing no mutable state with the receiver.
+	// Clone returns a deep copy sharing no mutable state with the
+	// receiver. Clones are always unsealed, regardless of the receiver.
 	Clone() Data
+
+	// Immutable reports whether the value has been sealed read-only (see
+	// Seal). Sealed values are shared across fan-out edges instead of
+	// cloned; holders must go through Mutable before writing.
+	Immutable() bool
 
 	// encode writes the body of the value (without the type-name header)
 	// to w.
@@ -172,13 +180,96 @@ func Read(r io.Reader) (Data, error) {
 	return dec(r)
 }
 
-// Marshal encodes d to a fresh byte slice.
+// Marshal encodes d to a fresh byte slice. The slice is preallocated
+// from a running per-type size estimate, so steady-state encoding of
+// same-shaped values performs a single allocation instead of a
+// geometric append-growth chain.
 func Marshal(d Data) ([]byte, error) {
-	var buf writerBuf
+	if d == nil {
+		return nil, errors.New("types: cannot encode nil Data")
+	}
+	name := d.TypeName()
+	buf := writerBuf{b: make([]byte, 0, estimateSize(name))}
 	if err := Write(&buf, d); err != nil {
 		return nil, err
 	}
+	observeSize(name, len(buf.b))
 	return buf.b, nil
+}
+
+// AppendTo appends the wire encoding of d (type-name header included) to
+// dst and returns the extended slice, letting callers reuse scratch
+// buffers across iterations. The per-type size estimate is consulted to
+// grow dst at most once.
+func AppendTo(dst []byte, d Data) ([]byte, error) {
+	if d == nil {
+		return dst, errors.New("types: cannot encode nil Data")
+	}
+	name := d.TypeName()
+	if want := len(dst) + estimateSize(name); cap(dst) < want {
+		grown := make([]byte, len(dst), want)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := writerBuf{b: dst}
+	start := len(dst)
+	if err := Write(&buf, d); err != nil {
+		return dst, err
+	}
+	observeSize(name, len(buf.b)-start)
+	return buf.b, nil
+}
+
+// MarshalInto encodes d into buf (which is first grown to the per-type
+// size estimate), so per-iteration encoders can hold one bytes.Buffer
+// and amortise the allocation entirely.
+func MarshalInto(buf *bytes.Buffer, d Data) error {
+	if d == nil {
+		return errors.New("types: cannot encode nil Data")
+	}
+	name := d.TypeName()
+	buf.Grow(estimateSize(name))
+	start := buf.Len()
+	if err := Write(buf, d); err != nil {
+		return err
+	}
+	observeSize(name, buf.Len()-start)
+	return nil
+}
+
+// --- running size estimate per type ----------------------------------------
+//
+// The codec keeps a smoothed per-type estimate of encoded sizes so the
+// Marshal family can preallocate. Workloads are overwhelmingly
+// homogeneous per type (fixed-size SampleSet chunks, fixed-geometry
+// images), so a simple EMA with headroom converges after a couple of
+// values and stays exact from then on.
+
+var sizeEstimates sync.Map // type name -> *atomic.Int64 (smoothed bytes)
+
+func estimateSize(name string) int {
+	if v, ok := sizeEstimates.Load(name); ok {
+		if est := v.(*atomic.Int64).Load(); est > 0 {
+			// Headroom absorbs small payload growth between updates.
+			return int(est) + int(est)>>3 + 16
+		}
+	}
+	return 64
+}
+
+func observeSize(name string, n int) {
+	v, ok := sizeEstimates.Load(name)
+	if !ok {
+		e := new(atomic.Int64)
+		e.Store(int64(n))
+		if v, ok = sizeEstimates.LoadOrStore(name, e); !ok {
+			return
+		}
+	}
+	e := v.(*atomic.Int64)
+	old := e.Load()
+	// 3:1 EMA; a lost race just means one observation is skipped.
+	e.CompareAndSwap(old, (3*old+int64(n))/4)
 }
 
 // Unmarshal decodes a value from p, requiring that the whole of p is
@@ -202,6 +293,24 @@ func (w *writerBuf) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// writeF64s is the zero-copy fast path used by writeF64Slice: it grows
+// the underlying slice once and encodes elements directly into it,
+// skipping the chunked staging buffer.
+func (w *writerBuf) writeF64s(xs []float64) {
+	off := len(w.b)
+	need := off + len(xs)*8
+	if cap(w.b) < need {
+		grown := make([]byte, off, need)
+		copy(grown, w.b)
+		w.b = grown
+	}
+	w.b = w.b[:need]
+	for _, v := range xs {
+		binary.LittleEndian.PutUint64(w.b[off:], math.Float64bits(v))
+		off += 8
+	}
+}
+
 type readerBuf struct {
 	b   []byte
 	off int
@@ -214,6 +323,32 @@ func (r *readerBuf) Read(p []byte) (int, error) {
 	n := copy(p, r.b[r.off:])
 	r.off += n
 	return n, nil
+}
+
+// ReadByte lets binary.ReadUvarint consume the buffer without the
+// byteReaderAdapter allocation.
+func (r *readerBuf) ReadByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+// readF64s decodes directly from the backing slice, skipping the
+// chunked staging buffer.
+func (r *readerBuf) readF64s(dst []float64) error {
+	need := len(dst) * 8
+	if len(r.b)-r.off < need {
+		return io.ErrUnexpectedEOF
+	}
+	b := r.b[r.off:]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	r.off += need
+	return nil
 }
 
 // --- primitive helpers -----------------------------------------------------
@@ -259,6 +394,14 @@ func readString(r io.Reader, max int) (string, error) {
 	if n > uint64(max) {
 		return "", fmt.Errorf("types: string length %d exceeds limit %d", n, max)
 	}
+	if rb, ok := r.(*readerBuf); ok {
+		if uint64(len(rb.b)-rb.off) < n {
+			return "", io.ErrUnexpectedEOF
+		}
+		s := string(rb.b[rb.off : rb.off+int(n)])
+		rb.off += int(n)
+		return s, nil
+	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
 		return "", err
@@ -284,6 +427,10 @@ func readF64(r io.Reader) (float64, error) {
 func writeF64Slice(w io.Writer, xs []float64) error {
 	if err := writeUvarint(w, uint64(len(xs))); err != nil {
 		return err
+	}
+	if wb, ok := w.(*writerBuf); ok {
+		wb.writeF64s(xs)
+		return nil
 	}
 	// Encode in chunks to amortise Write calls without allocating the
 	// whole payload at once for very large sample sets.
@@ -312,6 +459,18 @@ func readF64Slice(r io.Reader) ([]float64, error) {
 	}
 	if n > maxSliceLen {
 		return nil, fmt.Errorf("types: slice length %d exceeds limit", n)
+	}
+	if rb, ok := r.(*readerBuf); ok {
+		// Bound the allocation by what the buffer can actually hold, so
+		// a corrupt in-memory frame cannot force a huge make.
+		if uint64(len(rb.b)-rb.off) < n*8 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		xs := make([]float64, n)
+		if err := rb.readF64s(xs); err != nil {
+			return nil, err
+		}
+		return xs, nil
 	}
 	xs := make([]float64, n)
 	const chunk = 1024

@@ -1,0 +1,51 @@
+package types
+
+// This file implements the zero-copy ownership protocol of the data
+// plane. A Data value starts life mutable and owned by whoever built
+// it. Sealing it (Seal) declares it frozen: from then on every holder
+// may read it concurrently but nobody may write it, which lets the
+// engine share one buffer across fan-out edges and lets the pipe layer
+// hand decoded payloads straight to consumers without a defensive copy.
+//
+// The rules, also documented in DESIGN.md §Performance:
+//
+//   - A unit that wants to modify an input must take ownership through
+//     Mutable (or Clone). Mutable is the cheap path: it only copies
+//     when the value is sealed.
+//   - Clone always returns an unsealed, deeply-copied value, so taking
+//     ownership of a clone is always safe.
+//   - Sealing is monotonic and happens-before publication (the sealer
+//     seals, then sends the value over a channel or wire), so
+//     Immutable() needs no synchronisation on the read side.
+
+// sealable is the embedded capability carrying the sealed flag. Every
+// concrete Data type embeds it; the zero value is mutable.
+type sealable struct{ sealed bool }
+
+// Immutable reports whether the value has been sealed read-only.
+func (s *sealable) Immutable() bool { return s.sealed }
+
+func (s *sealable) markSealed() { s.sealed = true }
+
+// Seal marks d as immutable and returns it. Sealed values may be shared
+// freely across goroutines and fan-out edges; holders must not mutate
+// them (use Mutable to take a writable copy). Sealing is idempotent and
+// Seal(nil) returns nil.
+func Seal(d Data) Data {
+	if d == nil {
+		return nil
+	}
+	d.(interface{ markSealed() }).markSealed()
+	return d
+}
+
+// Mutable returns a value the caller may freely mutate: d itself when it
+// is unsealed (the caller becomes the owner), or a deep copy when d is
+// sealed. This is the entry point for units that modify their input in
+// place; on the non-shared fast path it costs nothing.
+func Mutable(d Data) Data {
+	if d == nil || !d.Immutable() {
+		return d
+	}
+	return d.Clone()
+}

@@ -1,0 +1,102 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestSealMutableContract sweeps every registered concrete type through
+// the copy-on-write contract: fresh values are mutable, Seal is sticky,
+// Mutable never aliases a sealed value, and neither Clone nor Mutable
+// propagates the seal.
+func TestSealMutableContract(t *testing.T) {
+	for _, d := range sampleOfEvery() {
+		name := d.TypeName()
+		if d.Immutable() {
+			t.Errorf("%s: fresh value claims immutable", name)
+		}
+		if Mutable(d) != d {
+			t.Errorf("%s: Mutable copied an unsealed value", name)
+		}
+		if Seal(d) != d {
+			t.Errorf("%s: Seal did not return its argument", name)
+		}
+		if !d.Immutable() {
+			t.Errorf("%s: Seal did not stick", name)
+		}
+		m := Mutable(d)
+		if m == d {
+			t.Errorf("%s: Mutable aliased a sealed value", name)
+		}
+		if m.Immutable() {
+			t.Errorf("%s: Mutable returned a sealed copy", name)
+		}
+		c := d.Clone()
+		if c.Immutable() {
+			t.Errorf("%s: Clone inherited the seal", name)
+		}
+		// The seal is metadata, not payload: sealed original and mutable
+		// copy must encode identically.
+		db, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mb, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(db, mb) {
+			t.Errorf("%s: Mutable copy encodes differently from the sealed original", name)
+		}
+		// Mutating the copy must not reach through to the sealed value.
+		if xs, ok := Floats(m); ok && len(xs) > 0 {
+			before, _ := Floats(d)
+			snapshot := append([]float64(nil), before...)
+			xs[0] += 42
+			after, _ := Floats(d)
+			if !reflect.DeepEqual(snapshot, after) {
+				t.Errorf("%s: mutating the Mutable copy changed the sealed original", name)
+			}
+		}
+	}
+}
+
+func TestSealNil(t *testing.T) {
+	if Seal(nil) != nil {
+		t.Error("Seal(nil) != nil")
+	}
+	if Mutable(nil) != nil {
+		t.Error("Mutable(nil) != nil")
+	}
+}
+
+// TestSealedNeverAliasedProperty is the randomized version of the
+// contract for the hot-path type: whatever the payload, a unit that
+// takes the Mutable view of a sealed SampleSet can scribble freely
+// without disturbing readers of the original.
+func TestSealedNeverAliasedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(samples []float64, rate float64) bool {
+		s := NewSampleSet(rate, append([]float64(nil), samples...))
+		Seal(s)
+		m := Mutable(s).(*SampleSet)
+		for i := range m.Samples {
+			m.Samples[i] = rng.NormFloat64()
+		}
+		if len(samples) != len(s.Samples) {
+			return false
+		}
+		for i, v := range samples {
+			if s.Samples[i] != v {
+				return false
+			}
+		}
+		return !m.Immutable() && s.Immutable()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -26,6 +26,7 @@ func init() {
 // intensities are unbounded (they are projected mass densities), and the
 // Grapher/Animator units normalise at display time.
 type Image struct {
+	sealable
 	W, H int
 	// Pix has length W*H, row-major (Pix[y*W+x]).
 	Pix []float64
@@ -118,11 +119,12 @@ func decodeImage(r io.Reader) (Data, error) {
 // Text carries a string payload between text-processing units and is the
 // natural encoding for workflow scripts and log lines in transit.
 type Text struct {
+	sealable
 	S string
 }
 
 func (t *Text) TypeName() string { return NameText }
-func (t *Text) Clone() Data      { c := *t; return &c }
+func (t *Text) Clone() Data      { return &Text{S: t.S} }
 
 func (t *Text) encode(w io.Writer) error { return writeString(w, t.S) }
 
@@ -141,6 +143,7 @@ func decodeText(r io.Reader) (Data, error) {
 // It is what the Case-3 database pipeline's data-access service emits and
 // what the manipulation/visualisation/verification services consume.
 type Table struct {
+	sealable
 	Columns []string
 	// Rows holds one slice per row; every row must have len == len(Columns).
 	Rows [][]string
@@ -232,6 +235,7 @@ func decodeTable(r io.Reader) (Data, error) {
 // galaxy-formation code in §3.6.1. Arrays are parallel (index i describes
 // particle i).
 type ParticleSet struct {
+	sealable
 	// Time is the simulation time of the snapshot.
 	Time float64
 	// Frame identifies the snapshot's index in the animation sequence.

@@ -35,6 +35,7 @@ func init() {
 // numeric subtype hierarchy: SampleSet, Spectrum and Histogram are all
 // assignable to an input that accepts Vec.
 type Vec struct {
+	sealable
 	Values []float64
 }
 
@@ -86,11 +87,12 @@ func decodeVec(r io.Reader) (Data, error) {
 // Const is a single scalar value, used by parameter-producing units and by
 // reductions (e.g. the verification stage of the database pipeline).
 type Const struct {
+	sealable
 	Value float64
 }
 
 func (c *Const) TypeName() string         { return NameConst }
-func (c *Const) Clone() Data              { cc := *c; return &cc }
+func (c *Const) Clone() Data              { return &Const{Value: c.Value} }
 func (c *Const) encode(w io.Writer) error { return writeF64(w, c.Value) }
 
 func decodeConst(r io.Reader) (Data, error) {
@@ -105,6 +107,7 @@ func decodeConst(r io.Reader) (Data, error) {
 // Figure 1 workflow and of the GEO600 inspiral scenario (2000 samples/s,
 // 900 s chunks).
 type SampleSet struct {
+	sealable
 	// SamplingRate in samples per second; must be > 0 for a well-formed set.
 	SamplingRate float64
 	// Start is the time offset of the first sample, in seconds, relative
@@ -179,6 +182,7 @@ func decodeSampleSet(r io.Reader) (Data, error) {
 // Spectrum is a one-sided real power (or amplitude) spectrum with uniform
 // frequency resolution.
 type Spectrum struct {
+	sealable
 	// Resolution is the width of one bin in Hz.
 	Resolution float64
 	// Amplitudes holds one value per frequency bin, bin i covering
@@ -241,6 +245,7 @@ func decodeSpectrum(r io.Reader) (Data, error) {
 // ComplexSpectrum is a full complex FFT result, kept in split re/im form so
 // the wire codec stays simple and SIMD-friendly.
 type ComplexSpectrum struct {
+	sealable
 	// Resolution is the width of one bin in Hz.
 	Resolution float64
 	Re, Im     []float64
@@ -304,6 +309,7 @@ func decodeComplexSpectrum(r io.Reader) (Data, error) {
 
 // Matrix is a dense row-major matrix of float64 values.
 type Matrix struct {
+	sealable
 	Rows, Cols int
 	// Cells has length Rows*Cols, row-major.
 	Cells []float64
@@ -374,6 +380,7 @@ func decodeMatrix(r io.Reader) (Data, error) {
 // Histogram is a binned distribution with uniform bin width, produced by
 // statistics units and consumed by graphing/verification units.
 type Histogram struct {
+	sealable
 	// Lo is the lower edge of the first bin; Width the width of each bin.
 	Lo, Width float64
 	Counts    []float64

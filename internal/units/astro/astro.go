@@ -207,7 +207,7 @@ func (v *ViewProject) Process(ctx *units.Context, in []types.Data) ([]types.Data
 	if !ok {
 		return nil, fmt.Errorf("astro: ViewProject got %s", in[0].TypeName())
 	}
-	out := ps.Clone().(*types.ParticleSet)
+	out := types.Mutable(ps).(*types.ParticleSet)
 	sinA, cosA := math.Sin(v.az), math.Cos(v.az)
 	sinE, cosE := math.Sin(v.el), math.Cos(v.el)
 	for i := range out.X {

@@ -126,8 +126,10 @@ func TestGalaxyGenValidation(t *testing.T) {
 }
 
 func TestViewProjectRotates(t *testing.T) {
+	// Sealed so ViewProject must rotate a private copy, not the input.
 	ps := types.NewParticleSet(1)
 	ps.X[0] = 1
+	types.Seal(ps)
 	u, err := units.New(NameViewProject, units.Params{"azimuth": "90"})
 	if err != nil {
 		t.Fatal(err)

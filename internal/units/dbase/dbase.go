@@ -232,7 +232,7 @@ func (m *DataManip) Process(ctx *units.Context, in []types.Data) ([]types.Data, 
 	if !ok {
 		return nil, fmt.Errorf("dbase: DataManipulate got %s", in[0].TypeName())
 	}
-	out := t.Clone().(*types.Table)
+	out := types.Mutable(t).(*types.Table)
 	if m.hasMin {
 		ci := out.ColumnIndex(m.minCol)
 		if ci < 0 {

@@ -84,7 +84,12 @@ func (*Duplicate) Process(ctx *units.Context, in []types.Data) ([]types.Data, er
 	if err := units.CheckArity(NameDuplicate, 1, in); err != nil {
 		return nil, err
 	}
-	return []types.Data{in[0].Clone(), in[0].Clone()}, nil
+	d := in[0]
+	if d.Immutable() {
+		// Sealed data may be aliased by both output streams.
+		return []types.Data{d, d}, nil
+	}
+	return []types.Data{d, d.Clone()}, nil
 }
 
 // Null discards.

@@ -17,6 +17,8 @@ func mustNew(t *testing.T, name string, p units.Params) units.Unit {
 }
 
 func TestDuplicateDeepCopies(t *testing.T) {
+	// A mutable input may be owned by one output stream, but the two
+	// streams must never alias each other.
 	u := mustNew(t, NameDuplicate, nil)
 	in := types.NewVec([]float64{1, 2})
 	out, err := u.Process(units.TestContext(), []types.Data{in})
@@ -27,8 +29,17 @@ func TestDuplicateDeepCopies(t *testing.T) {
 		t.Fatalf("outputs = %d", len(out))
 	}
 	out[0].(*types.Vec).Values[0] = 99
-	if in.Values[0] != 1 || out[1].(*types.Vec).Values[0] != 1 {
-		t.Error("Duplicate aliases")
+	if out[1].(*types.Vec).Values[0] != 1 {
+		t.Error("Duplicate aliases its two outputs")
+	}
+	// A sealed input is shared by both streams without copying.
+	sealed := types.Seal(types.NewVec([]float64{7}))
+	out2, err := u.Process(units.TestContext(), []types.Data{sealed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0] != sealed || out2[1] != sealed {
+		t.Error("sealed input should be shared, not cloned")
 	}
 }
 

@@ -186,7 +186,7 @@ func (n *Normalize) Process(ctx *units.Context, in []types.Data) ([]types.Data, 
 	if !ok {
 		return nil, fmt.Errorf("imaging: Normalize got %s", in[0].TypeName())
 	}
-	out := im.Clone().(*types.Image)
+	out := types.Mutable(im).(*types.Image)
 	if n.log {
 		for i, v := range out.Pix {
 			out.Pix[i] = math.Log1p(v)

@@ -106,6 +106,7 @@ func TestColumnDensityValidation(t *testing.T) {
 func TestNormalize(t *testing.T) {
 	im := types.NewImage(2, 2)
 	im.Set(1, 1, 4)
+	types.Seal(im) // Normalize must work on a private copy
 	out := run1(t, mustNew(t, NameNormalize, nil), im).(*types.Image)
 	if out.MaxIntensity() != 1 || out.At(0, 0) != 0 {
 		t.Errorf("normalized = %v", out.Pix)

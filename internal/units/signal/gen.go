@@ -469,7 +469,7 @@ func (w *Window) Process(ctx *units.Context, in []types.Data) ([]types.Data, err
 	if !ok {
 		return nil, fmt.Errorf("signal: Window got %s", in[0].TypeName())
 	}
-	out := s.Clone().(*types.SampleSet)
+	out := types.Mutable(s).(*types.SampleSet)
 	w.win.Apply(out.Samples)
 	return []types.Data{out}, nil
 }
@@ -601,7 +601,7 @@ func (u *InjectChirp) Process(ctx *units.Context, in []types.Data) ([]types.Data
 		return nil, fmt.Errorf("signal: injection [%d,%d) exceeds %d samples",
 			u.offset, u.offset+u.length, len(s.Samples))
 	}
-	out := s.Clone().(*types.SampleSet)
+	out := types.Mutable(s).(*types.SampleSet)
 	chirp := dsp.Chirp(u.f0, u.f1, s.SamplingRate, u.length)
 	for i, v := range chirp {
 		out.Samples[u.offset+i] += u.amp * v
@@ -669,15 +669,17 @@ func (m *MatchedFilter) Process(ctx *units.Context, in []types.Data) ([]types.Da
 	if !ok {
 		return nil, fmt.Errorf("signal: MatchedFilter got %s", in[0].TypeName())
 	}
+	if ctx.Canceled() {
+		return nil, ctx.Ctx.Err()
+	}
+	// The whole bank runs against one shared FFT of the signal, fanned
+	// across cores; output order is deterministic per template index.
+	corrs, err := dsp.CrossCorrelateBank(s.Samples, m.bank)
+	if err != nil {
+		return nil, fmt.Errorf("signal: %w", err)
+	}
 	tab := &types.Table{Columns: []string{"template", "f0", "peakLag", "snr"}}
-	for i, tpl := range m.bank {
-		if ctx.Canceled() {
-			return nil, ctx.Ctx.Err()
-		}
-		corr, err := dsp.CrossCorrelate(s.Samples, tpl)
-		if err != nil {
-			return nil, fmt.Errorf("signal: template %d: %w", i, err)
-		}
+	for i, corr := range corrs {
 		peakLag, peakV := 0, 0.0
 		for l, v := range corr {
 			if a := math.Abs(v); a > peakV {

@@ -259,7 +259,10 @@ func TestAccumStatResetCheckpointRestore(t *testing.T) {
 }
 
 func TestWindowUnit(t *testing.T) {
-	sig := types.NewSampleSet(100, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1})
+	// Sealed inputs must never be written in place: Window goes through
+	// types.Mutable, which copies sealed data (an unsealed input would be
+	// owned — and windowed — in place under the zero-copy contract).
+	sig := types.Seal(types.NewSampleSet(100, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1})).(*types.SampleSet)
 	out := run1(t, mustNew(t, NameWindow, units.Params{"window": "hann"}), sig).(*types.SampleSet)
 	if out.Samples[0] != 0 || out.Samples[8] != 0 {
 		t.Error("hann endpoints nonzero")

@@ -82,7 +82,9 @@ func (g *Grapher) Process(ctx *units.Context, in []types.Data) ([]types.Data, er
 		return nil, err
 	}
 	g.mu.Lock()
-	g.last = in[0].Clone()
+	// The unit owns its input (sealed data is shared read-only), so
+	// retaining it needs no defensive copy.
+	g.last = in[0]
 	g.history++
 	g.mu.Unlock()
 	return nil, nil
@@ -300,7 +302,7 @@ func (a *Animator) Process(ctx *units.Context, in []types.Data) ([]types.Data, e
 		return nil, fmt.Errorf("unitio: Animator got %s", in[0].TypeName())
 	}
 	a.mu.Lock()
-	a.frames = append(a.frames, im.Clone().(*types.Image))
+	a.frames = append(a.frames, im)
 	a.mu.Unlock()
 	return nil, nil
 }

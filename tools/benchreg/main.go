@@ -1,0 +1,241 @@
+// Command benchreg runs the repository benchmark suite, snapshots the
+// results as BENCH_<date>.json (ns/op, B/op, allocs/op per benchmark),
+// and compares the fresh snapshot against the most recent previous one.
+// It seeds and maintains the benchmark trajectory that DESIGN.md's
+// experiment index refers to, and doubles as the CI regression gate:
+// with -gate set, any gated benchmark whose ns/op regresses by more
+// than -threshold fails the run.
+//
+// Typical uses:
+//
+//	go run ./tools/benchreg                      # full suite, compare vs latest snapshot
+//	go run ./tools/benchreg -bench 'Kernel|Codec' -benchtime 200ms
+//	go run ./tools/benchreg -gate 'KernelFFT|Codec' -threshold 0.25 -no-save
+//
+// The snapshot format is deliberately flat so future tooling (and the
+// next PR's reviewer) can diff it with jq.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark's parsed metrics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+	MBPerSec    float64 `json:"mb_s,omitempty"`
+	Iterations  int64   `json:"n"`
+}
+
+// Snapshot is the on-disk BENCH_*.json schema.
+type Snapshot struct {
+	Date       string            `json:"date"`
+	Label      string            `json:"label,omitempty"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	BenchTime  string            `json:"benchtime,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 200ms, 10x)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		dir       = flag.String("dir", ".", "directory holding BENCH_*.json snapshots")
+		label     = flag.String("label", "", "suffix for the snapshot filename (BENCH_<date>-<label>.json)")
+		compare   = flag.String("compare", "", "snapshot to compare against (default: most recent BENCH_*.json)")
+		gate      = flag.String("gate", "", "regex of benchmarks whose ns/op regression fails the run")
+		threshold = flag.Float64("threshold", 0.25, "fractional ns/op regression tolerated by -gate")
+		noSave    = flag.Bool("no-save", false, "skip writing the snapshot (compare only)")
+		timeout   = flag.String("timeout", "20m", "go test timeout")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-timeout", *timeout}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	fmt.Fprintf(os.Stderr, "benchreg: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: benchmark run failed: %v\n%s", err, out.String())
+		os.Exit(1)
+	}
+
+	results, err := parseBench(out.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreg: no benchmarks matched %q\n", *benchRe)
+		os.Exit(1)
+	}
+
+	snap := &Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+		Benchmarks: results,
+	}
+
+	prevPath := *compare
+	if prevPath == "" {
+		prevPath = latestSnapshot(*dir)
+	}
+	var prev *Snapshot
+	if prevPath != "" {
+		if prev, err = loadSnapshot(prevPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: reading %s: %v\n", prevPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("comparing against %s\n", prevPath)
+	}
+
+	regressed := report(os.Stdout, prev, snap, *gate, *threshold)
+
+	if !*noSave {
+		name := "BENCH_" + snap.Date
+		if *label != "" {
+			name += "-" + *label
+		}
+		path := filepath.Join(*dir, name+".json")
+		if err := saveSnapshot(path, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchreg: FAIL: gated benchmarks regressed beyond threshold")
+		os.Exit(2)
+	}
+}
+
+// benchLine matches standard go test benchmark output, e.g.
+// BenchmarkKernelFFT/n=1024-8  50000  25650 ns/op  638.86 MB/s  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parseBench(out string) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{NsPerOp: ns, Iterations: n}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "MB/s":
+				r.MBPerSec = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results[m[1]] = r
+	}
+	return results, sc.Err()
+}
+
+// latestSnapshot returns the lexically greatest BENCH_*.json in dir,
+// which sorts correctly because the date is ISO-formatted.
+func latestSnapshot(dir string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func saveSnapshot(path string, s *Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// report prints the comparison table and returns whether any gated
+// benchmark regressed beyond the threshold.
+func report(w *os.File, prev, cur *Snapshot, gate string, threshold float64) bool {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for n := range cur.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var gateRe *regexp.Regexp
+	if gate != "" {
+		gateRe = regexp.MustCompile(gate)
+	}
+	regressed := false
+	fmt.Fprintf(w, "%-55s %14s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, n := range names {
+		c := cur.Benchmarks[n]
+		line := fmt.Sprintf("%-55s %14.0f %12.0f %10.0f", n, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+		if prev != nil {
+			if p, ok := prev.Benchmarks[n]; ok && p.NsPerOp > 0 {
+				dNs := (c.NsPerOp - p.NsPerOp) / p.NsPerOp
+				line += fmt.Sprintf("   ns %+6.1f%%", 100*dNs)
+				if p.AllocsPerOp > 0 {
+					line += fmt.Sprintf("  allocs %+6.1f%%",
+						100*(c.AllocsPerOp-p.AllocsPerOp)/p.AllocsPerOp)
+				}
+				if gateRe != nil && gateRe.MatchString(n) && dNs > threshold {
+					line += "  REGRESSION"
+					regressed = true
+				}
+			} else {
+				line += "   (new)"
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	return regressed
+}
