@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -171,6 +172,14 @@ func bluesteinPlanFor(n int, inverse bool) *bluesteinPlan {
 	planFor(m).execute(p.bfft, false)
 
 	bluesteinPlans.Lock()
+	defer bluesteinPlans.Unlock()
+	if q, ok := bluesteinPlans.byKey[key]; ok {
+		// A racing goroutine built the same plan first and already
+		// registered it in map and LRU order; inserting ours too would
+		// leave a duplicate order entry that drifts from the map. Ours
+		// was merely wasted work — use theirs.
+		return q
+	}
 	if len(bluesteinPlans.byKey) >= maxBluesteinPlans {
 		oldest := bluesteinPlans.order[0]
 		bluesteinPlans.order = bluesteinPlans.order[1:]
@@ -178,7 +187,6 @@ func bluesteinPlanFor(n int, inverse bool) *bluesteinPlan {
 	}
 	bluesteinPlans.byKey[key] = p
 	bluesteinPlans.order = append(bluesteinPlans.order, key)
-	bluesteinPlans.Unlock()
 	return p
 }
 
@@ -210,8 +218,12 @@ func putCScratch(sp *[]complex128) { cscratchPool.Put(sp) }
 // deterministic: out[i] corresponds to bank[i] and matches
 // CrossCorrelate(x, bank[i]) up to rounding. This is the §3.6.2 matched
 // filter inner loop: one detector stretch, hundreds of inspiral
-// templates.
-func CrossCorrelateBank(x []float64, bank [][]float64) ([][]float64, error) {
+// templates. Cancellation is checked between templates, so engine
+// shutdown interrupts a long bank run; a nil ctx never cancels.
+func CrossCorrelateBank(ctx context.Context, x []float64, bank [][]float64) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(x) == 0 {
 		return nil, fmt.Errorf("dsp: empty signal to CrossCorrelateBank")
 	}
@@ -256,6 +268,9 @@ func CrossCorrelateBank(x []float64, bank [][]float64) ([][]float64, error) {
 			defer putCScratch(sp)
 			inv := 1 / float64(m)
 			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain the feed; the run is abandoned
+				}
 				h := bank[i]
 				for j := range scratch {
 					scratch[j] = 0
@@ -278,10 +293,18 @@ func CrossCorrelateBank(x []float64, bank [][]float64) ([][]float64, error) {
 			}
 		}()
 	}
+feed:
 	for i := range bank {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

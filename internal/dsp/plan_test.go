@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func TestCrossCorrelateBankMatchesDirect(t *testing.T) {
 		}
 		bank[i] = h
 	}
-	out, err := CrossCorrelateBank(x, bank)
+	out, err := CrossCorrelateBank(context.Background(), x, bank)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +56,13 @@ func TestCrossCorrelateBankDeterministic(t *testing.T) {
 		}
 		bank[i] = h
 	}
-	first, err := CrossCorrelateBank(x, bank)
+	first, err := CrossCorrelateBank(context.Background(), x, bank)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The worker fan-out must not perturb bit-level results or ordering.
 	for trial := 0; trial < 3; trial++ {
-		again, err := CrossCorrelateBank(x, bank)
+		again, err := CrossCorrelateBank(context.Background(), x, bank)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,16 +79,16 @@ func TestCrossCorrelateBankDeterministic(t *testing.T) {
 
 func TestCrossCorrelateBankErrors(t *testing.T) {
 	x := []float64{1, 2, 3}
-	if _, err := CrossCorrelateBank(nil, [][]float64{{1}}); err == nil {
+	if _, err := CrossCorrelateBank(context.Background(), nil, [][]float64{{1}}); err == nil {
 		t.Error("empty signal accepted")
 	}
-	if _, err := CrossCorrelateBank(x, [][]float64{{1}, nil}); err == nil {
+	if _, err := CrossCorrelateBank(context.Background(), x, [][]float64{{1}, nil}); err == nil {
 		t.Error("empty template accepted")
 	}
-	if _, err := CrossCorrelateBank(x, [][]float64{{1, 2, 3, 4}}); err == nil {
+	if _, err := CrossCorrelateBank(context.Background(), x, [][]float64{{1, 2, 3, 4}}); err == nil {
 		t.Error("template longer than signal accepted")
 	}
-	out, err := CrossCorrelateBank(x, nil)
+	out, err := CrossCorrelateBank(context.Background(), x, nil)
 	if err != nil || len(out) != 0 {
 		t.Errorf("empty bank: %v, %v", out, err)
 	}

@@ -60,6 +60,80 @@ func TestFanOutMutatorDoesNotPerturbReaders(t *testing.T) {
 	}
 }
 
+// TestFanOutUnsealedMidPipelineUnderRace covers fan-out of an UNSEALED
+// datum: only source outputs are sealed by default, so a mid-pipeline
+// producer (I0, whose InjectChirp output is a private mutable copy)
+// fans a value that types.Mutable returns as-is — each consuming
+// InjectChirp scribbles on what it was handed, in place, the moment it
+// arrives. The engine must therefore take every clone before
+// relinquishing the original (which goes to the last edge); cloning
+// after any delivery would race with the first consumer's writes and
+// corrupt the siblings' data. Run with -race this catches the alias;
+// without -race it still checks every branch against a solo run.
+func TestFanOutUnsealedMidPipelineUnderRace(t *testing.T) {
+	const fan = 4
+	build := func(branch int) *taskgraph.Graph {
+		name := "mid-cow"
+		if branch >= 0 {
+			name = fmt.Sprintf("mid-cow-%d", branch)
+		}
+		g := taskgraph.New(name)
+		w, _ := units.NewTask("W", signal.NameWave)
+		w.SetParam("samples", "4096")
+		g.MustAdd(w)
+		i0, _ := units.NewTask("I0", signal.NameInjectChirp)
+		i0.SetParam("length", "1024")
+		g.MustAdd(i0)
+		g.ConnectNamed("W", 0, "I0", 0)
+		add := func(i int) {
+			bn := fmt.Sprintf("I%d", i+1)
+			b, _ := units.NewTask(bn, signal.NameInjectChirp)
+			b.SetParam("length", "1024")
+			b.SetParam("offset", fmt.Sprintf("%d", (i+1)*512))
+			b.SetParam("amplitude", fmt.Sprintf("%d", i+2))
+			g.MustAdd(b)
+			gr, _ := units.NewTask("G"+bn, unitio.NameGrapher)
+			g.MustAdd(gr)
+			g.ConnectNamed("I0", 0, bn, 0)
+			g.ConnectNamed(bn, 0, "G"+bn, 0)
+		}
+		if branch >= 0 {
+			add(branch)
+		} else {
+			for i := 0; i < fan; i++ {
+				add(i)
+			}
+		}
+		return g
+	}
+	retained := func(g *taskgraph.Graph, branch int) []float64 {
+		res, err := Run(context.Background(), g, Options{Iterations: 3, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, ok := types.Floats(res.Unit(fmt.Sprintf("GI%d", branch+1)).(*unitio.Grapher).Last())
+		if !ok {
+			t.Fatal("Grapher retained non-numeric data")
+		}
+		return xs
+	}
+	shared := build(-1)
+	sharedRes, err := Run(context.Background(), shared, Options{Iterations: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fan; i++ {
+		solo := retained(build(i), i)
+		got, ok := types.Floats(sharedRes.Unit(fmt.Sprintf("GI%d", i+1)).(*unitio.Grapher).Last())
+		if !ok {
+			t.Fatalf("branch %d retained non-numeric data", i)
+		}
+		if !reflect.DeepEqual(solo, got) {
+			t.Fatalf("branch %d diverged from its solo run: sibling mutators leaked into shared data", i)
+		}
+	}
+}
+
 // TestFanOutConcurrentMutatorsUnderRace is the race-detector harness for
 // the sealed-sharing path: one source fans a sealed buffer to many
 // siblings, each of which concurrently takes its Mutable view and

@@ -235,14 +235,18 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 
 			// send delivers one datum to every edge of an output node.
 			// Sealed data is shared across the whole fan-out (consumers
-			// may only read it); mutable data is handed as-is to the
-			// first edge — the producer relinquishes ownership — and
-			// deep-cloned for each extra edge so no two owners alias.
+			// may only read it). Mutable data must never alias two
+			// owners: every extra edge gets a deep clone taken while
+			// the producer still exclusively holds d, and the original
+			// is relinquished to the LAST edge only — a consumer may
+			// start mutating the instant it receives a value, so
+			// cloning d after any edge has it would race.
 			send := func(node int, d types.Data) bool {
+				edges := outs[t.Name][node]
 				share := d.Immutable()
-				for i, ch := range outs[t.Name][node] {
+				for i, ch := range edges {
 					v := d
-					if i > 0 && !share {
+					if !share && i < len(edges)-1 {
 						v = d.Clone()
 					}
 					select {

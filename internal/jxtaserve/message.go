@@ -87,8 +87,12 @@ var ErrBadHeader = errors.New("jxtaserve: kind or header not XML-safe")
 
 // xmlSafe reports whether s round-trips through an XML attribute:
 // valid UTF-8 and only characters XML 1.0 permits. Verdicts for short
-// strings are cached: kinds and header keys come from a tiny fixed
-// vocabulary ("pipe.data", "method", ...) that recurs on every frame.
+// strings are cached; use it ONLY for kinds and header keys, which come
+// from a tiny fixed vocabulary ("pipe.data", "method", ...) that recurs
+// on every frame. Header VALUES go through xmlSafeSlow uncached: they
+// are high-cardinality (sequence numbers, peer IDs), and letting them
+// into the cache would trip the overflow flush and evict the hot
+// vocabulary the cache exists for.
 func xmlSafe(s string) bool {
 	if len(s) <= maxCachedVerdictLen {
 		if v, ok := xmlSafeCache.Load(s); ok {
@@ -96,8 +100,8 @@ func xmlSafe(s string) bool {
 		}
 		v := xmlSafeSlow(s)
 		if n := xmlSafeCacheLen.Add(1); n > maxCachedVerdicts {
-			// A hostile peer spraying unique keys must not grow the
-			// cache without bound; dropping it keeps the common
+			// A hostile peer spraying unique kinds/keys must not grow
+			// the cache without bound; dropping it keeps the common
 			// vocabulary hot and the memory footprint fixed.
 			xmlSafeCache.Range(func(k, _ any) bool { xmlSafeCache.Delete(k); return true })
 			xmlSafeCacheLen.Store(0)
@@ -157,7 +161,7 @@ func WriteMessage(w io.Writer, m *Message) error {
 		return ErrBadHeader
 	}
 	for k, v := range m.Headers {
-		if !xmlSafe(k) || !xmlSafe(v) {
+		if !xmlSafe(k) || !xmlSafeSlow(v) {
 			return ErrBadHeader
 		}
 	}

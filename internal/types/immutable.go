@@ -30,12 +30,16 @@ func (s *sealable) markSealed() { s.sealed = true }
 // Seal marks d as immutable and returns it. Sealed values may be shared
 // freely across goroutines and fan-out edges; holders must not mutate
 // them (use Mutable to take a writable copy). Sealing is idempotent and
-// Seal(nil) returns nil.
+// Seal(nil) returns nil. A Data implementation that does not embed
+// sealable simply stays unsealed: Immutable() keeps reporting false, so
+// sharers fall back to the always-safe clone path.
 func Seal(d Data) Data {
 	if d == nil {
 		return nil
 	}
-	d.(interface{ markSealed() }).markSealed()
+	if s, ok := d.(interface{ markSealed() }); ok {
+		s.markSealed()
+	}
 	return d
 }
 

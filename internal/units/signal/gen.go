@@ -674,7 +674,9 @@ func (m *MatchedFilter) Process(ctx *units.Context, in []types.Data) ([]types.Da
 	}
 	// The whole bank runs against one shared FFT of the signal, fanned
 	// across cores; output order is deterministic per template index.
-	corrs, err := dsp.CrossCorrelateBank(s.Samples, m.bank)
+	// Passing the run context keeps long bank runs cancelable between
+	// templates under engine shutdown.
+	corrs, err := dsp.CrossCorrelateBank(ctx.Ctx, s.Samples, m.bank)
 	if err != nil {
 		return nil, fmt.Errorf("signal: %w", err)
 	}
