@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke metrics-smoke
 
 build:
 	go build ./...
@@ -26,3 +26,10 @@ bench-smoke:
 		-bench 'BenchmarkKernel|BenchmarkCodec|BenchmarkEngineFanOut' \
 		-gate 'BenchmarkKernelFFT|BenchmarkCodec' \
 		-benchtime 100ms -threshold 0.25 -no-save
+
+# Observability smoke: boot a real daemon, scrape /metrics, and assert
+# the core series families are listed (they register eagerly, so a
+# fresh daemon must already expose them). Fails if the daemon dies, the
+# scrape fails, or any series family is missing.
+metrics-smoke:
+	./tools/metrics_smoke.sh

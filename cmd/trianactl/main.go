@@ -11,6 +11,8 @@
 //	trianactl validate -workflow wf.xml      # structural + type check
 //	trianactl peers -rendezvous host:port    # discover enrolled services
 //	trianactl ping -addr host:port           # probe one daemon
+//	trianactl metrics -addr host:port        # live registry, Prometheus text
+//	trianactl traces -addr host:port         # recent despatch trace trees
 //	trianactl run -workflow wf.xml -rendezvous host:port -iterations 20
 //	trianactl export -example figure1        # write a canonical workflow XML
 package main
@@ -66,6 +68,10 @@ func main() {
 		err = cmdPing(args)
 	case "billing":
 		err = cmdBilling(args)
+	case "metrics":
+		err = cmdMetrics(args)
+	case "traces":
+		err = cmdTraces(args)
 	case "run":
 		err = cmdRun(args)
 	case "export":
@@ -80,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|run|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|run|export} [flags]")
 }
 
 func cmdUnits(args []string) error {
@@ -253,6 +259,51 @@ func cmdBilling(args []string) error {
 		fmt.Printf("%-24s %6d %14v %10d\n", e.Requester, e.Jobs, e.CPU, e.Processed)
 	}
 	return nil
+}
+
+// fetchObservability pulls one observability RPC's text payload from a
+// daemon (metrics and traces share the shape).
+func fetchObservability(addr, method string, headers map[string]string) error {
+	host, err := jxtaserve.NewHost(fmt.Sprintf("observe-%d", os.Getpid()), jxtaserve.TCP{}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	reply, err := host.Request(addr, method, nil, headers)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(reply.Payload)
+	return err
+}
+
+// cmdMetrics dumps a daemon's live metric registry in Prometheus text
+// format — the same bytes its /metrics endpoint serves.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	return fetchObservability(*addr, service.MethodMetrics, nil)
+}
+
+// cmdTraces dumps a daemon's recent despatch traces as indented span
+// trees; -trace narrows to one trace ID.
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	traceID := fs.String("trace", "", "only this trace ID")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	var headers map[string]string
+	if *traceID != "" {
+		headers = map[string]string{"trace": *traceID}
+	}
+	return fetchObservability(*addr, service.MethodTraces, headers)
 }
 
 func cmdRun(args []string) error {

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // handlers registered on DefaultServeMux, served only behind -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -60,6 +62,7 @@ func main() {
 		require    = flag.Bool("require-code", false, "refuse units whose module bundles have not been downloaded")
 		ttl        = flag.Duration("advert-ttl", time.Hour, "service advertisement lifetime")
 		httpAddr   = flag.String("http", "", "serve browser status pages on this address (e.g. 127.0.0.1:8080)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof profiling on this address (off by default)")
 		certified  = flag.String("certified", "", "comma-separated certified unit names; empty allows everything")
 
 		queryTimeout  = flag.Duration("query-timeout", 0, "discovery query timeout (0 = library default 500ms)")
@@ -154,6 +157,14 @@ func main() {
 		}
 		defer srv.Close()
 		log.Printf("trianad: browser status at http://%s/", *httpAddr)
+	}
+	if *pprofAddr != "" {
+		// DefaultServeMux carries only the pprof handlers here; nothing
+		// else in the daemon registers on it.
+		pprofSrv := &http.Server{Addr: *pprofAddr}
+		go pprofSrv.ListenAndServe()
+		defer pprofSrv.Close()
+		log.Printf("trianad: pprof at http://%s/debug/pprof/", *pprofAddr)
 	}
 	log.Printf("trianad: peer %s listening at %s (%d units, cpu %d MHz, ram %d MB)",
 		*id, svc.Addr(), len(units.Names()), *cpuMHz, *ramMB)

@@ -19,10 +19,21 @@ import (
 	"sync"
 	"time"
 
+	"consumergrid/internal/metrics"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/trace"
 	"consumergrid/internal/types"
 	"consumergrid/internal/units"
+)
+
+// Live observability series, registered eagerly so /metrics lists them
+// before the first run. The per-unit exec histogram additionally gets a
+// labelled series per unit name (a fixed, small vocabulary).
+var (
+	execSeconds  = metrics.Default().Histogram("engine_unit_exec_seconds")
+	cowClones    = metrics.Default().Counter("engine_cow_clones_total")
+	fanoutShared = metrics.Default().Counter("engine_fanout_shared_total")
 )
 
 // Options configures a run.
@@ -52,6 +63,15 @@ type Options struct {
 	// RestoreState re-primes Checkpointable units before the run, keyed
 	// by task name: the migration path of §3.6.2.
 	RestoreState map[string][]byte
+	// Trace, when set, records one span per task (named "unit:<task>")
+	// under TraceID/TraceParent — how a despatched fragment's per-unit
+	// work appears in the controller's end-to-end trace. Nil disables
+	// span recording.
+	Trace *trace.Recorder
+	// TraceID and TraceParent place this run in a distributed trace;
+	// both empty with a non-nil Trace starts a fresh trace.
+	TraceID     string
+	TraceParent string
 }
 
 // Result reports a completed run.
@@ -225,6 +245,21 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 				}
 			}()
 
+			// One span covers the task's whole lifetime in this run; the
+			// per-iteration exec times go to the histogram series instead
+			// (a span per iteration would swamp the recorder).
+			span := opts.Trace.Start(opts.TraceID, opts.TraceParent, "unit:"+t.Name, "")
+			span.SetAttr("unit", t.Unit)
+			defer func() {
+				procMu.Lock()
+				n := processed[t.Name]
+				procMu.Unlock()
+				span.SetAttr("processed", fmt.Sprintf("%d", n))
+				span.End()
+			}()
+			unitExec := metrics.Default().Histogram(
+				metrics.Series("engine_unit_exec_seconds", "unit", t.Unit))
+
 			uctx := &units.Context{
 				Ctx:      runCtx,
 				Sandbox:  opts.Sandbox,
@@ -244,10 +279,14 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 			send := func(node int, d types.Data) bool {
 				edges := outs[t.Name][node]
 				share := d.Immutable()
+				if share && len(edges) > 1 {
+					fanoutShared.Add(int64(len(edges) - 1))
+				}
 				for i, ch := range edges {
 					v := d
 					if !share && i < len(edges)-1 {
 						v = d.Clone()
+						cowClones.Inc()
 					}
 					select {
 					case ch <- v:
@@ -279,11 +318,14 @@ func Run(ctx context.Context, g *taskgraph.Graph, opts Options) (*Result, error)
 				uctx.Iteration = iter
 				procStart := time.Now()
 				out, err := u.Process(uctx, in)
+				procElapsed := time.Since(procStart)
+				execSeconds.Observe(procElapsed.Seconds())
+				unitExec.Observe(procElapsed.Seconds())
 				// Charge the unit's wall time against the host's CPU
 				// quota: a donated machine bounds what strangers may
 				// burn, and a workflow that exhausts the budget is
 				// terminated rather than throttled.
-				if qErr := opts.Sandbox.ChargeCPU(time.Since(procStart)); qErr != nil && err == nil {
+				if qErr := opts.Sandbox.ChargeCPU(procElapsed); qErr != nil && err == nil {
 					err = qErr
 				}
 				procMu.Lock()

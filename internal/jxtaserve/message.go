@@ -206,6 +206,8 @@ func WriteMessage(w io.Writer, m *Message) error {
 			return err
 		}
 	}
+	wireMsgsOut.Inc()
+	wireBytesOut.Add(int64(n) + int64(buf.Len()) + int64(len(m.Payload)))
 	return nil
 }
 
@@ -284,6 +286,8 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		}
 		m.Payload = p
 	}
+	wireMsgsIn.Inc()
+	wireBytesIn.Add(int64(envLen) + int64(payloadLen))
 	return m, nil
 }
 

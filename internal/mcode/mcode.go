@@ -21,7 +21,18 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"consumergrid/internal/metrics"
 	"consumergrid/internal/units"
+)
+
+// Live bundle-cache series, aggregated across every Store in the
+// process and registered eagerly so /metrics lists them from startup.
+var (
+	storeHits      = metrics.Default().Counter("mcode_store_hits_total")
+	storeMisses    = metrics.Default().Counter("mcode_store_misses_total")
+	storeEvictions = metrics.Default().Counter("mcode_store_evictions_total")
+	fetchesTotal   = metrics.Default().Counter("mcode_fetches_total")
+	fetchedBytes   = metrics.Default().Counter("mcode_fetched_bytes_total")
 )
 
 // Bundle is one transferable module.
@@ -229,6 +240,7 @@ func (s *Store) Put(b *Bundle) error {
 		delete(s.entries, e.key)
 		s.used -= e.bundle.Size()
 		s.evictions++
+		storeEvictions.Inc()
 	}
 	return nil
 }
@@ -240,9 +252,11 @@ func (s *Store) Get(unit, version string) (*Bundle, bool) {
 	el, ok := s.entries[key(unit, version)]
 	if !ok {
 		s.misses++
+		storeMisses.Inc()
 		return nil, false
 	}
 	s.hits++
+	storeHits.Inc()
 	s.order.MoveToFront(el)
 	return el.Value.(*storeEntry).bundle, true
 }

@@ -98,6 +98,8 @@ func (f *Fetcher) Ensure(unit, version, ownerAddr string) (*Bundle, error) {
 	}
 	f.fetches.Add(1)
 	f.fetchedByte.Add(b.Size())
+	fetchesTotal.Inc()
+	fetchedBytes.Add(b.Size())
 	if err := f.store.Put(b); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// reservoirCap is the default bounded-sample window: large enough that
+// nearest-rank quantiles stay within a few percent of exact values,
+// small enough that a week-long gridsim run holds a fixed ~16 KiB per
+// series instead of one append per observation.
+const reservoirCap = 2048
+
+// reservoir keeps a uniform random sample of an unbounded observation
+// stream (Vitter's algorithm R) plus exact count/sum/min/max. The
+// replacement draws come from a per-reservoir seeded source — never the
+// global math/rand lock — so observation order is deterministic per
+// series and hot paths do not contend on a process-wide mutex.
+type reservoir struct {
+	cap int
+	rng *rand.Rand
+	buf []float64
+	n   int64
+	sum float64
+	min float64
+	max float64
+}
+
+func newReservoir(capacity int) *reservoir {
+	if capacity <= 0 {
+		capacity = reservoirCap
+	}
+	return &reservoir{
+		cap: capacity,
+		// Fixed seed: sampling is reproducible run to run, and two
+		// reservoirs fed identical streams retain identical samples.
+		rng: rand.New(rand.NewSource(0x6c657661746f72)),
+		buf: make([]float64, 0, capacity),
+	}
+}
+
+// observe records one value. Callers hold the owning metric's lock.
+func (r *reservoir) observe(v float64) {
+	r.n++
+	r.sum += v
+	if r.n == 1 || v < r.min {
+		r.min = v
+	}
+	if r.n == 1 || v > r.max {
+		r.max = v
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.cap) {
+		r.buf[j] = v
+	}
+}
+
+// quantile reports the p-th percentile (0 < p <= 100) by nearest rank
+// over the retained sample — exact until the stream exceeds the cap,
+// an unbiased estimate after. Callers hold the owning metric's lock.
+func (r *reservoir) quantile(p float64) float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.buf...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Histogram is a concurrency-safe bounded-memory distribution: exact
+// count/sum/min/max plus reservoir-sampled quantiles.
+type Histogram struct {
+	mu  sync.Mutex
+	res *reservoir
+}
+
+// NewHistogram creates a histogram retaining up to capacity samples
+// (capacity <= 0 selects the default).
+func NewHistogram(capacity int) *Histogram {
+	return &Histogram{res: newReservoir(capacity)}
+}
+
+// resLocked lazily creates the reservoir so the zero Histogram is
+// usable. Callers hold h.mu.
+func (h *Histogram) resLocked() *reservoir {
+	if h.res == nil {
+		h.res = newReservoir(0)
+	}
+	return h.res
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.resLocked().observe(v)
+	h.mu.Unlock()
+}
+
+// Count reports total observations (not just retained ones).
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resLocked().n
+}
+
+// Sum reports the exact running sum.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resLocked().sum
+}
+
+// Min reports the exact minimum observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resLocked().min
+}
+
+// Max reports the exact maximum observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resLocked().max
+}
+
+// Mean reports sum/count, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.resLocked()
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Quantile reports the p-th percentile estimate (0 < p <= 100).
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.resLocked().quantile(p)
+}
+
+// Stored reports retained samples — bounded by the capacity no matter
+// how many observations arrived (the leak-regression assertion).
+func (h *Histogram) Stored() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.resLocked().buf)
+}

@@ -6,46 +6,46 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"math"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a concurrency-safe monotonic counter.
+// Counter is a concurrency-safe monotonic counter. It is lock-free so
+// hot paths (wire framing, engine fan-out) can increment it without a
+// shared mutex.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d int64) {
-	c.mu.Lock()
-	c.n += d
-	c.mu.Unlock()
-}
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value reads the counter.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Timer accumulates duration samples and reports summary statistics.
+// Storage is bounded: the count and total are exact, while quantiles
+// come from a fixed-size uniform reservoir, so a Timer observed for a
+// week holds the same memory as one observed for a second. (The
+// original append-only sample slice leaked without bound on day-long
+// gridsim runs.)
 type Timer struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	mu  sync.Mutex
+	res *reservoir
 }
 
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
 	t.mu.Lock()
-	t.samples = append(t.samples, d)
+	if t.res == nil {
+		t.res = newReservoir(reservoirCap)
+	}
+	t.res.observe(float64(d))
 	t.mu.Unlock()
 }
 
@@ -56,56 +56,57 @@ func (t *Timer) Time(f func()) {
 	t.Observe(time.Since(start))
 }
 
-// Count reports the number of samples.
+// Count reports the number of samples observed.
 func (t *Timer) Count() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.samples)
+	if t.res == nil {
+		return 0
+	}
+	return int(t.res.n)
 }
 
-// Total reports the summed duration.
+// Stored reports the samples actually retained — capped at the
+// reservoir size regardless of Count (the leak-regression assertion).
+func (t *Timer) Stored() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.res == nil {
+		return 0
+	}
+	return len(t.res.buf)
+}
+
+// Total reports the exact summed duration.
 func (t *Timer) Total() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var s time.Duration
-	for _, d := range t.samples {
-		s += d
+	if t.res == nil {
+		return 0
 	}
-	return s
+	return time.Duration(t.res.sum)
 }
 
 // Mean reports the average sample, or 0 with no samples.
 func (t *Timer) Mean() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.samples) == 0 {
+	if t.res == nil || t.res.n == 0 {
 		return 0
 	}
-	var s time.Duration
-	for _, d := range t.samples {
-		s += d
-	}
-	return s / time.Duration(len(t.samples))
+	return time.Duration(t.res.sum / float64(t.res.n))
 }
 
 // Percentile reports the p-th percentile (0 < p <= 100) by
-// nearest-rank, or 0 with no samples.
+// nearest-rank over the retained sample: exact while the stream fits
+// the reservoir, an unbiased estimate beyond it. 0 with no samples.
 func (t *Timer) Percentile(p float64) time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.samples) == 0 {
+	if t.res == nil {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), t.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
+	return time.Duration(t.res.quantile(p))
 }
 
 // Table accumulates rows and renders them with aligned columns — the

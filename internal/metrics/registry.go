@@ -1,0 +1,252 @@
+// Live metrics registry: named counters, gauges and bounded histograms
+// that subsystems register once and mutate on hot paths, rendered in
+// Prometheus text exposition format by webstatus /metrics and the
+// triana.metrics RPC. This is the promotion of the package from
+// experiment-table emitters to production observability: the experiment
+// tables read a finished run, the registry reads a *running* daemon.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Gauge is a concurrency-safe instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Registry holds the named metrics of one process (or one test). Names
+// follow Prometheus conventions — `subsystem_thing_total`, optionally
+// with a label suffix built by Series — and each name maps to exactly
+// one metric instance for the registry's lifetime.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var (
+	defaultReg     *Registry
+	defaultRegOnce sync.Once
+)
+
+// Default returns the process-wide registry. Subsystems without an
+// injection point (the engine, the wire codec) record here; /metrics
+// serves it, so one scrape sees the whole process like a Prometheus
+// target.
+func Default() *Registry {
+	defaultRegOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+// Series renders a full series name from a family and labels, with
+// deterministic label order: Series("x_total", "peer", "a") ->
+// `x_total{peer="a"}`. Label values are escaped per the text format.
+func Series(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterCounter binds an existing counter under a name (how the
+// despatch ResilienceStats appear on /metrics without double counting).
+// A previous binding for the name is replaced.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// family strips the label suffix from a series name, so TYPE lines are
+// emitted once per family.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixSeries appends a suffix to the metric name while keeping the
+// label block at the end: x{a="b"} + _sum -> x_sum{a="b"}.
+func suffixSeries(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// quantileSeries splices a quantile label into a series name,
+// preserving existing labels: x{a="b"} -> x{a="b",quantile="0.5"}.
+func quantileSeries(name, q string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + `,quantile="` + q + `"}`
+	}
+	return name + `{quantile="` + q + `"}`
+}
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4), sorted by name so scrapes
+// and tests are deterministic. Histograms render as summaries:
+// quantile series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(name, kind string) {
+		f := family(name)
+		if !typed[f] {
+			typed[f] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(counters) {
+		writeType(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		writeType(name, "gauge")
+		fmt.Fprintf(&b, "%s %g\n", name, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(histograms) {
+		writeType(name, "summary")
+		h := histograms[name]
+		count, sum := h.Count(), h.Sum()
+		for _, q := range []struct {
+			label string
+			p     float64
+		}{{"0.5", 50}, {"0.9", 90}, {"0.99", 99}} {
+			fmt.Fprintf(&b, "%s %g\n", quantileSeries(name, q.label), h.Quantile(q.p))
+		}
+		fmt.Fprintf(&b, "%s %g\n", suffixSeries(name, "_sum"), sum)
+		fmt.Fprintf(&b, "%s %d\n", suffixSeries(name, "_count"), count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimerBoundedReservoir is the regression test for the unbounded
+// Timer.samples leak: a million observations must retain only the
+// reservoir cap, keep the exact count and total, and still produce
+// sane quantiles.
+func TestTimerBoundedReservoir(t *testing.T) {
+	var tm Timer
+	const n = 1_000_000
+	for i := 1; i <= n; i++ {
+		tm.Observe(time.Duration(i))
+	}
+	if tm.Count() != n {
+		t.Errorf("count = %d, want %d", tm.Count(), n)
+	}
+	if got := tm.Stored(); got > reservoirCap {
+		t.Errorf("stored %d samples, cap is %d — reservoir is not bounded", got, reservoirCap)
+	}
+	if want := time.Duration(n) * time.Duration(n+1) / 2; tm.Total() != want {
+		t.Errorf("total = %v, want %v", tm.Total(), want)
+	}
+	// The sampled median of 1..n should land near n/2; a wide tolerance
+	// keeps the deterministic-seed reservoir from ever flaking.
+	p50 := tm.Percentile(50)
+	if p50 < n/4 || p50 > 3*n/4 {
+		t.Errorf("sampled p50 = %v, outside [n/4, 3n/4]", p50)
+	}
+	if tm.Percentile(100) > n {
+		t.Errorf("p100 = %v exceeds max observation", tm.Percentile(100))
+	}
+}
+
+// TestTimerExactUnderCap: while observations fit the reservoir, stats
+// stay exact — the pre-existing Timer behaviour tests rely on this.
+func TestTimerExactUnderCap(t *testing.T) {
+	var tm Timer
+	for i := 1; i <= reservoirCap; i++ {
+		tm.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := tm.Percentile(50); got != time.Duration(reservoirCap/2)*time.Microsecond {
+		t.Errorf("exact p50 = %v", got)
+	}
+	if tm.Stored() != reservoirCap {
+		t.Errorf("stored = %d", tm.Stored())
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	if got := h.Quantile(50); got != 50 {
+		t.Errorf("q50 = %g", got)
+	}
+	var empty Histogram
+	if empty.Quantile(50) != 0 || empty.Count() != 0 {
+		t.Error("empty histogram stats nonzero")
+	}
+}
+
+func TestSeriesNaming(t *testing.T) {
+	if got := Series("x_total"); got != "x_total" {
+		t.Errorf("no labels: %q", got)
+	}
+	// Labels sort by key regardless of argument order.
+	a := Series("x_total", "peer", "w1", "method", "run")
+	b := Series("x_total", "method", "run", "peer", "w1")
+	want := `x_total{method="run",peer="w1"}`
+	if a != want || b != want {
+		t.Errorf("series = %q / %q, want %q", a, b, want)
+	}
+	if got := Series("x", "k", "a\"b\\c\nd"); got != `x{k="a\"b\\c\nd"}` {
+		t.Errorf("escaped = %q", got)
+	}
+}
+
+func TestRegistryPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seen_total").Add(3)
+	r.Counter(Series("seen_total", "peer", "w1")).Add(2)
+	r.Gauge("inflight").Set(1.5)
+	h := r.Histogram(Series("exec_seconds", "unit", "wave"))
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE seen_total counter\n",
+		"seen_total 3\n",
+		`seen_total{peer="w1"} 2` + "\n",
+		"# TYPE inflight gauge\n",
+		"inflight 1.5\n",
+		"# TYPE exec_seconds summary\n",
+		`exec_seconds{unit="wave",quantile="0.5"}`,
+		`exec_seconds_sum{unit="wave"} 55` + "\n",
+		`exec_seconds_count{unit="wave"} 10` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE for a family appears exactly once even with many label sets.
+	if strings.Count(out, "# TYPE seen_total counter") != 1 {
+		t.Errorf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+// quantileSeries appends to an existing label block (quantile lands
+// after the sorted user labels) and suffixSeries must keep the label
+// block trailing; both shapes are part of the exposition contract.
+func TestQuantileSeriesShape(t *testing.T) {
+	if got := quantileSeries(`x{unit="wave"}`, "0.9"); got != `x{unit="wave",quantile="0.9"}` {
+		t.Errorf("labeled = %q", got)
+	}
+	if got := quantileSeries("x", "0.5"); got != `x{quantile="0.5"}` {
+		t.Errorf("bare = %q", got)
+	}
+	if got := suffixSeries(`x{a="b"}`, "_sum"); got != `x_sum{a="b"}` {
+		t.Errorf("suffix = %q", got)
+	}
+}
+
+func TestRegisterCounterSharesInstance(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.RegisterCounter("bound_total", &c)
+	c.Add(7)
+	if got := r.Counter("bound_total").Value(); got != 7 {
+		t.Errorf("registry sees %d, want 7", got)
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create, observation and
+// collection in parallel; run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 4, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j))
+				r.Counter(Series("c_total", "peer", "w1")).Inc()
+			}
+		}()
+	}
+	// Collect concurrently with the observers.
+	collected := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 50 && err == nil; i++ {
+			var b strings.Builder
+			err = r.WritePrometheus(&b)
+		}
+		collected <- err
+	}()
+	wg.Wait()
+	if err := <-collected; err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("c_total").Value(); got != workers*iters {
+		t.Errorf("c_total = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c_total 2000\n") {
+		t.Errorf("final render missing settled counter:\n%s", b.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"consumergrid/internal/policy"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/trace"
 	"consumergrid/internal/types"
 )
 
@@ -55,6 +56,10 @@ type RemoteJob struct {
 	// InAds are the remote service's input-pipe advertisements, aligned
 	// with Part.InLabels; upstream producers bind to them.
 	InAds []*advert.Advertisement
+	// TraceID and despatchSpan carry the despatch trace context so the
+	// result-collection span joins the same tree.
+	TraceID      string
+	despatchSpan string
 }
 
 // Despatch ships a part to its peer: the remote service fetches modules
@@ -81,6 +86,13 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 	if err != nil {
 		return nil, err
 	}
+	// Root span of the despatch lifecycle; the transfer child brackets
+	// the wire exchange and its IDs travel in the request envelope so the
+	// hosting peer's execute span links into the same trace.
+	despatch := s.tracer.Start("", "", "despatch", s.opts.PeerID)
+	despatch.SetAttr("to", part.Peer.ID)
+	defer despatch.End()
+	xfer := s.tracer.Start(despatch.TraceID(), despatch.SpanID(), "transfer", s.opts.PeerID)
 	payload := encodeRunPayload(xmlBytes, part.RestoreState)
 	headers := map[string]string{
 		"iterations": strconv.Itoa(part.Iterations),
@@ -101,20 +113,34 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 		headers[fmt.Sprintf("out.%d.label", i)] = tgt.Label
 		headers[fmt.Sprintf("out.%d.addr", i)] = tgt.Addr
 	}
+	trace.Inject(xfer, func(k, v string) { headers[k] = v })
 	reply, err := s.requestRetry(ctx, part.Peer.Addr, MethodRun, payload, headers,
 		false, s.res.RequestTimeout)
+	xfer.Fail(err)
+	xfer.End()
 	if err != nil {
-		return nil, fmt.Errorf("service: despatch to %s: %w", part.Peer.ID, err)
+		despatchFailures.Inc()
+		err = fmt.Errorf("service: despatch to %s: %w", part.Peer.ID, err)
+		despatch.Fail(err)
+		return nil, err
 	}
 	ads, err := advert.DecodeList(reply.Payload)
 	if err != nil {
+		despatch.Fail(err)
 		return nil, err
 	}
 	if len(ads) != len(part.InLabels) {
-		return nil, fmt.Errorf("service: peer %s returned %d pipe adverts for %d inputs",
+		err = fmt.Errorf("service: peer %s returned %d pipe adverts for %d inputs",
 			part.Peer.ID, len(ads), len(part.InLabels))
+		despatch.Fail(err)
+		return nil, err
 	}
-	return &RemoteJob{Part: part, JobID: reply.Header("job"), InAds: ads}, nil
+	despatchesTotal.Inc()
+	despatch.SetAttr("job", reply.Header("job"))
+	return &RemoteJob{
+		Part: part, JobID: reply.Header("job"), InAds: ads,
+		TraceID: despatch.TraceID(), despatchSpan: despatch.SpanID(),
+	}, nil
 }
 
 // WaitRemote blocks until a despatched job completes, returning its
@@ -135,11 +161,16 @@ func (s *Service) WaitRemoteState(job *RemoteJob) (map[string]int, map[string][]
 // failure detector or attempt timeout cancels it through ctx. Waits are
 // idempotent, so broken conversations retry.
 func (s *Service) waitRemoteStateCtx(ctx context.Context, job *RemoteJob) (map[string]int, map[string][]byte, error) {
+	span := s.tracer.Start(job.TraceID, job.despatchSpan, "result", s.opts.PeerID)
+	span.SetAttr("job", job.JobID)
+	defer span.End()
 	reply, err := s.requestRetry(ctx, job.Part.Peer.Addr, MethodWait, nil,
 		map[string]string{"job": job.JobID}, true, 0)
 	if err != nil {
+		span.Fail(err)
 		return nil, nil, err
 	}
+	span.SetAttr("processed", reply.Header("processed"))
 	counts := make(map[string]int)
 	for k, v := range reply.Headers {
 		if len(k) > 5 && k[:5] == "proc." {
@@ -352,11 +383,24 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 	var bridgeWG sync.WaitGroup
 	var bridgeErr error
 	var bridgeMu sync.Mutex
+	// bridgeQuit releases the bridges once the engine has returned or a
+	// later bind failed: an engine that errors out early never closes its
+	// external outputs, and a bridge blocked on `range ch` would leak.
+	bridgeQuit := make(chan struct{})
+	var bridgeQuitOnce sync.Once
+	stopBridges := func() {
+		bridgeQuitOnce.Do(func() { close(bridgeQuit) })
+		bridgeWG.Wait()
+	}
 	for j := 0; j < gt.In; j++ {
 		var outs []*jxtaserve.OutputPipe
 		for _, ad := range inputAds[j] {
 			op, err := s.host.BindOutput(ad)
 			if err != nil {
+				for _, o := range outs {
+					o.Close()
+				}
+				stopBridges()
 				closeLocalPipes()
 				return nil, fmt.Errorf("service: binding group input %d: %w", j, err)
 			}
@@ -367,9 +411,14 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 		bridgeWG.Add(1)
 		go func(ch chan types.Data, outs []*jxtaserve.OutputPipe) {
 			defer bridgeWG.Done()
+			defer func() {
+				for _, op := range outs {
+					op.Close()
+				}
+			}()
 			i := 0
-			for d := range ch {
-				// Round-robin across replicas; single target for pipelines.
+			// Round-robin across replicas; single target for pipelines.
+			send := func(d types.Data) bool {
 				op := outs[i%len(outs)]
 				i++
 				if err := op.Send(d); err != nil {
@@ -378,13 +427,46 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 						bridgeErr = err
 					}
 					bridgeMu.Unlock()
-					for range ch {
-					}
-					break
+					return false
 				}
+				return true
 			}
-			for _, op := range outs {
-				op.Close()
+			for {
+				select {
+				case d, ok := <-ch:
+					if !ok {
+						return
+					}
+					if !send(d) {
+						// Drain so the engine never blocks, but give up
+						// once it has exited.
+						for {
+							select {
+							case _, ok := <-ch:
+								if !ok {
+									return
+								}
+							case <-bridgeQuit:
+								return
+							}
+						}
+					}
+				case <-bridgeQuit:
+					// Engine done; flush what it buffered before exiting.
+					for {
+						select {
+						case d, ok := <-ch:
+							if !ok {
+								return
+							}
+							if !send(d) {
+								return
+							}
+						default:
+							return
+						}
+					}
+				}
 			}
 		}(ch, outs)
 	}
@@ -402,7 +484,7 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 		ExternalIn:  extIn,
 		ExternalOut: extOut,
 	})
-	bridgeWG.Wait()
+	stopBridges()
 
 	// Collect the remote jobs (their inputs have seen EOF by now).
 	remote := make(map[string]map[string]int, len(jobs))

@@ -1,0 +1,40 @@
+// Live despatch-plane series. Registered eagerly at package init so a
+// fresh daemon's /metrics already lists every core service family, and
+// incremented from the despatch, hosting and farming paths. Per-peer
+// resilience counters are bound separately in New via RegisterCounter,
+// so the same Counter instance feeds both the ResilienceStats snapshot
+// API and the registry without double counting.
+package service
+
+import "consumergrid/internal/metrics"
+
+var (
+	// despatchesTotal counts parts shipped to remote peers (successful
+	// triana.run round-trips).
+	despatchesTotal = metrics.Default().Counter("service_despatches_total")
+	// despatchFailures counts despatch attempts whose RPC ultimately
+	// failed after retries.
+	despatchFailures = metrics.Default().Counter("service_despatch_failures_total")
+	// jobsHosted counts triana.run requests this peer accepted as the
+	// hosting side.
+	jobsHosted = metrics.Default().Counter("service_jobs_hosted_total")
+	// chunksInflight gauges farm chunks currently being attempted.
+	chunksInflight = metrics.Default().Gauge("service_farm_chunks_inflight")
+	// chunksCommitted counts farm chunks whose output was committed.
+	chunksCommitted = metrics.Default().Counter("service_farm_chunks_committed_total")
+	// heartbeatOK / heartbeatMiss split failure-detector probes by
+	// outcome, labelled the Prometheus way.
+	heartbeatOK   = metrics.Default().Counter(metrics.Series("service_heartbeats_total", "result", "ok"))
+	heartbeatMiss = metrics.Default().Counter(metrics.Series("service_heartbeats_total", "result", "miss"))
+)
+
+// registerResilience binds a service's per-instance resilience counters
+// into the process registry under peer-labelled series.
+func registerResilience(peerID string, st *metrics.ResilienceStats) {
+	reg := metrics.Default()
+	reg.RegisterCounter(metrics.Series("service_retries_total", "peer", peerID), &st.Retries)
+	reg.RegisterCounter(metrics.Series("service_redespatches_total", "peer", peerID), &st.Redespatches)
+	reg.RegisterCounter(metrics.Series("service_heartbeat_misses_total", "peer", peerID), &st.HeartbeatMisses)
+	reg.RegisterCounter(metrics.Series("service_peers_declared_dead_total", "peer", peerID), &st.PeersDeclaredDead)
+	reg.RegisterCounter(metrics.Series("service_wasted_items_total", "peer", peerID), &st.WastedItems)
+}

@@ -1,0 +1,47 @@
+// Observability RPCs: any peer (or trianactl) can pull another peer's
+// live metrics and recent traces over the same jxtaserve surface the
+// despatch protocol uses — the command-process-server view of §3.2
+// extended with the health of the daemon itself.
+package service
+
+import (
+	"bytes"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/trace"
+)
+
+// Observability RPC method names.
+const (
+	MethodMetrics = "triana.metrics"
+	MethodTraces  = "triana.traces"
+)
+
+// handleMetrics serves the process registry in Prometheus text format.
+func (s *Service) handleMetrics(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+	var buf bytes.Buffer
+	if err := metrics.Default().WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	reply := &jxtaserve.Message{Payload: buf.Bytes()}
+	reply.SetHeader("peer", s.opts.PeerID)
+	return reply, nil
+}
+
+// handleTraces serves the recorder's retained spans as the indented
+// trace-tree text. The optional "trace" header narrows to one trace ID.
+func (s *Service) handleTraces(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+	var buf bytes.Buffer
+	if id := req.Header("trace"); id != "" {
+		for _, sp := range s.tracer.Trace(id) {
+			buf.WriteString(trace.FormatSpan(sp))
+			buf.WriteByte('\n')
+		}
+	} else if err := s.tracer.WriteText(&buf); err != nil {
+		return nil, err
+	}
+	reply := &jxtaserve.Message{Payload: buf.Bytes()}
+	reply.SetHeader("peer", s.opts.PeerID)
+	return reply, nil
+}

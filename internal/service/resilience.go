@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -88,14 +89,16 @@ func (r ResilienceOptions) withDefaults() ResilienceOptions {
 // them; tests assert on them).
 func (s *Service) Resilience() *metrics.ResilienceStats { return &s.resStats }
 
-// retryJitter draws from the seeded retry RNG.
-func (s *Service) retryJitter() float64 {
-	s.retryMu.Lock()
-	defer s.retryMu.Unlock()
-	if s.retryRng == nil {
-		s.retryRng = rand.New(rand.NewSource(s.res.RetrySeed))
-	}
-	return s.retryRng.Float64()
+// jitterRNG derives a per-request RNG from the configured seed and the
+// request identity. Each requestRetry call owns its RNG outright — no
+// shared lock on the retry hot path, and no cross-request coupling where
+// one despatch's retries perturb another's schedule — while a given
+// (seed, addr, method) still replays the identical backoff sequence, so
+// tests stay deterministic.
+func (s *Service) jitterRNG(addr, method string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%s", s.res.RetrySeed, addr, method)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 // requestRetry performs an RPC with the configured retry policy. Only
@@ -107,13 +110,14 @@ func (s *Service) requestRetry(ctx context.Context, addr, method string, payload
 	headers map[string]string, idempotent bool, timeout time.Duration) (*jxtaserve.Message, error) {
 
 	var lastErr error
+	rng := s.jitterRNG(addr, method)
 	delay := s.res.BaseDelay
 	for attempt := 1; attempt <= s.res.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			s.resStats.Retries.Inc()
 			// Jittered exponential backoff: sleep 50–100% of the nominal
 			// delay so synchronized retry storms decorrelate.
-			d := delay/2 + time.Duration(s.retryJitter()*float64(delay/2))
+			d := delay/2 + time.Duration(rng.Float64()*float64(delay/2))
 			select {
 			case <-ctx.Done():
 				return nil, lastErr
@@ -153,7 +157,7 @@ func (s *Service) requestRetry(ctx context.Context, addr, method string, payload
 func (s *Service) StartHeartbeat(addr string, onDead func()) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
-	go func() {
+	s.goBG(func() {
 		misses := 0
 		ticker := time.NewTicker(s.res.HeartbeatInterval)
 		defer ticker.Stop()
@@ -161,11 +165,14 @@ func (s *Service) StartHeartbeat(addr string, onDead func()) (stop func()) {
 			select {
 			case <-done:
 				return
+			case <-s.shutdown:
+				return
 			case <-ticker.C:
 			}
 			if _, err := s.host.RequestTimeout(addr, MethodPing, nil, nil, s.res.HeartbeatTimeout); err != nil {
 				misses++
 				s.resStats.HeartbeatMisses.Inc()
+				heartbeatMiss.Inc()
 				if misses >= s.res.HeartbeatMisses {
 					s.resStats.PeersDeclaredDead.Inc()
 					s.logf("service: peer at %s declared dead after %d missed heartbeats", addr, misses)
@@ -174,9 +181,10 @@ func (s *Service) StartHeartbeat(addr string, onDead func()) (stop func()) {
 				}
 			} else {
 				misses = 0
+				heartbeatOK.Inc()
 			}
 		}
-	}()
+	})
 	return func() { once.Do(func() { close(done) }) }
 }
 
@@ -256,34 +264,41 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 	peerIdx := 0
 
 	for c, chunk := range chunks {
-		committed := false
-		for a := 0; a < opts.ChunkAttempts; a++ {
-			if err := ctx.Err(); err != nil {
-				return report, err
+		committed, err := func() (bool, error) {
+			chunksInflight.Add(1)
+			defer chunksInflight.Add(-1)
+			for a := 0; a < opts.ChunkAttempts; a++ {
+				if err := ctx.Err(); err != nil {
+					return false, err
+				}
+				if a > 0 {
+					report.Redespatches++
+					s.resStats.Redespatches.Inc()
+				}
+				peer := opts.Peers[peerIdx%len(opts.Peers)]
+				got, newState, err := s.farmAttempt(ctx, peer, chunk, state, farmID, c, a, opts)
+				if err != nil || len(got) != len(chunk) {
+					// Discard the partial attempt: its outputs are wasted work
+					// and the chunk replays elsewhere from the same checkpoint.
+					report.WastedOutputs += int64(len(got))
+					s.resStats.WastedItems.Add(int64(len(got)))
+					s.logf("service: farm %d chunk %d attempt %d on %s failed (%d/%d outputs): %v",
+						farmID, c, a, peer.ID, len(got), len(chunk), err)
+					peerIdx++ // re-despatch to the next peer
+					continue
+				}
+				report.Outputs = append(report.Outputs, got...)
+				if len(newState) > 0 {
+					state = newState
+				}
+				report.PeerChunks[peer.ID]++
+				chunksCommitted.Inc()
+				return true, nil
 			}
-			if a > 0 {
-				report.Redespatches++
-				s.resStats.Redespatches.Inc()
-			}
-			peer := opts.Peers[peerIdx%len(opts.Peers)]
-			got, newState, err := s.farmAttempt(ctx, peer, chunk, state, farmID, c, a, opts)
-			if err != nil || len(got) != len(chunk) {
-				// Discard the partial attempt: its outputs are wasted work
-				// and the chunk replays elsewhere from the same checkpoint.
-				report.WastedOutputs += int64(len(got))
-				s.resStats.WastedItems.Add(int64(len(got)))
-				s.logf("service: farm %d chunk %d attempt %d on %s failed (%d/%d outputs): %v",
-					farmID, c, a, peer.ID, len(got), len(chunk), err)
-				peerIdx++ // re-despatch to the next peer
-				continue
-			}
-			report.Outputs = append(report.Outputs, got...)
-			if len(newState) > 0 {
-				state = newState
-			}
-			report.PeerChunks[peer.ID]++
-			committed = true
-			break
+			return false, nil
+		}()
+		if err != nil {
+			return report, err
 		}
 		if !committed {
 			return report, fmt.Errorf("service: farm chunk %d failed after %d attempts", c, opts.ChunkAttempts)

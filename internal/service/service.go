@@ -18,7 +18,6 @@ package service
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -34,6 +33,7 @@ import (
 	"consumergrid/internal/metrics"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/trace"
 	"consumergrid/internal/types"
 	"consumergrid/internal/units"
 )
@@ -103,13 +103,30 @@ type Service struct {
 
 	res      ResilienceOptions // normalized copy of opts.Resilience
 	resStats metrics.ResilienceStats
-	retryMu  sync.Mutex
-	retryRng *rand.Rand
+
+	tracer *trace.Recorder // span recorder for despatch lifecycles
+
+	// Goroutine ownership: every background goroutine the service spawns
+	// (advertising, heartbeats, pipe bridges, output senders) registers
+	// in bg and watches shutdown, so Close reliably reaps them — no
+	// orphans accumulating over a daemon's lifetime.
+	bg       sync.WaitGroup
+	shutdown chan struct{}
 
 	mu      sync.Mutex
 	jobs    map[string]*job
 	nextJob int
 	closed  bool
+}
+
+// goBG runs f as a service-owned goroutine tracked by the lifecycle
+// WaitGroup. f must return when s.shutdown closes.
+func (s *Service) goBG(f func()) {
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		f()
+	}()
 }
 
 type job struct {
@@ -134,14 +151,17 @@ func New(opts Options) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		opts:    opts,
-		res:     opts.Resilience.withDefaults(),
-		host:    host,
-		fetcher: mcode.NewFetcher(host, mcode.NewStore(opts.CodeBudget)),
-		rm:      opts.RM,
-		jobs:    make(map[string]*job),
-		billing: newLedger(),
+		opts:     opts,
+		res:      opts.Resilience.withDefaults(),
+		host:     host,
+		fetcher:  mcode.NewFetcher(host, mcode.NewStore(opts.CodeBudget)),
+		rm:       opts.RM,
+		jobs:     make(map[string]*job),
+		billing:  newLedger(),
+		tracer:   trace.Default(),
+		shutdown: make(chan struct{}),
 	}
+	registerResilience(opts.PeerID, &s.resStats)
 	if len(opts.Certified) > 0 {
 		s.certified = make(map[string]bool, len(opts.Certified))
 		for _, u := range opts.Certified {
@@ -161,6 +181,8 @@ func New(opts Options) (*Service, error) {
 	host.Handle(MethodCancel, s.handleCancel)
 	host.Handle(MethodPing, s.handlePing)
 	host.Handle(MethodBilling, s.handleBilling)
+	host.Handle(MethodMetrics, s.handleMetrics)
+	host.Handle(MethodTraces, s.handleTraces)
 	return s, nil
 }
 
@@ -179,7 +201,9 @@ func (s *Service) Addr() string { return s.host.Addr() }
 // PeerID reports the peer identity.
 func (s *Service) PeerID() string { return s.opts.PeerID }
 
-// Close stops the daemon: no new jobs, running jobs cancelled.
+// Close stops the daemon: no new jobs, running jobs cancelled, and every
+// background goroutine the service owns (advertising, heartbeats) reaped
+// before Close returns.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -188,10 +212,13 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.shutdown)
 	if s.ownRM {
 		s.rm.Close()
 	}
-	return s.host.Close()
+	err := s.host.Close()
+	s.bg.Wait()
+	return err
 }
 
 func (s *Service) logf(format string, args ...any) {
@@ -244,12 +271,14 @@ func (s *Service) Advertise(ttl time.Duration) error {
 func (s *Service) StartAdvertising(interval, ttl time.Duration) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
-	go func() {
+	s.goBG(func() {
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-done:
+				return
+			case <-s.shutdown:
 				return
 			case <-ticker.C:
 				if !s.available.Load() {
@@ -260,7 +289,7 @@ func (s *Service) StartAdvertising(interval, ttl time.Duration) (stop func()) {
 				}
 			}
 		}
-	}()
+	})
 	return func() { once.Do(func() { close(done) }) }
 }
 
@@ -427,6 +456,9 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 	}
 	seed, _ := strconv.ParseInt(req.Header("seed"), 10, 64)
 	requester := req.Header("from")
+	// Adopt the caller's trace so the hosting peer's spans land in the
+	// same tree as the despatching peer's (IDs travel in the envelope).
+	traceID, parentSpan := trace.Extract(req.Header)
 
 	// Certified-library policy first: a non-certified unit is rejected
 	// before any code transfer happens (§3.5).
@@ -545,29 +577,73 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 	j := &job{id: id}
 	s.jobs[id] = j
 	s.mu.Unlock()
+	jobsHosted.Inc()
 
 	run := func(ctx context.Context) error {
+		span := s.tracer.Start(traceID, parentSpan, "execute", s.opts.PeerID)
+		span.SetAttr("job", id)
+		defer span.End()
 		var wg sync.WaitGroup
 		var sendErr error
 		var sendMu sync.Mutex
+		// quit releases the senders once the engine has returned: on a
+		// clean run the engine closes every output channel, but an early
+		// validation error leaves them open, and a sender blocked on
+		// `range ch` would leak for the life of the process.
+		quit := make(chan struct{})
 		for i := range outChans {
 			wg.Add(1)
 			go func(ch chan types.Data, op *jxtaserve.OutputPipe) {
 				defer wg.Done()
-				for d := range ch {
-					if err := op.Send(d); err != nil {
-						sendMu.Lock()
-						if sendErr == nil {
-							sendErr = err
+				defer op.Close()
+				for {
+					select {
+					case d, ok := <-ch:
+						if !ok {
+							return
 						}
-						sendMu.Unlock()
-						// Drain the channel so the engine never blocks.
-						for range ch {
+						if err := op.Send(d); err != nil {
+							sendMu.Lock()
+							if sendErr == nil {
+								sendErr = err
+							}
+							sendMu.Unlock()
+							// Drain so the engine never blocks, but give up
+							// once it has exited.
+							for {
+								select {
+								case _, ok := <-ch:
+									if !ok {
+										return
+									}
+								case <-quit:
+									return
+								}
+							}
 						}
-						break
+					case <-quit:
+						// Engine is done; flush whatever it buffered before
+						// it closed (or abandoned) the channel.
+						for {
+							select {
+							case d, ok := <-ch:
+								if !ok {
+									return
+								}
+								if err := op.Send(d); err != nil {
+									sendMu.Lock()
+									if sendErr == nil {
+										sendErr = err
+									}
+									sendMu.Unlock()
+									return
+								}
+							default:
+								return
+							}
+						}
 					}
 				}
-				op.Close()
 			}(outChans[i], outPipes[i])
 		}
 		res, err := engine.Run(ctx, g, engine.Options{
@@ -578,7 +654,11 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 			ExternalIn:   extIn,
 			ExternalOut:  extOut,
 			RestoreState: restoreState,
+			Trace:        s.tracer,
+			TraceID:      span.TraceID(),
+			TraceParent:  span.SpanID(),
 		})
+		close(quit)
 		wg.Wait()
 		cleanup()
 		sendMu.Lock()
@@ -586,6 +666,7 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 			err = sendErr
 		}
 		sendMu.Unlock()
+		span.Fail(err)
 		j.mu.Lock()
 		j.result = res
 		j.err = err
@@ -595,6 +676,7 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 			for _, n := range res.Processed {
 				total += n
 			}
+			span.SetAttr("processed", strconv.Itoa(total))
 			s.billing.record(requester, res.Elapsed, total)
 		}
 		return err

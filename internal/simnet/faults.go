@@ -15,6 +15,8 @@
 package simnet
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -39,22 +41,49 @@ type LinkFaults struct {
 	Jitter time.Duration
 }
 
-// faultRNG is the shared seeded randomness behind DropProb and Jitter.
+// faultRNG is the seeded randomness behind DropProb and Jitter. Each
+// link key gets its own *rand.Rand, derived from the base seed and the
+// key: one link's draw sequence no longer depends on how traffic on
+// other links interleaves with it, so a seeded fault schedule replays
+// identically per link even under concurrent senders — and concurrent
+// links stop contending on one shared lock.
 type faultRNG struct {
+	mu   sync.Mutex
+	base int64
+	rngs map[string]*linkRNG
+}
+
+type linkRNG struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 func (f *faultRNG) seed(s int64) {
 	f.mu.Lock()
-	f.rng = rand.New(rand.NewSource(s))
+	f.base = s
+	f.rngs = make(map[string]*linkRNG)
 	f.mu.Unlock()
 }
 
-func (f *faultRNG) float() float64 {
+// forLink returns the link's RNG, deriving its seed from (base, key) on
+// first use.
+func (f *faultRNG) forLink(key string) *linkRNG {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.rng.Float64()
+	l, ok := f.rngs[key]
+	if !ok {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%s", f.base, key)
+		l = &linkRNG{rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+		f.rngs[key] = l
+	}
+	return l
+}
+
+func (l *linkRNG) float() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
 }
 
 // FaultSeed reseeds the randomness behind DropProb and Jitter so fault
@@ -145,15 +174,19 @@ func (n *Network) applyFaults(c *conn) error {
 	count := *ctr
 	n.mu.Unlock()
 
+	var lrng *linkRNG
+	if cfg.Jitter > 0 || cfg.DropProb > 0 {
+		lrng = n.rng.forLink(counterKey)
+	}
 	if cfg.Latency > 0 || cfg.Jitter > 0 {
 		d := cfg.Latency
 		if cfg.Jitter > 0 {
-			d += time.Duration(n.rng.float() * float64(cfg.Jitter))
+			d += time.Duration(lrng.float() * float64(cfg.Jitter))
 		}
 		time.Sleep(d)
 	}
 	drop := cfg.DropEvery > 0 && count%cfg.DropEvery == 0
-	if !drop && cfg.DropProb > 0 && n.rng.float() < cfg.DropProb {
+	if !drop && cfg.DropProb > 0 && lrng.float() < cfg.DropProb {
 		drop = true
 	}
 	if drop {

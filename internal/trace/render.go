@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteText renders the recorder's retained spans grouped by trace,
+// most recent trace first, each trace as an indented stage tree:
+//
+//	trace 6f1f3a…  spans=5
+//	  despatch peer=worker-1 1.2ms job=w/job-3
+//	    transfer peer=worker-1 0.4ms
+//	    execute peer=worker-1 0.9ms
+//	      unit:gen peer=worker-1 0.7ms processed=16
+//	    result peer=worker-1 0.1ms
+//
+// A span whose parent was evicted from the ring renders as a root of
+// its trace rather than disappearing.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, id := range r.TraceIDs() {
+		spans := r.Trace(id)
+		if _, err := fmt.Fprintf(w, "trace %s  spans=%d\n", id, len(spans)); err != nil {
+			return err
+		}
+		present := make(map[string]bool, len(spans))
+		for _, s := range spans {
+			present[s.SpanID] = true
+		}
+		children := make(map[string][]Span)
+		var roots []Span
+		for _, s := range spans {
+			if s.Parent != "" && present[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var render func(s Span, depth int) error
+		render = func(s Span, depth int) error {
+			if _, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth+1), FormatSpan(s)); err != nil {
+				return err
+			}
+			for _, c := range children[s.SpanID] {
+				if err := render(c, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, root := range roots {
+			if err := render(root, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FormatSpan renders one span line: name, peer, duration, error, attrs.
+func FormatSpan(s Span) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Peer != "" {
+		b.WriteString(" peer=")
+		b.WriteString(s.Peer)
+	}
+	fmt.Fprintf(&b, " %s", s.Duration().Round(time.Microsecond))
+	if s.Err != "" {
+		fmt.Fprintf(&b, " err=%q", s.Err)
+	}
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, s.Attrs[k])
+	}
+	return b.String()
+}

@@ -12,7 +12,9 @@ import (
 	"net/http"
 	"strings"
 
+	"consumergrid/internal/metrics"
 	"consumergrid/internal/service"
+	"consumergrid/internal/trace"
 	"consumergrid/internal/units"
 )
 
@@ -22,6 +24,8 @@ import (
 //	GET /jobs      job table only (auto-refreshing)
 //	GET /billing   the resource-usage ledger
 //	GET /units     the unit toolbox
+//	GET /metrics   the live registry, Prometheus text format
+//	GET /traces    recent despatch traces as indented span trees
 func Handler(svc *service.Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -35,7 +39,7 @@ func Handler(svc *service.Service) http.Handler {
 			html.EscapeString(svc.PeerID()), html.EscapeString(svc.Addr()))
 		fetches, bytes := svc.Fetcher().Fetches()
 		fmt.Fprintf(&b, "<p>module bundles fetched on demand: %d (%d bytes)</p>", fetches, bytes)
-		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/units">units</a></p>`)
+		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/units">units</a> · <a href="/metrics">metrics</a> · <a href="/traces">traces</a></p>`)
 		jobsTable(&b, svc)
 		resilienceTable(&b, svc)
 		footer(&b)
@@ -81,6 +85,25 @@ func Handler(svc *service.Service) http.Handler {
 		b.WriteString("</table>")
 		footer(&b)
 		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.Default().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rec := trace.Default()
+		if id := r.URL.Query().Get("trace"); id != "" {
+			for _, sp := range rec.Trace(id) {
+				fmt.Fprintln(w, trace.FormatSpan(sp))
+			}
+			return
+		}
+		if err := rec.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	return mux
 }

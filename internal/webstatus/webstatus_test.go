@@ -110,6 +110,61 @@ func TestStatusPages(t *testing.T) {
 	}
 }
 
+// getPlain fetches a text/plain endpoint (/metrics, /traces) — the
+// shared get helper asserts text/html.
+func getPlain(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsAndTracesEndpoints(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	worker, err := service.New(service.Options{PeerID: "metrics-worker", Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	srv := httptest.NewServer(Handler(worker))
+	defer srv.Close()
+
+	body, ct := getPlain(t, srv, "/metrics")
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	// Core series are registered eagerly, so even a fresh daemon's
+	// scrape lists them — the property the CI smoke test relies on.
+	for _, series := range []string{
+		"# TYPE service_despatches_total counter",
+		"service_jobs_hosted_total",
+		"jxtaserve_messages_sent_total",
+		"mcode_store_hits_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	if _, ct := getPlain(t, srv, "/traces"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("traces content type = %q", ct)
+	}
+	// Narrowing to an unknown trace is a 200 with no spans, not an error.
+	if body, _ := getPlain(t, srv, "/traces?trace=nosuch"); body != "" {
+		t.Errorf("unknown trace returned %q", body)
+	}
+}
+
 func TestJobsSnapshotStates(t *testing.T) {
 	tr := jxtaserve.NewInProc()
 	worker, err := service.New(service.Options{PeerID: "w", Transport: tr})

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Boots trianad with the status server, scrapes /metrics, and asserts
+# the core eagerly-registered series families are present. Used by
+# `make metrics-smoke` and the CI smoke step.
+set -eu
+
+PORT="${METRICS_SMOKE_PORT:-18080}"
+BIN="$(mktemp -d)/trianad"
+OUT="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT"; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/trianad
+"$BIN" -listen 127.0.0.1:0 -http "127.0.0.1:$PORT" &
+PID=$!
+
+# Poll until the status server answers (the daemon binds asynchronously).
+i=0
+until curl -fsS "http://127.0.0.1:$PORT/metrics" >"$OUT" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "metrics-smoke: /metrics never came up on port $PORT" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "metrics-smoke: trianad exited before serving" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+status=0
+for series in \
+    jxtaserve_messages_sent_total \
+    jxtaserve_bytes_recv_total \
+    service_despatches_total \
+    service_jobs_hosted_total \
+    service_heartbeats_total \
+    mcode_store_hits_total \
+    engine_cow_clones_total; do
+    if ! grep -q "$series" "$OUT"; then
+        echo "metrics-smoke: scrape is missing $series" >&2
+        status=1
+    fi
+done
+
+# /traces must answer too, even with no despatches yet.
+if ! curl -fsS "http://127.0.0.1:$PORT/traces" >/dev/null; then
+    echo "metrics-smoke: /traces not serving" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "metrics-smoke: ok ($(grep -c '^# TYPE' "$OUT") series families)"
+fi
+exit "$status"
