@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race bench bench-smoke metrics-smoke
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -13,6 +13,11 @@ test:
 
 race:
 	go test -race ./internal/engine/... ./internal/jxtaserve/... ./internal/dsp/...
+
+# Race detector over the concurrency-heavy resilience stack: speculative
+# farming, the health tracker, and the fault-injecting network.
+race-resilience:
+	go test -race ./internal/service/... ./internal/simnet/... ./internal/health/...
 
 # Full benchmark snapshot: runs the whole suite and writes BENCH_<date>.json,
 # comparing against the previous snapshot.
@@ -33,3 +38,9 @@ bench-smoke:
 # scrape fails, or any series family is missing.
 metrics-smoke:
 	./tools/metrics_smoke.sh
+
+# Deterministic byzantine chaos harness: seeded simnet with a corrupting
+# peer and a dead peer, quorum voting, breaker and score assertions via
+# the metrics registry. Seeds are fixed, so a failure is reproducible.
+chaos-smoke:
+	go test ./internal/service/ -run 'TestChaos|TestFarmSkipsDeclaredDeadPeer|TestSpeculationWinsAndCancelsLoser' -count=1 -v

@@ -180,6 +180,10 @@ func (c *Controller) Run(ctx context.Context, g *taskgraph.Graph, opts RunOption
 		ids[i] = p.ID
 		byID[p.ID] = p
 	}
+	// Discovery ranks by advertised CPU; live health observations trump
+	// the brochure. Peers that have actually been failing sink, peers
+	// behind an open breaker go last.
+	ids = policy.OrderByHealth(ids, c.svc.Health())
 	plan, err := pol.Plan(gt, ids)
 	if err != nil {
 		return nil, err
@@ -223,6 +227,14 @@ type FarmOptions struct {
 	Heartbeat      bool
 	Seed           int64
 	AfterChunk     func(chunk int)
+	// Speculate, SpeculateAfter, StragglerFactor, MaxSpeculative and
+	// Quorum forward the straggler-mitigation and untrusted-peer knobs
+	// to service.FarmOptions.
+	Speculate       bool
+	SpeculateAfter  time.Duration
+	StragglerFactor float64
+	MaxSpeculative  int
+	Quorum          int
 }
 
 // RunFarm discovers workers and streams the chunks through them with
@@ -239,15 +251,20 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 	}
 	c.log("controller: farming %d chunks over %d peers", len(chunks), len(peers))
 	return c.svc.FarmChunks(ctx, chunks, service.FarmOptions{
-		Body:           opts.Body,
-		Peers:          peers,
-		CodeAddr:       c.svc.Addr(),
-		ChunkAttempts:  opts.ChunkAttempts,
-		AttemptTimeout: opts.AttemptTimeout,
-		InitialState:   opts.InitialState,
-		Heartbeat:      opts.Heartbeat,
-		Seed:           opts.Seed,
-		AfterChunk:     opts.AfterChunk,
+		Body:            opts.Body,
+		Peers:           peers,
+		CodeAddr:        c.svc.Addr(),
+		ChunkAttempts:   opts.ChunkAttempts,
+		AttemptTimeout:  opts.AttemptTimeout,
+		InitialState:    opts.InitialState,
+		Heartbeat:       opts.Heartbeat,
+		Seed:            opts.Seed,
+		AfterChunk:      opts.AfterChunk,
+		Speculate:       opts.Speculate,
+		SpeculateAfter:  opts.SpeculateAfter,
+		StragglerFactor: opts.StragglerFactor,
+		MaxSpeculative:  opts.MaxSpeculative,
+		Quorum:          opts.Quorum,
 	})
 }
 

@@ -11,25 +11,51 @@ type ResilienceStats struct {
 	HeartbeatMisses   Counter // individual heartbeat probes that failed
 	PeersDeclaredDead Counter // failure-detector verdicts
 	WastedItems       Counter // outputs discarded from failed attempts
+
+	// Speculation and quorum accounting (the untrusted-peer layer):
+	// backup attempts launched past the straggler threshold, races a
+	// backup won, outputs thrown away because a racing sibling committed
+	// first, chunks committed by majority vote, and quorum votes where a
+	// peer's result digest disagreed with the majority.
+	SpeculationLaunches Counter
+	SpeculationWins     Counter
+	SpeculationWaste    Counter
+	QuorumCommits       Counter
+	QuorumDisagreements Counter
+	// DespatchSheds counts despatch attempts refused by admission
+	// control because the in-flight budget was exhausted.
+	DespatchSheds Counter
 }
 
 // ResilienceSnapshot is a point-in-time copy of the counters, in the
 // shape the webstatus page and test assertions consume.
 type ResilienceSnapshot struct {
-	Retries           int64
-	Redespatches      int64
-	HeartbeatMisses   int64
-	PeersDeclaredDead int64
-	WastedItems       int64
+	Retries             int64
+	Redespatches        int64
+	HeartbeatMisses     int64
+	PeersDeclaredDead   int64
+	WastedItems         int64
+	SpeculationLaunches int64
+	SpeculationWins     int64
+	SpeculationWaste    int64
+	QuorumCommits       int64
+	QuorumDisagreements int64
+	DespatchSheds       int64
 }
 
 // Snapshot reads every counter at once.
 func (s *ResilienceStats) Snapshot() ResilienceSnapshot {
 	return ResilienceSnapshot{
-		Retries:           s.Retries.Value(),
-		Redespatches:      s.Redespatches.Value(),
-		HeartbeatMisses:   s.HeartbeatMisses.Value(),
-		PeersDeclaredDead: s.PeersDeclaredDead.Value(),
-		WastedItems:       s.WastedItems.Value(),
+		Retries:             s.Retries.Value(),
+		Redespatches:        s.Redespatches.Value(),
+		HeartbeatMisses:     s.HeartbeatMisses.Value(),
+		PeersDeclaredDead:   s.PeersDeclaredDead.Value(),
+		WastedItems:         s.WastedItems.Value(),
+		SpeculationLaunches: s.SpeculationLaunches.Value(),
+		SpeculationWins:     s.SpeculationWins.Value(),
+		SpeculationWaste:    s.SpeculationWaste.Value(),
+		QuorumCommits:       s.QuorumCommits.Value(),
+		QuorumDisagreements: s.QuorumDisagreements.Value(),
+		DespatchSheds:       s.DespatchSheds.Value(),
 	}
 }

@@ -1,0 +1,48 @@
+// Health-aware candidate ordering. Policies receive peers "in
+// preference order" (Policy.Plan); OrderByHealth is how the controller
+// builds that order from live peer-health observations instead of
+// static discovery attributes alone — healthy peers first by score,
+// open-breaker peers demoted to the tail so a plan prefers them last
+// but can still use them when nothing else exists.
+package policy
+
+// Scorer is the view of a live peer-health tracker the planner needs.
+// *health.Tracker satisfies it; policy depends only on this interface
+// so planning stays decoupled from the service layer.
+type Scorer interface {
+	// Score is the peer's success score in [0, 1]; unseen peers score 1.
+	Score(peer string) float64
+	// Usable reports whether the peer's circuit breaker admits work.
+	Usable(peer string) bool
+}
+
+// OrderByHealth reorders candidate peers for planning: usable peers by
+// descending score (stable, so the incoming order — e.g. discovery's
+// CPU ranking — breaks ties), then unusable peers by descending score.
+// A nil scorer returns the input unchanged. The input slice is not
+// modified.
+func OrderByHealth(peers []string, s Scorer) []string {
+	if s == nil || len(peers) < 2 {
+		return peers
+	}
+	usable := make([]string, 0, len(peers))
+	gated := make([]string, 0)
+	for _, p := range peers {
+		if s.Usable(p) {
+			usable = append(usable, p)
+		} else {
+			gated = append(gated, p)
+		}
+	}
+	sortByScore := func(ids []string) {
+		// Insertion sort: candidate lists are small and stability matters.
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && s.Score(ids[j]) > s.Score(ids[j-1]); j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+	}
+	sortByScore(usable)
+	sortByScore(gated)
+	return append(usable, gated...)
+}

@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fakeScorer maps peers to scores; peers in gated are not usable.
+type fakeScorer struct {
+	scores map[string]float64
+	gated  map[string]bool
+}
+
+func (f fakeScorer) Score(p string) float64 {
+	if s, ok := f.scores[p]; ok {
+		return s
+	}
+	return 1.0
+}
+
+func (f fakeScorer) Usable(p string) bool { return !f.gated[p] }
+
+func TestOrderByHealth(t *testing.T) {
+	in := []string{"a", "b", "c", "d", "e"}
+	s := fakeScorer{
+		scores: map[string]float64{"a": 0.2, "b": 0.9, "c": 0.9, "e": 0.5},
+		gated:  map[string]bool{"d": true},
+	}
+	got := OrderByHealth(in, s)
+	// b and c tie at 0.9 — incoming order breaks the tie; gated d goes
+	// last despite its perfect default score.
+	want := []string{"b", "c", "e", "a", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("OrderByHealth = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(in, []string{"a", "b", "c", "d", "e"}) {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestOrderByHealthNilScorerAndSmallInputs(t *testing.T) {
+	in := []string{"b", "a"}
+	if got := OrderByHealth(in, nil); !reflect.DeepEqual(got, in) {
+		t.Errorf("nil scorer reordered: %v", got)
+	}
+	one := []string{"x"}
+	if got := OrderByHealth(one, fakeScorer{}); !reflect.DeepEqual(got, one) {
+		t.Errorf("single peer reordered: %v", got)
+	}
+	if got := OrderByHealth(nil, fakeScorer{}); len(got) != 0 {
+		t.Errorf("nil input produced %v", got)
+	}
+}
+
+// TestOrderByHealthAllGated: when every peer is gated, the order is
+// score-descending among them — the planner still gets its forced
+// fallback ranked best-first.
+func TestOrderByHealthAllGated(t *testing.T) {
+	s := fakeScorer{
+		scores: map[string]float64{"a": 0.1, "b": 0.8},
+		gated:  map[string]bool{"a": true, "b": true},
+	}
+	got := OrderByHealth([]string{"a", "b"}, s)
+	if !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("all-gated order = %v, want [b a]", got)
+	}
+}

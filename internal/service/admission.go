@@ -1,0 +1,102 @@
+// Controller-side admission control: a bounded in-flight despatch
+// budget so a million-chunk farm cannot exhaust memory or stampede a
+// half-dead swarm with unbounded concurrent attempts. Each despatch
+// attempt claims a slot before it touches the network and releases it
+// when the attempt resolves. Backpressure is either blocking (the
+// default — the farm simply paces itself to the budget) or shedding:
+// with ShedDespatchOverload set, a full budget fails the acquire with
+// an *OverloadError immediately.
+package service
+
+import (
+	"context"
+	"fmt"
+)
+
+// OverloadError is the typed shed verdict: the despatch was refused
+// because the in-flight budget was exhausted, not because anything is
+// wrong with the work or the peer. Callers can retry later or fall
+// back to blocking.
+type OverloadError struct {
+	// Limit is the configured in-flight despatch budget.
+	Limit int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: despatch budget exhausted (%d in flight)", e.Limit)
+}
+
+// admission is the budget semaphore. A nil admission admits everything.
+type admission struct {
+	slots  chan struct{}
+	shed   bool
+	onShed func() // bumps the shed counters; may be nil
+}
+
+func newAdmission(limit int, shed bool, onShed func()) *admission {
+	if limit <= 0 {
+		limit = defaultMaxInflightDespatches
+	}
+	return &admission{slots: make(chan struct{}, limit), shed: shed, onShed: onShed}
+}
+
+// defaultMaxInflightDespatches bounds concurrent despatch attempts when
+// Options.MaxInflightDespatches is unset. High enough that tests and
+// small farms never notice, low enough that a runaway fan-out cannot
+// hold every chunk's pipes and buffers at once.
+const defaultMaxInflightDespatches = 64
+
+// acquire claims a slot. In blocking mode it waits until a slot frees,
+// the context ends, or the service shuts down; in shed mode a full
+// budget returns *OverloadError at once.
+func (a *admission) acquire(ctx context.Context, shutdown <-chan struct{}) error {
+	if a == nil {
+		return nil
+	}
+	if a.shed {
+		select {
+		case a.slots <- struct{}{}:
+			despatchInflight.Add(1)
+			return nil
+		default:
+			if a.onShed != nil {
+				a.onShed()
+			}
+			return &OverloadError{Limit: cap(a.slots)}
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		despatchInflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-shutdown:
+		return fmt.Errorf("service: shutting down")
+	}
+}
+
+// tryAcquire claims a slot only if one is free — used by speculative
+// launches, which are an optimisation and should never queue behind the
+// budget or fail the chunk when refused.
+func (a *admission) tryAcquire() bool {
+	if a == nil {
+		return true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		despatchInflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	despatchInflight.Add(-1)
+	<-a.slots
+}

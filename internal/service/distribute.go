@@ -323,13 +323,28 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 		// Failover: a replica that refuses or cannot be reached (gone
 		// offline, owner active, not certified) is skipped, per §3.6.2:
 		// "simply distributing the code to as many computers that are
-		// available". The run fails only when no replica accepts.
+		// available". A replica whose circuit breaker is open is skipped
+		// without touching the network at all — unless every replica is
+		// gated, in which case they are all tried rather than failing a
+		// run that might still succeed. The run fails only when no
+		// replica accepts.
 		var despatchErr error
+		allGated := true
+		for _, peerID := range plan.Replicas {
+			if s.health.Usable(peerID) {
+				allGated = false
+				break
+			}
+		}
 		for r, peerID := range plan.Replicas {
 			ref, ok := peers[peerID]
 			if !ok {
 				closeLocalPipes()
 				return nil, fmt.Errorf("service: plan names unknown peer %q", peerID)
+			}
+			if !allGated && !s.health.Usable(peerID) {
+				s.logf("service: replica %s breaker open, skipping", peerID)
+				continue
 			}
 			part := RemotePart{
 				Peer:       ref,
@@ -342,9 +357,11 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 			job, err := s.Despatch(part, opts.CodeAddr)
 			if err != nil {
 				despatchErr = err
+				s.health.ReportFailure(peerID)
 				s.logf("service: replica %s unavailable, skipping: %v", peerID, err)
 				continue
 			}
+			s.health.ReportSuccess(peerID, 0)
 			jobs = append(jobs, job)
 			for j := range inLabels {
 				inputAds[j] = append(inputAds[j], job.InAds[j])

@@ -1,0 +1,693 @@
+// Chunked resilient farming with adaptive peer selection, speculative
+// replicated despatch and result quorum — the untrusted-consumer-peer
+// layer over the §3.6.2 checkpointed re-despatch path.
+//
+// Selection: candidates are ranked by the live health tracker (EWMA
+// success score, then observed latency) instead of blind round-robin.
+// Open-breaker peers are skipped entirely; a heartbeat-declared-dead
+// peer whose cooldown has elapsed is pinged before it gets real work.
+// Only when every usable candidate is exhausted does the farm force the
+// best gated peer, so progress never stalls while budget remains.
+//
+// Speculation: with Speculate set, an attempt running past a
+// quantile-based straggler threshold (p90 of the peer's observed
+// attempt latencies × StragglerFactor, or SpeculateAfter before enough
+// history exists) triggers a backup attempt of the same chunk on the
+// next-healthiest peer under fresh pipe labels. The first clean result
+// commits; losers are cancelled (their remote jobs too) and reaped
+// before FarmChunks returns.
+//
+// Quorum: with Quorum = K > 1, each chunk is despatched to K peers up
+// front and commits only when a majority (K/2+1) of returned result
+// digests agree. Minority results are discarded and their peers take a
+// byzantine health penalty — the paper's §3.8 "hostile peer" case made
+// survivable without trusting any single volunteer.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+)
+
+// FarmOptions configures FarmChunks.
+type FarmOptions struct {
+	// Body builds the group body to despatch — a fresh graph per
+	// attempt, with exactly one external input and one external output
+	// (the streamed farm shape).
+	Body func() *taskgraph.Graph
+	// Peers are the candidate workers. Selection orders them by live
+	// health (score, then latency); the listed order only breaks ties
+	// among peers with no history.
+	Peers []PeerRef
+	// CodeAddr is the module owner remote peers fetch from ("" disables).
+	CodeAddr string
+	// ChunkAttempts bounds despatch attempts per chunk (default
+	// 2×len(Peers), minimum MaxAttempts).
+	ChunkAttempts int
+	// AttemptTimeout bounds one chunk attempt end to end (default 30s).
+	AttemptTimeout time.Duration
+	// InitialState primes the first chunk's RestoreState (resuming an
+	// earlier farm).
+	InitialState map[string][]byte
+	// Heartbeat runs the failure detector against the attempt's peer,
+	// cancelling the attempt when the peer is declared dead.
+	Heartbeat bool
+	// Seed is passed to every despatched part.
+	Seed int64
+	// AfterChunk, if set, runs after each chunk commits — a test hook for
+	// injecting faults at deterministic points.
+	AfterChunk func(chunk int)
+
+	// Speculate enables the straggler detector: an attempt running past
+	// the threshold launches a backup on the next-healthiest peer.
+	Speculate bool
+	// SpeculateAfter is the straggler threshold before the peer has
+	// latency history (default 2s).
+	SpeculateAfter time.Duration
+	// StragglerFactor scales the peer's observed p90 attempt latency
+	// into the threshold once history exists (default 2.0).
+	StragglerFactor float64
+	// MaxSpeculative bounds backup attempts per chunk (default 1).
+	MaxSpeculative int
+	// Quorum, when > 1, despatches each chunk to Quorum peers and
+	// commits only a majority-agreed result digest. Overrides
+	// Speculate for the chunk's launch strategy.
+	Quorum int
+}
+
+func (o FarmOptions) withFarmDefaults(res ResilienceOptions) FarmOptions {
+	if o.ChunkAttempts <= 0 {
+		o.ChunkAttempts = 2 * len(o.Peers)
+		if o.ChunkAttempts < res.MaxAttempts {
+			o.ChunkAttempts = res.MaxAttempts
+		}
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 30 * time.Second
+	}
+	if o.SpeculateAfter <= 0 {
+		o.SpeculateAfter = 2 * time.Second
+	}
+	if o.StragglerFactor <= 0 {
+		o.StragglerFactor = 2.0
+	}
+	if o.MaxSpeculative <= 0 {
+		o.MaxSpeculative = 1
+	}
+	return o
+}
+
+// FarmReport summarises a FarmChunks run.
+type FarmReport struct {
+	// Outputs are the committed sink outputs, in chunk order.
+	Outputs []types.Data
+	// FinalState is the checkpoint after the last chunk, despatchable as
+	// the next farm's InitialState.
+	FinalState map[string][]byte
+	// Redespatches counts non-speculative chunk attempts beyond each
+	// chunk's first.
+	Redespatches int64
+	// WastedOutputs counts outputs discarded from failed, abandoned or
+	// outvoted attempts.
+	WastedOutputs int64
+	// PeerChunks maps peer ID to committed chunk count.
+	PeerChunks map[string]int
+
+	// SpeculationLaunches counts backup attempts started past the
+	// straggler threshold; SpeculationWins counts races a backup won;
+	// SpeculationWaste counts outputs discarded because a racing
+	// sibling committed first.
+	SpeculationLaunches int64
+	SpeculationWins     int64
+	SpeculationWaste    int64
+	// QuorumDisagreements counts quorum votes where a peer's result
+	// digest disagreed with the committed majority.
+	QuorumDisagreements int64
+}
+
+// farmResult is one attempt's terminal report, delivered on the chunk
+// coordinator's results channel.
+type farmResult struct {
+	idx      int
+	got      []types.Data
+	newState map[string][]byte
+	err      error
+}
+
+// farmInflight is the coordinator's record of one running attempt.
+type farmInflight struct {
+	peer   PeerRef
+	cancel context.CancelFunc
+	spec   bool
+	start  time.Time
+}
+
+// FarmChunks streams chunks of work through the body on the given
+// peers, surviving peer failure: each chunk is one despatch carrying
+// the checkpoint state of everything committed so far, and a failed
+// attempt is re-despatched to the next-healthiest peer with that same
+// state, so the replay recomputes the chunk exactly and the committed
+// output stream equals an uninterrupted run's. Outputs of failed
+// attempts are discarded (counted as wasted work); a chunk commits only
+// when its attempt returned cleanly and produced one output per input —
+// or, under Quorum, when a majority of attempts agree on the result
+// digest. Every speculative or outvoted loser is cancelled remotely and
+// reaped before FarmChunks returns.
+func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*FarmReport, error) {
+	if opts.Body == nil {
+		return nil, fmt.Errorf("service: FarmChunks needs a Body")
+	}
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("service: FarmChunks needs at least one peer")
+	}
+	opts = opts.withFarmDefaults(s.res)
+	farmID := s.nextRunID.Add(1)
+	report := &FarmReport{PeerChunks: make(map[string]int)}
+	state := opts.InitialState
+
+	// losers reaps abandoned racing attempts: they are cancelled, keep
+	// running until the cancel lands, and must be accounted (waste,
+	// admission slots) before the farm returns.
+	var losers sync.WaitGroup
+	defer losers.Wait()
+
+	for c, chunk := range chunks {
+		got, newState, peerID, err := func() ([]types.Data, map[string][]byte, string, error) {
+			chunksInflight.Add(1)
+			defer chunksInflight.Add(-1)
+			if opts.Quorum > 1 {
+				return s.runChunkQuorum(ctx, chunk, state, farmID, c, opts, report, &losers)
+			}
+			return s.runChunkSpeculative(ctx, chunk, state, farmID, c, opts, report, &losers)
+		}()
+		if err != nil {
+			return report, err
+		}
+		report.Outputs = append(report.Outputs, got...)
+		if len(newState) > 0 {
+			state = newState
+		}
+		report.PeerChunks[peerID]++
+		chunksCommitted.Inc()
+		if opts.AfterChunk != nil {
+			opts.AfterChunk(c)
+		}
+	}
+	report.FinalState = state
+	return report, nil
+}
+
+// nextFarmPeer picks the best candidate not already working this chunk.
+// Usable (non-open-breaker) peers are tried in health rank order; a
+// half-open peer claims its single probe slot, and needsProbe marks the
+// ones whose last verdict was dead, so the launcher pings before
+// trusting them. With allowGated set and nothing usable, the best
+// open-breaker peer is forced — the attempt doubles as its probe.
+func (s *Service) nextFarmPeer(peers []PeerRef, busy map[string]bool, allowGated bool) (ref PeerRef, needsProbe, ok bool) {
+	byID := make(map[string]PeerRef, len(peers))
+	ids := make([]string, 0, len(peers))
+	for _, p := range peers {
+		byID[p.ID] = p
+		ids = append(ids, p.ID)
+	}
+	usable, gated := s.health.Rank(ids)
+	for _, id := range usable {
+		if busy[id] {
+			continue
+		}
+		if admitted, probe := s.health.Admit(id); admitted {
+			return byID[id], probe, true
+		}
+	}
+	if allowGated {
+		for _, id := range gated {
+			if busy[id] {
+				continue
+			}
+			return byID[id], false, true
+		}
+	}
+	return PeerRef{}, false, false
+}
+
+// probeFarmPeer pings a formerly-dead peer once before real work is
+// committed to it. A single unretried probe: the peer is either back or
+// it is not.
+func (s *Service) probeFarmPeer(peer PeerRef) error {
+	start := time.Now()
+	if _, err := s.host.RequestTimeout(peer.Addr, MethodPing, nil, nil, s.res.HeartbeatTimeout); err != nil {
+		s.health.ReportFailure(peer.ID)
+		return err
+	}
+	s.health.ReportSuccess(peer.ID, time.Since(start))
+	return nil
+}
+
+// stragglerThreshold derives the speculation trigger for an attempt on
+// the given peer: its observed p90 attempt latency scaled by
+// StragglerFactor once history exists, the SpeculateAfter fallback
+// before that.
+func (s *Service) stragglerThreshold(peerID string, opts FarmOptions) time.Duration {
+	if p90, ok := s.health.LatencyQuantile(peerID, 0.9); ok {
+		d := time.Duration(float64(p90) * opts.StragglerFactor)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	return opts.SpeculateAfter
+}
+
+// abandonRacers cancels every still-running attempt and hands their
+// accounting to a reaper goroutine: waste is tallied and admission
+// slots released as each loser drains, and the farm-level WaitGroup
+// holds FarmChunks open until all are reaped. specRace marks waste
+// caused by a speculative race (vs. a farm-level cancellation).
+func (s *Service) abandonRacers(inflight map[int]*farmInflight, results <-chan farmResult,
+	report *FarmReport, losers *sync.WaitGroup, specRace bool) {
+	if len(inflight) == 0 {
+		return
+	}
+	remaining := len(inflight)
+	for _, fl := range inflight {
+		fl.cancel()
+	}
+	losers.Add(1)
+	go func() {
+		defer losers.Done()
+		for i := 0; i < remaining; i++ {
+			r := <-results
+			s.admit.release()
+			n := int64(len(r.got))
+			atomic.AddInt64(&report.WastedOutputs, n)
+			s.resStats.WastedItems.Add(n)
+			if specRace {
+				atomic.AddInt64(&report.SpeculationWaste, n)
+				s.resStats.SpeculationWaste.Add(n)
+			}
+		}
+	}()
+}
+
+// runChunkSpeculative despatches one chunk with health-ranked failover
+// and optional speculative backups; it returns the winning attempt's
+// outputs, new checkpoint state and peer.
+func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
+	state map[string][]byte, farmID int64, c int, opts FarmOptions,
+	report *FarmReport, losers *sync.WaitGroup) ([]types.Data, map[string][]byte, string, error) {
+
+	// Buffered past the launch budget so attempt goroutines never block
+	// on delivery, even after the coordinator has moved on.
+	results := make(chan farmResult, opts.ChunkAttempts+opts.MaxSpeculative+2)
+	inflight := make(map[int]*farmInflight)
+	busy := make(map[string]bool)
+	attemptsUsed, launches, specLaunched, nextIdx := 0, 0, 0, 0
+
+	var straggler *time.Timer
+	var stragglerC <-chan time.Time
+	defer func() {
+		if straggler != nil {
+			straggler.Stop()
+		}
+	}()
+
+	// launchOne starts the chunk on the best admitted candidate. A
+	// formerly-dead peer is pinged first; a failed probe consumes an
+	// attempt and moves to the next candidate. Speculative launches are
+	// opportunistic: they skip (not fail) when no slot or peer is free.
+	launchOne := func(spec bool) (bool, error) {
+		for attemptsUsed < opts.ChunkAttempts {
+			peer, needsProbe, ok := s.nextFarmPeer(opts.Peers, busy, !spec)
+			if !ok {
+				return false, nil
+			}
+			if spec {
+				if !s.admit.tryAcquire() {
+					return false, nil
+				}
+			} else if err := s.admit.acquire(ctx, s.shutdown); err != nil {
+				return false, err
+			}
+			if needsProbe {
+				if err := s.probeFarmPeer(peer); err != nil {
+					s.admit.release()
+					attemptsUsed++
+					s.logf("service: farm %d chunk %d probe of %s failed: %v", farmID, c, peer.ID, err)
+					continue
+				}
+			}
+			idx := nextIdx
+			nextIdx++
+			attemptsUsed++
+			if !spec {
+				if launches > 0 {
+					report.Redespatches++
+					s.resStats.Redespatches.Inc()
+				}
+				launches++
+			}
+			actx, cancel := context.WithCancel(ctx)
+			fl := &farmInflight{peer: peer, cancel: cancel, spec: spec, start: time.Now()}
+			inflight[idx] = fl
+			busy[peer.ID] = true
+			go func() {
+				got, newState, err := s.farmAttempt(actx, fl.peer, chunk, state, farmID, c, idx, opts)
+				cancel()
+				results <- farmResult{idx: idx, got: got, newState: newState, err: err}
+			}()
+			if opts.Speculate {
+				if straggler != nil {
+					straggler.Stop()
+				}
+				straggler = time.NewTimer(s.stragglerThreshold(peer.ID, opts))
+				stragglerC = straggler.C
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+
+	for {
+		if len(inflight) == 0 {
+			launched, err := launchOne(false)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			if !launched {
+				return nil, nil, "", fmt.Errorf("service: farm chunk %d failed after %d attempts", c, attemptsUsed)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			s.abandonRacers(inflight, results, report, losers, false)
+			return nil, nil, "", ctx.Err()
+		case <-stragglerC:
+			stragglerC = nil
+			if specLaunched < opts.MaxSpeculative && len(inflight) > 0 {
+				launched, _ := launchOne(true)
+				if launched {
+					specLaunched++
+					report.SpeculationLaunches++
+					s.resStats.SpeculationLaunches.Inc()
+				}
+			}
+		case r := <-results:
+			fl := inflight[r.idx]
+			delete(inflight, r.idx)
+			delete(busy, fl.peer.ID)
+			s.admit.release()
+			if r.err == nil && len(r.got) == len(chunk) {
+				s.health.ReportSuccess(fl.peer.ID, time.Since(fl.start))
+				if fl.spec {
+					report.SpeculationWins++
+					s.resStats.SpeculationWins.Inc()
+				}
+				s.abandonRacers(inflight, results, report, losers, true)
+				return r.got, r.newState, fl.peer.ID, nil
+			}
+			s.health.ReportFailure(fl.peer.ID)
+			n := int64(len(r.got))
+			atomic.AddInt64(&report.WastedOutputs, n)
+			s.resStats.WastedItems.Add(n)
+			s.logf("service: farm %d chunk %d attempt %d on %s failed (%d/%d outputs): %v",
+				farmID, c, r.idx, fl.peer.ID, len(r.got), len(chunk), r.err)
+		}
+	}
+}
+
+// runChunkQuorum despatches one chunk to Quorum peers concurrently and
+// commits only a majority-agreed result digest. Fast failures are
+// replaced from the remaining candidates while the attempt budget
+// lasts; the vote happens once every launched attempt has resolved, so
+// the outcome is independent of arrival order. Peers whose digest loses
+// the vote take the byzantine penalty.
+func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
+	state map[string][]byte, farmID int64, c int, opts FarmOptions,
+	report *FarmReport, losers *sync.WaitGroup) ([]types.Data, map[string][]byte, string, error) {
+
+	k := opts.Quorum
+	majority := k/2 + 1
+	results := make(chan farmResult, opts.ChunkAttempts+k+2)
+	inflight := make(map[int]*farmInflight)
+	// busy excludes a chunk's in-flight AND already-successful peers
+	// from re-selection: one peer, one vote.
+	busy := make(map[string]bool)
+	attemptsUsed, nextIdx := 0, 0
+
+	type vote struct {
+		peer    PeerRef
+		got     []types.Data
+		state   map[string][]byte
+		digest  string
+		elapsed time.Duration
+	}
+	var successes []vote
+
+	launchOne := func() (bool, error) {
+		for attemptsUsed < opts.ChunkAttempts {
+			// Gated peers are forced only when the chunk would otherwise
+			// fail outright — never to top up a quorum.
+			allowGated := len(successes) == 0 && len(inflight) == 0
+			peer, needsProbe, ok := s.nextFarmPeer(opts.Peers, busy, allowGated)
+			if !ok {
+				return false, nil
+			}
+			if err := s.admit.acquire(ctx, s.shutdown); err != nil {
+				return false, err
+			}
+			if needsProbe {
+				if err := s.probeFarmPeer(peer); err != nil {
+					s.admit.release()
+					attemptsUsed++
+					continue
+				}
+			}
+			idx := nextIdx
+			nextIdx++
+			attemptsUsed++
+			if idx >= k {
+				report.Redespatches++
+				s.resStats.Redespatches.Inc()
+			}
+			actx, cancel := context.WithCancel(ctx)
+			fl := &farmInflight{peer: peer, cancel: cancel, start: time.Now()}
+			inflight[idx] = fl
+			busy[peer.ID] = true
+			go func() {
+				got, newState, err := s.farmAttempt(actx, fl.peer, chunk, state, farmID, c, idx, opts)
+				cancel()
+				results <- farmResult{idx: idx, got: got, newState: newState, err: err}
+			}()
+			return true, nil
+		}
+		return false, nil
+	}
+
+	for {
+		// Top up toward k concurrent votes while candidates and budget
+		// remain.
+		for len(successes)+len(inflight) < k {
+			launched, err := launchOne()
+			if err != nil {
+				s.abandonRacers(inflight, results, report, losers, false)
+				return nil, nil, "", err
+			}
+			if !launched {
+				break
+			}
+		}
+		if len(inflight) == 0 {
+			// Every launched attempt has resolved: vote.
+			counts := make(map[string]int)
+			for _, v := range successes {
+				counts[v.digest]++
+			}
+			bestDigest, best := "", 0
+			for d, n := range counts {
+				if n > best || (n == best && d < bestDigest) {
+					bestDigest, best = d, n
+				}
+			}
+			if best >= majority {
+				var winner *vote
+				for i := range successes {
+					v := &successes[i]
+					if v.digest == bestDigest {
+						s.health.ReportSuccess(v.peer.ID, v.elapsed)
+						if winner == nil {
+							winner = v
+							continue
+						}
+						// Agreeing duplicates are intentional redundancy,
+						// still discarded work.
+						n := int64(len(v.got))
+						atomic.AddInt64(&report.WastedOutputs, n)
+						s.resStats.WastedItems.Add(n)
+					} else {
+						s.health.ReportByzantine(v.peer.ID)
+						report.QuorumDisagreements++
+						s.resStats.QuorumDisagreements.Inc()
+						n := int64(len(v.got))
+						atomic.AddInt64(&report.WastedOutputs, n)
+						s.resStats.WastedItems.Add(n)
+						s.logf("service: farm %d chunk %d quorum: peer %s disagreed with majority",
+							farmID, c, v.peer.ID)
+					}
+				}
+				s.resStats.QuorumCommits.Inc()
+				return winner.got, winner.state, winner.peer.ID, nil
+			}
+			if attemptsUsed >= opts.ChunkAttempts || len(successes) == len(opts.Peers) {
+				return nil, nil, "", fmt.Errorf(
+					"service: farm chunk %d found no quorum of %d among %d results after %d attempts",
+					c, majority, len(successes), attemptsUsed)
+			}
+			// No majority yet but budget remains: discard this round and
+			// widen to fresh peers (the discarded successes keep their
+			// peers excluded — they already voted).
+			for _, v := range successes {
+				n := int64(len(v.got))
+				atomic.AddInt64(&report.WastedOutputs, n)
+				s.resStats.WastedItems.Add(n)
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			s.abandonRacers(inflight, results, report, losers, false)
+			return nil, nil, "", ctx.Err()
+		case r := <-results:
+			fl := inflight[r.idx]
+			delete(inflight, r.idx)
+			s.admit.release()
+			if r.err == nil && len(r.got) == len(chunk) {
+				digest, derr := resultDigest(r.got, r.newState)
+				if derr == nil {
+					successes = append(successes, vote{
+						peer: fl.peer, got: r.got, state: r.newState,
+						digest: digest, elapsed: time.Since(fl.start),
+					})
+					// Peer stays busy: it has voted.
+					continue
+				}
+				r.err = derr
+			}
+			delete(busy, fl.peer.ID)
+			s.health.ReportFailure(fl.peer.ID)
+			n := int64(len(r.got))
+			atomic.AddInt64(&report.WastedOutputs, n)
+			s.resStats.WastedItems.Add(n)
+			s.logf("service: farm %d chunk %d quorum attempt %d on %s failed (%d/%d outputs): %v",
+				farmID, c, r.idx, fl.peer.ID, len(r.got), len(chunk), r.err)
+		}
+	}
+}
+
+// farmAttempt runs one chunk on one peer: despatch with restored state,
+// stream the chunk in, collect outputs until the sink pipe closes, then
+// fetch the completion state. Every pipe label is scoped to the
+// (farm, chunk, attempt) triple so residue from a lost attempt can
+// never leak into a later one — racing speculative attempts of the same
+// chunk get distinct attempt indices and therefore disjoint pipes.
+func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.Data,
+	state map[string][]byte, farmID int64, c, a int, opts FarmOptions) ([]types.Data, map[string][]byte, error) {
+
+	attemptCtx, cancel := context.WithTimeout(ctx, opts.AttemptTimeout)
+	defer cancel()
+
+	// The failure detector starts before the despatch so a peer that
+	// dies during (or refuses) the handshake still earns its dead
+	// verdict, opening the breaker for future selection.
+	if opts.Heartbeat {
+		stop := s.StartPeerHeartbeat(peer, cancel)
+		defer stop()
+	}
+
+	prefix := fmt.Sprintf("farm/%s/%d/c%d/a%d", s.opts.PeerID, farmID, c, a)
+	pipe, _, err := s.host.OpenInput(prefix+"/out", len(chunk)+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pipe.Close()
+	pipe.ExpectEOFs(1)
+
+	job, err := s.despatchCtx(attemptCtx, RemotePart{
+		Peer:         peer,
+		Body:         opts.Body(),
+		InLabels:     []string{prefix + "/in"},
+		OutTargets:   []PipeTarget{{Label: prefix + "/out", Addr: s.Addr()}},
+		Iterations:   1,
+		Seed:         opts.Seed,
+		RestoreState: state,
+	}, opts.CodeAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out, err := s.host.BindOutput(job.InAds[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	// The stream checks the context between items so an abandoned
+	// attempt (racing sibling won, peer declared dead, timeout) stops
+	// feeding the loser promptly instead of pushing the whole chunk.
+	var sendErr error
+	for _, d := range chunk {
+		if attemptCtx.Err() != nil {
+			break
+		}
+		if sendErr = out.Send(d); sendErr != nil {
+			break
+		}
+	}
+	// Abandoned mid-stream: cancel the remote job before signalling
+	// end-of-stream — the worker must not mistake the truncated input
+	// for a short-but-complete chunk and commit a partial result as
+	// done. CancelRemote is a synchronous RPC, so the verdict lands
+	// before the EOF does.
+	cancelled := false
+	if attemptCtx.Err() != nil {
+		s.CancelRemote(job)
+		cancelled = true
+	}
+	out.Close()
+
+	// Collect until the remote signals EOF (pipe.C closes) or the
+	// attempt dies. A worker that vanishes breaks its output conn, which
+	// counts as its EOF, so this loop always terminates.
+	var got []types.Data
+collect:
+	for {
+		select {
+		case d, ok := <-pipe.C:
+			if !ok {
+				break collect
+			}
+			got = append(got, d)
+		case <-attemptCtx.Done():
+			break collect
+		}
+	}
+	if err := attemptCtx.Err(); err != nil {
+		// Abandoned attempt (timeout, dead verdict, or a racing sibling
+		// committed first): tell the peer to stop, best effort.
+		if !cancelled {
+			s.CancelRemote(job)
+		}
+		return got, nil, err
+	}
+	if sendErr != nil {
+		return got, nil, sendErr
+	}
+	_, newState, err := s.waitRemoteStateCtx(attemptCtx, job)
+	if err != nil {
+		return got, nil, err
+	}
+	return got, newState, nil
+}

@@ -26,6 +26,9 @@ var (
 	// outcome, labelled the Prometheus way.
 	heartbeatOK   = metrics.Default().Counter(metrics.Series("service_heartbeats_total", "result", "ok"))
 	heartbeatMiss = metrics.Default().Counter(metrics.Series("service_heartbeats_total", "result", "miss"))
+	// despatchInflight gauges despatch attempts currently holding an
+	// admission-control slot across every service in the process.
+	despatchInflight = metrics.Default().Gauge("service_despatch_inflight")
 )
 
 // registerResilience binds a service's per-instance resilience counters
@@ -37,4 +40,10 @@ func registerResilience(peerID string, st *metrics.ResilienceStats) {
 	reg.RegisterCounter(metrics.Series("service_heartbeat_misses_total", "peer", peerID), &st.HeartbeatMisses)
 	reg.RegisterCounter(metrics.Series("service_peers_declared_dead_total", "peer", peerID), &st.PeersDeclaredDead)
 	reg.RegisterCounter(metrics.Series("service_wasted_items_total", "peer", peerID), &st.WastedItems)
+	reg.RegisterCounter(metrics.Series("service_speculation_launched_total", "peer", peerID), &st.SpeculationLaunches)
+	reg.RegisterCounter(metrics.Series("service_speculation_wins_total", "peer", peerID), &st.SpeculationWins)
+	reg.RegisterCounter(metrics.Series("service_speculation_waste_total", "peer", peerID), &st.SpeculationWaste)
+	reg.RegisterCounter(metrics.Series("service_quorum_commits_total", "peer", peerID), &st.QuorumCommits)
+	reg.RegisterCounter(metrics.Series("service_quorum_disagreements_total", "peer", peerID), &st.QuorumDisagreements)
+	reg.RegisterCounter(metrics.Series("service_despatch_shed_total", "peer", peerID), &st.DespatchSheds)
 }

@@ -9,6 +9,8 @@ import (
 
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/policy"
+	"consumergrid/internal/simnet"
+	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/trace"
 )
 
@@ -160,6 +162,34 @@ func TestCloseReapsBackgroundGoroutines(t *testing.T) {
 		"GroupTask", badPlan, badPeers, DistOptions{Iterations: 2, Seed: 1}); err == nil {
 		t.Fatal("despatch to unreachable peer succeeded")
 	}
+
+	// Racing speculative attempts: a slow straggler loses to a backup
+	// mid-stream, so its attempt goroutine, sender, heartbeat detector
+	// and remote job all go through the abandoned-loser path. FarmChunks
+	// reaps the losers before returning; Close must find nothing extra.
+	n := simnet.New()
+	raceCtl := newService(t, n.Peer("leak-race-ctl"), "leak-race-ctl",
+		Options{Resilience: chaosResilience()})
+	raceW1 := newService(t, n.Peer("leak-race-w1"), "leak-race-w1", Options{})
+	raceW2 := newService(t, n.Peer("leak-race-w2"), "leak-race-w2", Options{})
+	n.SetLinkFaults("leak-race-w1", simnet.LinkFaults{Latency: 20 * time.Millisecond})
+	rep, err := raceCtl.FarmChunks(context.Background(), chaosChunks(1, 1, 8), FarmOptions{
+		Body:           func() *taskgraph.Graph { return accumBody(t) },
+		Peers:          []PeerRef{{ID: "leak-race-w1", Addr: raceW1.Addr()}, {ID: "leak-race-w2", Addr: raceW2.Addr()}},
+		Heartbeat:      true,
+		Speculate:      true,
+		SpeculateAfter: 100 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("racing farm failed: %v", err)
+	}
+	if rep.SpeculationLaunches == 0 {
+		t.Fatal("racing farm never speculated; the leak path was not exercised")
+	}
+	raceW2.Close()
+	raceW1.Close()
+	raceCtl.Close()
 
 	w1.Close()
 	ctl.Close()

@@ -1,0 +1,56 @@
+// Result digests for quorum voting. Two peers agree on a chunk iff
+// their (outputs, checkpoint-state) pairs hash to the same digest —
+// byte-level equality over the canonical wire encoding, so semantically
+// identical results always match and a single flipped payload byte
+// never does. Length-prefixed framing keeps the encoding injective:
+// no concatenation of fields can collide with a different split of the
+// same bytes.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"consumergrid/internal/types"
+)
+
+// resultDigest canonically hashes one attempt's committed result: each
+// output in order via the types wire encoding, then the checkpoint
+// state as sorted key/value frames. Unencodable data fails the digest —
+// such a result can never agree with anything and is treated as a
+// failed attempt by the quorum loop.
+func resultDigest(outs []types.Data, state map[string][]byte) (string, error) {
+	h := sha256.New()
+	var frame [8]byte
+
+	writeFrame := func(p []byte) {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(p)))
+		h.Write(frame[:])
+		h.Write(p)
+	}
+
+	binary.BigEndian.PutUint64(frame[:], uint64(len(outs)))
+	h.Write(frame[:])
+	for _, d := range outs {
+		p, err := types.Marshal(d)
+		if err != nil {
+			return "", err
+		}
+		writeFrame(p)
+	}
+
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	binary.BigEndian.PutUint64(frame[:], uint64(len(keys)))
+	h.Write(frame[:])
+	for _, k := range keys {
+		writeFrame([]byte(k))
+		writeFrame(state[k])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -26,8 +26,6 @@ import (
 
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/metrics"
-	"consumergrid/internal/taskgraph"
-	"consumergrid/internal/types"
 )
 
 // ResilienceOptions tunes retries, deadlines and failure detection for
@@ -188,204 +186,13 @@ func (s *Service) StartHeartbeat(addr string, onDead func()) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// --- chunked resilient farming ----------------------------------------------
-
-// FarmOptions configures FarmChunks.
-type FarmOptions struct {
-	// Body builds the group body to despatch — a fresh graph per
-	// attempt, with exactly one external input and one external output
-	// (the streamed farm shape).
-	Body func() *taskgraph.Graph
-	// Peers are the candidate workers, used round-robin; a failed chunk
-	// attempt moves to the next peer.
-	Peers []PeerRef
-	// CodeAddr is the module owner remote peers fetch from ("" disables).
-	CodeAddr string
-	// ChunkAttempts bounds despatch attempts per chunk (default
-	// 2×len(Peers), minimum MaxAttempts).
-	ChunkAttempts int
-	// AttemptTimeout bounds one chunk attempt end to end (default 30s).
-	AttemptTimeout time.Duration
-	// InitialState primes the first chunk's RestoreState (resuming an
-	// earlier farm).
-	InitialState map[string][]byte
-	// Heartbeat runs the failure detector against the attempt's peer,
-	// cancelling the attempt when the peer is declared dead.
-	Heartbeat bool
-	// Seed is passed to every despatched part.
-	Seed int64
-	// AfterChunk, if set, runs after each chunk commits — a test hook for
-	// injecting faults at deterministic points.
-	AfterChunk func(chunk int)
-}
-
-// FarmReport summarises a FarmChunks run.
-type FarmReport struct {
-	// Outputs are the committed sink outputs, in chunk order.
-	Outputs []types.Data
-	// FinalState is the checkpoint after the last chunk, despatchable as
-	// the next farm's InitialState.
-	FinalState map[string][]byte
-	// Redespatches counts chunk attempts beyond each chunk's first.
-	Redespatches int64
-	// WastedOutputs counts outputs discarded from failed attempts.
-	WastedOutputs int64
-	// PeerChunks maps peer ID to committed chunk count.
-	PeerChunks map[string]int
-}
-
-// FarmChunks streams chunks of work through the body on the given
-// peers, surviving peer failure: each chunk is one despatch carrying
-// the checkpoint state of everything committed so far, and a failed
-// attempt is re-despatched to the next peer with that same state, so
-// the replay recomputes the chunk exactly and the committed output
-// stream equals an uninterrupted run's. Outputs of failed attempts are
-// discarded (counted as wasted work); a chunk commits only when its
-// attempt returned cleanly and produced one output per input.
-func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*FarmReport, error) {
-	if opts.Body == nil {
-		return nil, fmt.Errorf("service: FarmChunks needs a Body")
-	}
-	if len(opts.Peers) == 0 {
-		return nil, fmt.Errorf("service: FarmChunks needs at least one peer")
-	}
-	if opts.ChunkAttempts <= 0 {
-		opts.ChunkAttempts = 2 * len(opts.Peers)
-		if opts.ChunkAttempts < s.res.MaxAttempts {
-			opts.ChunkAttempts = s.res.MaxAttempts
-		}
-	}
-	if opts.AttemptTimeout <= 0 {
-		opts.AttemptTimeout = 30 * time.Second
-	}
-	farmID := s.nextRunID.Add(1)
-	report := &FarmReport{PeerChunks: make(map[string]int)}
-	state := opts.InitialState
-	peerIdx := 0
-
-	for c, chunk := range chunks {
-		committed, err := func() (bool, error) {
-			chunksInflight.Add(1)
-			defer chunksInflight.Add(-1)
-			for a := 0; a < opts.ChunkAttempts; a++ {
-				if err := ctx.Err(); err != nil {
-					return false, err
-				}
-				if a > 0 {
-					report.Redespatches++
-					s.resStats.Redespatches.Inc()
-				}
-				peer := opts.Peers[peerIdx%len(opts.Peers)]
-				got, newState, err := s.farmAttempt(ctx, peer, chunk, state, farmID, c, a, opts)
-				if err != nil || len(got) != len(chunk) {
-					// Discard the partial attempt: its outputs are wasted work
-					// and the chunk replays elsewhere from the same checkpoint.
-					report.WastedOutputs += int64(len(got))
-					s.resStats.WastedItems.Add(int64(len(got)))
-					s.logf("service: farm %d chunk %d attempt %d on %s failed (%d/%d outputs): %v",
-						farmID, c, a, peer.ID, len(got), len(chunk), err)
-					peerIdx++ // re-despatch to the next peer
-					continue
-				}
-				report.Outputs = append(report.Outputs, got...)
-				if len(newState) > 0 {
-					state = newState
-				}
-				report.PeerChunks[peer.ID]++
-				chunksCommitted.Inc()
-				return true, nil
-			}
-			return false, nil
-		}()
-		if err != nil {
-			return report, err
-		}
-		if !committed {
-			return report, fmt.Errorf("service: farm chunk %d failed after %d attempts", c, opts.ChunkAttempts)
-		}
-		if opts.AfterChunk != nil {
-			opts.AfterChunk(c)
-		}
-	}
-	report.FinalState = state
-	return report, nil
-}
-
-// farmAttempt runs one chunk on one peer: despatch with restored state,
-// stream the chunk in, collect outputs until the sink pipe closes, then
-// fetch the completion state. Every pipe label is scoped to the
-// (farm, chunk, attempt) triple so residue from a lost attempt can
-// never leak into a later one.
-func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.Data,
-	state map[string][]byte, farmID int64, c, a int, opts FarmOptions) ([]types.Data, map[string][]byte, error) {
-
-	attemptCtx, cancel := context.WithTimeout(ctx, opts.AttemptTimeout)
-	defer cancel()
-
-	prefix := fmt.Sprintf("farm/%s/%d/c%d/a%d", s.opts.PeerID, farmID, c, a)
-	pipe, _, err := s.host.OpenInput(prefix+"/out", len(chunk)+1)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer pipe.Close()
-	pipe.ExpectEOFs(1)
-
-	job, err := s.despatchCtx(attemptCtx, RemotePart{
-		Peer:         peer,
-		Body:         opts.Body(),
-		InLabels:     []string{prefix + "/in"},
-		OutTargets:   []PipeTarget{{Label: prefix + "/out", Addr: s.Addr()}},
-		Iterations:   1,
-		Seed:         opts.Seed,
-		RestoreState: state,
-	}, opts.CodeAddr)
-	if err != nil {
-		return nil, nil, err
-	}
-	if opts.Heartbeat {
-		stop := s.StartHeartbeat(peer.Addr, cancel)
-		defer stop()
-	}
-
-	out, err := s.host.BindOutput(job.InAds[0])
-	if err != nil {
-		return nil, nil, err
-	}
-	var sendErr error
-	for _, d := range chunk {
-		if sendErr = out.Send(d); sendErr != nil {
-			break
-		}
-	}
-	out.Close()
-
-	// Collect until the remote signals EOF (pipe.C closes) or the
-	// attempt dies. A worker that vanishes breaks its output conn, which
-	// counts as its EOF, so this loop always terminates.
-	var got []types.Data
-collect:
-	for {
-		select {
-		case d, ok := <-pipe.C:
-			if !ok {
-				break collect
-			}
-			got = append(got, d)
-		case <-attemptCtx.Done():
-			break collect
-		}
-	}
-	if sendErr != nil {
-		return got, nil, sendErr
-	}
-	if err := attemptCtx.Err(); err != nil {
-		// Abandoned attempt: tell the peer to stop, best effort.
-		s.CancelRemote(job)
-		return got, nil, err
-	}
-	_, newState, err := s.waitRemoteStateCtx(attemptCtx, job)
-	if err != nil {
-		return got, nil, err
-	}
-	return got, newState, nil
+// StartPeerHeartbeat runs the failure detector against a known peer and
+// feeds the dead verdict into the health tracker before invoking
+// onDead, so a heartbeat-declared-dead peer's breaker opens and
+// selection skips it until a successful probe.
+func (s *Service) StartPeerHeartbeat(peer PeerRef, onDead func()) (stop func()) {
+	return s.StartHeartbeat(peer.Addr, func() {
+		s.health.ReportDead(peer.ID)
+		onDead()
+	})
 }

@@ -28,6 +28,7 @@ import (
 	"consumergrid/internal/discovery"
 	"consumergrid/internal/engine"
 	"consumergrid/internal/gateway"
+	"consumergrid/internal/health"
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/mcode"
 	"consumergrid/internal/metrics"
@@ -83,6 +84,16 @@ type Options struct {
 	// Resilience tunes outbound retry, deadline and heartbeat behaviour;
 	// zero values select defaults (see ResilienceOptions).
 	Resilience ResilienceOptions
+	// Health tunes the peer-health tracker (EWMA scoring + circuit
+	// breakers) that orders farm and despatch candidates; zero values
+	// select defaults (see health.Options). Owner and Registry are set
+	// by the service.
+	Health health.Options
+	// MaxInflightDespatches bounds concurrent outbound despatch attempts
+	// (default 64). ShedDespatchOverload selects shed-with-typed-error
+	// backpressure instead of blocking when the budget is exhausted.
+	MaxInflightDespatches int
+	ShedDespatchOverload  bool
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +114,8 @@ type Service struct {
 
 	res      ResilienceOptions // normalized copy of opts.Resilience
 	resStats metrics.ResilienceStats
+	health   *health.Tracker // live peer scores + circuit breakers
+	admit    *admission      // bounded in-flight despatch budget
 
 	tracer *trace.Recorder // span recorder for despatch lifecycles
 
@@ -162,6 +175,11 @@ func New(opts Options) (*Service, error) {
 		shutdown: make(chan struct{}),
 	}
 	registerResilience(opts.PeerID, &s.resStats)
+	healthOpts := opts.Health
+	healthOpts.Owner = opts.PeerID
+	s.health = health.New(healthOpts)
+	s.admit = newAdmission(opts.MaxInflightDespatches, opts.ShedDespatchOverload,
+		s.resStats.DespatchSheds.Inc)
 	if len(opts.Certified) > 0 {
 		s.certified = make(map[string]bool, len(opts.Certified))
 		for _, u := range opts.Certified {
@@ -188,6 +206,12 @@ func New(opts Options) (*Service, error) {
 
 // Host exposes the peer's pipe host.
 func (s *Service) Host() *jxtaserve.Host { return s.host }
+
+// Health exposes the live peer-health tracker: EWMA scores, latency
+// quantiles and circuit breakers for every peer this service has
+// despatched to. It satisfies policy.Scorer, so planners can order
+// candidates by it.
+func (s *Service) Health() *health.Tracker { return s.health }
 
 // Discovery exposes the peer's discovery agent.
 func (s *Service) Discovery() *discovery.Node { return s.disc }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"consumergrid/internal/churn"
+	"consumergrid/internal/jxtaserve"
 )
 
 // LinkFaults is one link's fault profile. A link is named by the dialled
@@ -39,6 +40,16 @@ type LinkFaults struct {
 	Latency time.Duration
 	// Jitter adds a uniform random [0, Jitter) on top of Latency.
 	Jitter time.Duration
+	// CorruptEvery corrupts every n-th pipe.data payload on the link
+	// (deterministic; 0 disables) — the byzantine-peer model: frames
+	// still flow, their contents silently lie. Only pipe.data frames
+	// are touched; control traffic stays intact so the corrupted result
+	// is delivered and committed rather than erroring out, which is
+	// exactly the failure a result quorum must catch.
+	CorruptEvery int64
+	// CorruptProb corrupts each pipe.data payload with this probability
+	// (seeded RNG; see FaultSeed). Counted independently of CorruptEvery.
+	CorruptProb float64
 }
 
 // faultRNG is the seeded randomness behind DropProb and Jitter. Each
@@ -147,14 +158,17 @@ func (e *PartitionError) Error() string {
 }
 
 // applyFaults runs one Send through the link's fault profile: delay,
-// then the drop decision. On a drop the connection is closed (both ends
-// observe ErrClosed) and a DropError is returned.
-func (n *Network) applyFaults(c *conn) error {
+// the drop decision, then payload corruption. On a drop the connection
+// is closed (both ends observe ErrClosed) and a DropError is returned.
+// The returned message is the one to put on the wire — the original, or
+// a corrupted copy (the caller's message is never mutated in place,
+// since senders may retain or pool their buffers).
+func (n *Network) applyFaults(c *conn, m *jxtaserve.Message) (*jxtaserve.Message, error) {
 	n.mu.Lock()
 	key, cfg, ok := n.resolveFaultsLocked(c.meta)
 	if !ok {
 		n.mu.Unlock()
-		return nil
+		return m, nil
 	}
 	// Per-link send counter: the deterministic DropEvery clock. The
 	// counter is keyed by the *resolved* profile key plus the link
@@ -172,10 +186,22 @@ func (n *Network) applyFaults(c *conn) error {
 	}
 	*ctr++
 	count := *ctr
+	// The corruption clock ticks only on pipe.data frames, so
+	// CorruptEvery counts payloads, not protocol chatter.
+	var dataCount int64
+	if m.Kind == jxtaserve.KindPipeData && (cfg.CorruptEvery > 0 || cfg.CorruptProb > 0) {
+		dctr := n.links[counterKey+"#data"]
+		if dctr == nil {
+			dctr = new(int64)
+			n.links[counterKey+"#data"] = dctr
+		}
+		*dctr++
+		dataCount = *dctr
+	}
 	n.mu.Unlock()
 
 	var lrng *linkRNG
-	if cfg.Jitter > 0 || cfg.DropProb > 0 {
+	if cfg.Jitter > 0 || cfg.DropProb > 0 || cfg.CorruptProb > 0 {
 		lrng = n.rng.forLink(counterKey)
 	}
 	if cfg.Latency > 0 || cfg.Jitter > 0 {
@@ -192,9 +218,30 @@ func (n *Network) applyFaults(c *conn) error {
 	if drop {
 		n.dropped.Add(1)
 		c.Close()
-		return &DropError{Link: counterKey}
+		return m, &DropError{Link: counterKey}
 	}
-	return nil
+	if dataCount > 0 && len(m.Payload) > 0 {
+		corrupt := cfg.CorruptEvery > 0 && dataCount%cfg.CorruptEvery == 0
+		if !corrupt && cfg.CorruptProb > 0 && lrng.float() < cfg.CorruptProb {
+			corrupt = true
+		}
+		if corrupt {
+			n.corrupted.Add(1)
+			m = corruptMessage(m)
+		}
+	}
+	return m, nil
+}
+
+// corruptMessage returns a copy of the message with the payload's tail
+// byte flipped — the smallest byzantine lie: a frame that still decodes
+// as plausible data (the tail of a numeric payload is value bytes, not
+// framing) yet yields a different result digest at the controller.
+func corruptMessage(m *jxtaserve.Message) *jxtaserve.Message {
+	p := make([]byte, len(m.Payload))
+	copy(p, m.Payload)
+	p[len(p)-1] ^= 0xff
+	return &jxtaserve.Message{Kind: m.Kind, Headers: m.Headers, Payload: p}
 }
 
 // --- peer kill / restart ----------------------------------------------------

@@ -27,9 +27,10 @@ type Network struct {
 	// Latency is applied on every Send; zero disables the delay.
 	Latency time.Duration
 
-	messages atomic.Int64
-	bytes    atomic.Int64
-	dropped  atomic.Int64
+	messages  atomic.Int64
+	bytes     atomic.Int64
+	dropped   atomic.Int64
+	corrupted atomic.Int64
 
 	mu     sync.Mutex
 	cut    map[string]bool   // addresses whose links are severed
@@ -85,11 +86,16 @@ func (n *Network) Bytes() int64 { return n.bytes.Load() }
 // Dropped reports messages lost to injected link faults.
 func (n *Network) Dropped() int64 { return n.dropped.Load() }
 
+// Corrupted reports pipe.data payloads silently corrupted by injected
+// byzantine faults.
+func (n *Network) Corrupted() int64 { return n.corrupted.Load() }
+
 // ResetCounters zeroes the accounting, e.g. between experiment phases.
 func (n *Network) ResetCounters() {
 	n.messages.Store(0)
 	n.bytes.Store(0)
 	n.dropped.Store(0)
+	n.corrupted.Store(0)
 }
 
 // Cut severs the link to an address: subsequent dials fail, modelling a
@@ -247,7 +253,8 @@ func (c *conn) Send(m *jxtaserve.Message) error {
 	if c.net.Latency > 0 {
 		time.Sleep(c.net.Latency)
 	}
-	if err := c.net.applyFaults(c); err != nil {
+	m, err := c.net.applyFaults(c, m)
+	if err != nil {
 		return err
 	}
 	c.net.messages.Add(1)

@@ -70,6 +70,7 @@ func Handler(svc *service.Service) http.Handler {
 		header(&b, "Resilience on "+svc.PeerID())
 		b.WriteString(`<meta http-equiv="refresh" content="2">`)
 		resilienceTable(&b, svc)
+		healthTable(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
 	})
@@ -137,9 +138,43 @@ func resilienceTable(b *strings.Builder, svc *service.Service) {
 		{"heartbeat misses", snap.HeartbeatMisses},
 		{"peers declared dead", snap.PeersDeclaredDead},
 		{"wasted outputs", snap.WastedItems},
+		{"speculative launches", snap.SpeculationLaunches},
+		{"speculation wins", snap.SpeculationWins},
+		{"speculation waste", snap.SpeculationWaste},
+		{"quorum commits", snap.QuorumCommits},
+		{"quorum disagreements", snap.QuorumDisagreements},
+		{"despatches shed", snap.DespatchSheds},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)
+	}
+	b.WriteString("</table>")
+}
+
+// healthTable renders the live per-peer health view: EWMA success
+// score, breaker state and observed latency quantiles for every peer
+// this service has worked with.
+func healthTable(b *strings.Builder, svc *service.Service) {
+	peers := svc.Health().Snapshot()
+	b.WriteString("<h2>peer health</h2>")
+	if len(peers) == 0 {
+		b.WriteString("<p>no peers observed yet</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>peer</th><th>breaker</th><th>score</th>" +
+		"<th>p50</th><th>p90</th><th>flags</th></tr>")
+	for _, p := range peers {
+		var flags []string
+		if p.Dead {
+			flags = append(flags, "dead")
+		}
+		if p.Suspect {
+			flags = append(flags, "suspect")
+		}
+		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%s</td><td>%.3f</td>"+
+			"<td>%v</td><td>%v</td><td>%s</td></tr>",
+			html.EscapeString(p.Peer), p.State, p.Score, p.P50, p.P90,
+			html.EscapeString(strings.Join(flags, " ")))
 	}
 	b.WriteString("</table>")
 }

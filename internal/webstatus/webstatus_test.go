@@ -99,6 +99,20 @@ func TestStatusPages(t *testing.T) {
 		t.Errorf("billing page missing requester: %s", billing)
 	}
 
+	// The controller observed the worker during the run, so its
+	// resilience page lists the new counters and a live health row.
+	ctlSrv := httptest.NewServer(Handler(ctl))
+	defer ctlSrv.Close()
+	res := get(t, ctlSrv, "/resilience")
+	for _, want := range []string{
+		"speculative launches", "quorum disagreements", "despatches shed",
+		"peer health", "web-worker", "closed",
+	} {
+		if !strings.Contains(res, want) {
+			t.Errorf("resilience page missing %q", want)
+		}
+	}
+
 	// Unknown paths 404.
 	resp, err := http.Get(srv.URL + "/nope")
 	if err != nil {
