@@ -140,6 +140,11 @@ type farmResult struct {
 	err      error
 }
 
+// stragglerRetry is how soon a fired-but-skipped straggler timer is
+// re-armed: the speculative launch was blocked (no admission slot, no
+// free peer), not rejected, so the detector keeps watching.
+const stragglerRetry = 25 * time.Millisecond
+
 // farmInflight is the coordinator's record of one running attempt.
 type farmInflight struct {
 	peer   PeerRef
@@ -165,6 +170,13 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 	}
 	if len(opts.Peers) == 0 {
 		return nil, fmt.Errorf("service: FarmChunks needs at least one peer")
+	}
+	if opts.Quorum > len(opts.Peers) {
+		// One peer, one vote: a majority of Quorum/2+1 distinct voters can
+		// never form, so reject the configuration up front instead of
+		// burning every chunk's attempt budget discovering it.
+		return nil, fmt.Errorf("service: FarmChunks Quorum %d exceeds %d peers — majority unreachable",
+			opts.Quorum, len(opts.Peers))
 	}
 	opts = opts.withFarmDefaults(s.res)
 	farmID := s.nextRunID.Add(1)
@@ -395,6 +407,12 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 					specLaunched++
 					report.SpeculationLaunches++
 					s.resStats.SpeculationLaunches.Inc()
+				} else if attemptsUsed < opts.ChunkAttempts {
+					// Skipped, not spent: no admission slot or free peer
+					// right now. Re-arm shortly — a slot or a half-open
+					// peer may free while the straggler is still running.
+					straggler.Reset(stragglerRetry)
+					stragglerC = straggler.C
 				}
 			}
 		case r := <-results:
@@ -425,8 +443,13 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 // commits only a majority-agreed result digest. Fast failures are
 // replaced from the remaining candidates while the attempt budget
 // lasts; the vote happens once every launched attempt has resolved, so
-// the outcome is independent of arrival order. Peers whose digest loses
-// the vote take the byzantine penalty.
+// the outcome is independent of arrival order. An inconclusive vote
+// (all attempts resolved, no digest at majority) widens the electorate
+// by one fresh voter per pass — prior ballots stay live, so an honest
+// early voter can still anchor the eventual majority — and ends the
+// chunk when neither budget nor candidates remain. Peers whose digest
+// loses the vote, or blocks a terminal one, take the byzantine penalty;
+// wasted outputs are tallied exactly once, at commit or final failure.
 func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 	state map[string][]byte, farmID int64, c int, opts FarmOptions,
 	report *FarmReport, losers *sync.WaitGroup) ([]types.Data, map[string][]byte, string, error) {
@@ -543,20 +566,38 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 				s.resStats.QuorumCommits.Inc()
 				return winner.got, winner.state, winner.peer.ID, nil
 			}
-			if attemptsUsed >= opts.ChunkAttempts || len(successes) == len(opts.Peers) {
-				return nil, nil, "", fmt.Errorf(
-					"service: farm chunk %d found no quorum of %d among %d results after %d attempts",
-					c, majority, len(successes), attemptsUsed)
+			// Inconclusive vote. While budget remains, widen the
+			// electorate by one fresh voter — existing votes stay live
+			// (they may yet join a majority), and their peers stay busy,
+			// so every pass either adds a voter or ends the chunk.
+			if attemptsUsed < opts.ChunkAttempts {
+				launched, err := launchOne()
+				if err != nil {
+					return nil, nil, "", err
+				}
+				if launched {
+					continue
+				}
 			}
-			// No majority yet but budget remains: discard this round and
-			// widen to fresh peers (the discarded successes keep their
-			// peers excluded — they already voted).
+			// Terminal: no budget or no fresh candidate. The voters
+			// outside the plurality kept quorum from forming — they take
+			// the byzantine penalty exactly as a committed round's
+			// minority would, and every ballot's outputs are waste.
 			for _, v := range successes {
 				n := int64(len(v.got))
 				atomic.AddInt64(&report.WastedOutputs, n)
 				s.resStats.WastedItems.Add(n)
+				if v.digest != bestDigest {
+					s.health.ReportByzantine(v.peer.ID)
+					report.QuorumDisagreements++
+					s.resStats.QuorumDisagreements.Inc()
+					s.logf("service: farm %d chunk %d quorum: peer %s blocked quorum with minority digest",
+						farmID, c, v.peer.ID)
+				}
 			}
-			continue
+			return nil, nil, "", fmt.Errorf(
+				"service: farm chunk %d found no quorum of %d among %d results after %d attempts",
+				c, majority, len(successes), attemptsUsed)
 		}
 		select {
 		case <-ctx.Done():

@@ -346,9 +346,10 @@ func TestFarmShedsOverBudget(t *testing.T) {
 	}
 }
 
-// TestQuorumInsufficientAgreement: with only one live peer and Quorum:3
-// no majority can form among distinct voters, so the chunk must fail
-// with a quorum error rather than committing a single unverified result.
+// TestQuorumInsufficientAgreement: with only one peer and Quorum:3 a
+// majority of distinct voters is unreachable (one peer, one vote), so
+// FarmChunks rejects the configuration up front — no despatches burned
+// discovering the impossibility chunk by chunk.
 func TestQuorumInsufficientAgreement(t *testing.T) {
 	tr := simnet.New()
 	ctl := newService(t, tr.Peer("qi-ctl"), "qi-ctl", Options{Resilience: chaosResilience()})
@@ -362,6 +363,178 @@ func TestQuorumInsufficientAgreement(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("single-peer Quorum:3 farm committed without a majority")
+	}
+	if got := w.Jobs(); len(got) != 0 {
+		t.Errorf("impossible quorum config still despatched %d jobs", len(got))
+	}
+}
+
+// TestQuorumSplitVoteWidensAndCommits is the regression for the
+// split-vote livelock: with Quorum:3 and two byzantine peers whose
+// corruptions differ, the first round's three ballots split 1-1-1 with
+// no digest at majority. The coordinator must widen the electorate to
+// the fourth (honest) peer — keeping the honest first ballot live so
+// the pair forms the majority — rather than re-voting the same
+// deadlocked round forever.
+func TestQuorumSplitVoteWidensAndCommits(t *testing.T) {
+	const nChunks, perChunk = 2, 4
+	chunks := chaosChunks(chaosSeed, nChunks, perChunk)
+
+	refNet := simnet.New()
+	refCtl, refPeers := quorumNet(t, refNet, "svref-", health.Options{})
+	want := runChaosFarm(t, refCtl, refPeers, chunks, FarmOptions{})
+
+	n := simnet.New()
+	ctl, peers := quorumNet(t, n, "sv-", health.Options{})
+	// sv-w2 and sv-w3 lie at different cadences, so their digests
+	// disagree with the honest result AND with each other: the first
+	// round (sv-w1..w3 in rank order) is a guaranteed three-way split.
+	n.SetLinkFaults("sv-w2", simnet.LinkFaults{CorruptEvery: 1})
+	n.SetLinkFaults("sv-w3", simnet.LinkFaults{CorruptEvery: 2})
+
+	type outcome struct {
+		rep *FarmReport
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := ctl.FarmChunks(context.Background(), chunks, FarmOptions{
+			Body:           func() *taskgraph.Graph { return accumBody(t) },
+			Peers:          peers,
+			Quorum:         3,
+			AttemptTimeout: 10 * time.Second,
+		})
+		done <- outcome{rep, err}
+	}()
+	var res outcome
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("split-vote quorum farm hung (livelock regression)")
+	}
+	if res.err != nil {
+		t.Fatalf("split-vote farm failed: %v (report: %+v)", res.err, res.rep)
+	}
+	rep := res.rep
+	assertSameOutputs(t, rep.Outputs, want.Outputs)
+	if rep.PeerChunks["sv-w2"] != 0 || rep.PeerChunks["sv-w3"] != 0 {
+		t.Errorf("byzantine peer committed a chunk: %v", rep.PeerChunks)
+	}
+	// Chunk 0's split round must have contributed BOTH byzantine ballots
+	// (only a widened electorate votes them down together); a
+	// non-widened commit would log at most one disagreement per chunk.
+	if rep.QuorumDisagreements < 3 {
+		t.Errorf("quorum disagreements = %d, want >= 3 (split round not widened?)",
+			rep.QuorumDisagreements)
+	}
+	t.Logf("disagreements=%d redespatches=%d wasted=%d peers=%v",
+		rep.QuorumDisagreements, rep.Redespatches, rep.WastedOutputs, rep.PeerChunks)
+	// Waste is tallied exactly once per losing ballot, at commit time —
+	// never re-counted per vote pass. Each chunk has at most 3 losing
+	// ballots (two byzantine, one agreeing duplicate) of perChunk
+	// outputs each.
+	if max := int64(nChunks * 3 * perChunk); rep.WastedOutputs > max {
+		t.Errorf("wasted outputs = %d, want <= %d (waste double-counted across vote passes?)",
+			rep.WastedOutputs, max)
+	}
+}
+
+// TestQuorumTerminalSplitFailsAndPenalizes: three voters, three
+// distinct digests, and no fresh candidate to widen with — the vote is
+// terminal. The chunk must fail promptly with the no-quorum error (not
+// spin re-voting), and the voters outside the plurality take the
+// byzantine penalty so a peer that repeatedly blocks quorum loses its
+// selection rank instead of staying pristine.
+func TestQuorumTerminalSplitFailsAndPenalizes(t *testing.T) {
+	n := simnet.New()
+	ctl := newService(t, n.Peer("ts-ctl"), "ts-ctl", Options{Resilience: chaosResilience()})
+	var peers []PeerRef
+	for _, label := range []string{"ts-w1", "ts-w2", "ts-w3"} {
+		w := newService(t, n.Peer(label), label, Options{})
+		peers = append(peers, PeerRef{ID: label, Addr: w.Addr()})
+	}
+	// All three corrupt at different cadences: three ballots, three
+	// digests, majority of 2 unreachable.
+	n.SetLinkFaults("ts-w1", simnet.LinkFaults{CorruptEvery: 1})
+	n.SetLinkFaults("ts-w2", simnet.LinkFaults{CorruptEvery: 2})
+	n.SetLinkFaults("ts-w3", simnet.LinkFaults{CorruptEvery: 3})
+
+	type outcome struct {
+		rep *FarmReport
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := ctl.FarmChunks(context.Background(), chaosChunks(chaosSeed, 1, 6), FarmOptions{
+			Body:           func() *taskgraph.Graph { return accumBody(t) },
+			Peers:          peers,
+			Quorum:         3,
+			AttemptTimeout: 10 * time.Second,
+		})
+		done <- outcome{rep, err}
+	}()
+	var res outcome
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("terminal split-vote farm hung (livelock regression)")
+	}
+	if res.err == nil {
+		t.Fatal("three-way split committed a chunk without a majority")
+	}
+	// Exactly the two non-plurality voters are penalized, and the
+	// registry counter tracks the report.
+	if res.rep.QuorumDisagreements != 2 {
+		t.Errorf("quorum disagreements = %d, want 2", res.rep.QuorumDisagreements)
+	}
+	if snap := ctl.Resilience().Snapshot(); snap.QuorumDisagreements != res.rep.QuorumDisagreements {
+		t.Errorf("registry disagreements = %d, report = %d", snap.QuorumDisagreements, res.rep.QuorumDisagreements)
+	}
+	penalized := 0
+	for _, id := range []string{"ts-w1", "ts-w2", "ts-w3"} {
+		if ctl.Health().Score(id) < 1 {
+			penalized++
+		}
+	}
+	if penalized < 2 {
+		t.Errorf("only %d quorum-blocking peers lost health score, want >= 2", penalized)
+	}
+}
+
+// TestStragglerRearmsAfterSkippedSpeculation: when the straggler timer
+// fires while no backup peer is admissible (the only alternative's
+// breaker is still open), the detector must keep watching instead of
+// giving up for the rest of the chunk — once the breaker half-opens
+// moments later, the re-armed timer probes the peer and launches the
+// backup, which beats the crawling primary.
+func TestStragglerRearmsAfterSkippedSpeculation(t *testing.T) {
+	n := simnet.New()
+	ctl := newService(t, n.Peer("ra-ctl"), "ra-ctl", Options{
+		Resilience: chaosResilience(),
+		Health:     health.Options{OpenTimeout: 60 * time.Millisecond},
+	})
+	w1 := newService(t, n.Peer("ra-w1"), "ra-w1", Options{})
+	w2 := newService(t, n.Peer("ra-w2"), "ra-w2", Options{})
+	peers := []PeerRef{
+		{ID: "ra-w1", Addr: w1.Addr()},
+		{ID: "ra-w2", Addr: w2.Addr()},
+	}
+	// The primary lands on crawling ra-w1 (ra-w2's breaker is open when
+	// the chunk starts, and speculation never forces gated peers). The
+	// straggler fires at 50ms into a multi-hundred-ms attempt, skips,
+	// and must re-arm until ra-w2 half-opens at 60ms.
+	n.SetLinkFaults("ra-w1", simnet.LinkFaults{Latency: 30 * time.Millisecond})
+	ctl.Health().ReportDead("ra-w2")
+
+	rep := runChaosFarm(t, ctl, peers, chaosChunks(chaosSeed, 1, 10), FarmOptions{
+		Speculate:      true,
+		SpeculateAfter: 50 * time.Millisecond,
+	})
+	if rep.SpeculationLaunches < 1 || rep.SpeculationWins < 1 {
+		t.Fatalf("skipped speculation never retried: %+v", rep)
+	}
+	if rep.PeerChunks["ra-w2"] != 1 {
+		t.Fatalf("backup on the revived peer did not win: %+v", rep.PeerChunks)
 	}
 }
 
