@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke
 
 build:
 	go build ./...
@@ -44,3 +44,10 @@ metrics-smoke:
 # the metrics registry. Seeds are fixed, so a failure is reproducible.
 chaos-smoke:
 	go test ./internal/service/ -run 'TestChaos|TestFarmSkipsDeclaredDeadPeer|TestSpeculationWinsAndCancelsLoser' -count=1 -v
+
+# Discovery-overlay chaos: seeded simnet with 3 super-peers (R=2), one
+# killed mid-run. Asserts every advert published before the kill stays
+# discoverable, failover pushes reach subscribers, and anti-entropy
+# repairs a healed partition. Deterministic seeds.
+overlay-smoke:
+	go test ./internal/overlay/ -run 'TestChaosSuperPeerFailover|TestAntiEntropyRepairsPartition|TestPublishAndQueryMessageCost' -count=1 -v

@@ -1,0 +1,37 @@
+package consumergrid_test
+
+import (
+	"testing"
+
+	"consumergrid/internal/experiments"
+)
+
+// benchDiscover runs one T6 scale trial per iteration and reports the
+// costs that matter for discovery at consumer-grid scale: messages on
+// the wire per publish and per query, and the p90 query latency. The
+// custom units land in the benchreg snapshot's "extra" map, so the
+// overlay-vs-flood gap is tracked across PRs like ns/op.
+func benchDiscover(b *testing.B, strategy string) {
+	const peers, queries = 1000, 10
+	b.ReportAllocs()
+	var publish, msgs, p90 float64
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.DiscoveryScaleTrial(strategy, peers, queries, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pt.Found {
+			b.Fatalf("%s lost the target advert at %d peers", strategy, peers)
+		}
+		publish += pt.MsgsPerPublish
+		msgs += pt.MsgsPerQuery
+		p90 += float64(pt.P90Query.Nanoseconds())
+	}
+	n := float64(b.N)
+	b.ReportMetric(publish/n, "msgs/publish")
+	b.ReportMetric(msgs/n, "msgs/query")
+	b.ReportMetric(p90/n, "p90-query-ns")
+}
+
+func BenchmarkDiscoverFlood(b *testing.B)   { benchDiscover(b, "flood") }
+func BenchmarkDiscoverOverlay(b *testing.B) { benchDiscover(b, "overlay") }

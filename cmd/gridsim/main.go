@@ -1,6 +1,6 @@
 // Command gridsim regenerates the paper's figures and tables: every
 // experiment in DESIGN.md's index (F1-F3 figures, E1-E3 application
-// scenarios, T1-T5 tables, A1-A2 ablations) prints its rows plus a shape
+// scenarios, T1-T6 tables, A1-A3 ablations) prints its rows plus a shape
 // verdict — whether the qualitative claim the paper makes held in this
 // run. EXPERIMENTS.md records a reference output.
 //

@@ -27,10 +27,12 @@ import (
 	"strings"
 	"time"
 
+	"consumergrid/internal/advert"
 	"consumergrid/internal/controller"
 	"consumergrid/internal/core"
 	"consumergrid/internal/discovery"
 	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/overlay"
 	"consumergrid/internal/service"
 	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/types"
@@ -72,6 +74,8 @@ func main() {
 		err = cmdMetrics(args)
 	case "traces":
 		err = cmdTraces(args)
+	case "overlay":
+		err = cmdOverlay(args)
 	case "run":
 		err = cmdRun(args)
 	case "export":
@@ -86,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|run|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|overlay|run|export} [flags]")
 }
 
 func cmdUnits(args []string) error {
@@ -157,35 +161,48 @@ func cmdValidate(args []string) error {
 	return nil
 }
 
-// newControlPeer builds the controller's own service over TCP, attached
-// to the given rendezvous addresses.
-func newControlPeer(rendezvous string) (*service.Service, error) {
-	var rdvAddrs []string
-	for _, a := range strings.Split(rendezvous, ",") {
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
 		if a = strings.TrimSpace(a); a != "" {
-			rdvAddrs = append(rdvAddrs, a)
+			out = append(out, a)
 		}
 	}
-	if len(rdvAddrs) == 0 {
-		return nil, fmt.Errorf("-rendezvous required")
+	return out
+}
+
+// newControlPeer builds the controller's own service over TCP, attached
+// to the given rendezvous addresses — or, when a super-peer ring is
+// given instead, to the replicated discovery overlay.
+func newControlPeer(rendezvous, superRing string) (*service.Service, error) {
+	rdvAddrs := splitAddrs(rendezvous)
+	superAddrs := splitAddrs(superRing)
+	if len(rdvAddrs) == 0 && len(superAddrs) == 0 {
+		return nil, fmt.Errorf("-rendezvous or -super-ring required")
 	}
 	host, _ := os.Hostname()
-	return service.New(service.Options{
+	opts := service.Options{
 		PeerID:    fmt.Sprintf("ctl-%s-%d", host, os.Getpid()),
 		Transport: jxtaserve.TCP{},
 		Addr:      "127.0.0.1:0",
 		Discovery: discovery.Config{
 			Mode: discovery.ModeRendezvous, Rendezvous: rdvAddrs,
 		},
-	})
+	}
+	if len(superAddrs) > 0 {
+		opts.Overlay = &service.OverlayOptions{SuperPeers: superAddrs}
+	}
+	return service.New(opts)
 }
 
 func cmdPeers(args []string) error {
 	fs := flag.NewFlagSet("peers", flag.ExitOnError)
 	rendezvous := fs.String("rendezvous", "", "rendezvous addresses")
+	superRing := fs.String("super-ring", "", "super-peer addresses (overlay discovery)")
 	minCPU := fs.Float64("min-cpu", 0, "minimum advertised CPU MHz")
 	fs.Parse(args)
-	svc, err := newControlPeer(*rendezvous)
+	svc, err := newControlPeer(*rendezvous, *superRing)
 	if err != nil {
 		return err
 	}
@@ -306,10 +323,77 @@ func cmdTraces(args []string) error {
 	return fetchObservability(*addr, service.MethodTraces, headers)
 }
 
+// cmdOverlay inspects the super-peer discovery overlay: it lists ring
+// membership and the live adverts, and with -watch it holds a wildcard
+// subscription open and streams the pushes as they arrive.
+func cmdOverlay(args []string) error {
+	fs := flag.NewFlagSet("overlay", flag.ExitOnError)
+	superRing := fs.String("super-ring", "", "super-peer addresses")
+	kind := fs.String("kind", "", "restrict listing to one advert kind")
+	watch := fs.Duration("watch", 0, "hold a subscription open this long, streaming pushes")
+	fs.Parse(args)
+	superAddrs := splitAddrs(*superRing)
+	if len(superAddrs) == 0 {
+		return fmt.Errorf("-super-ring required")
+	}
+	host, err := jxtaserve.NewHost(fmt.Sprintf("overlay-%d", os.Getpid()), jxtaserve.TCP{}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	cl, err := overlay.NewClient(host, overlay.ClientOptions{
+		Ring: overlay.NewRing(0, superAddrs...),
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	fmt.Println("super-peer ring:")
+	for _, addr := range cl.Ring().Nodes() {
+		fmt.Printf("  %s\n", addr)
+	}
+	ads, err := cl.Query(advert.Query{Kind: advert.Kind(*kind)}, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live adverts: %d\n", len(ads))
+	for _, ad := range ads {
+		fmt.Printf("  %-10s %-24s %-20s %s\n", ad.Kind, ad.Name, ad.PeerID, ad.Addr)
+	}
+	if *watch <= 0 {
+		return nil
+	}
+
+	events, err := cl.Subscribe("trianactl-watch", advert.Query{Kind: advert.Kind(*kind)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("watching pushes for %v...\n", *watch)
+	timer := time.NewTimer(*watch)
+	defer timer.Stop()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return nil
+			}
+			if ev.Retracted {
+				fmt.Printf("  retract %-40s v%d\n", ev.ID, ev.Version)
+			} else {
+				fmt.Printf("  update  %-40s v%d peer=%s\n", ev.ID, ev.Version, ev.Ad.PeerID)
+			}
+		case <-timer.C:
+			return nil
+		}
+	}
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	wfPath := fs.String("workflow", "", "task graph XML")
 	rendezvous := fs.String("rendezvous", "", "rendezvous addresses")
+	superRing := fs.String("super-ring", "", "super-peer addresses (overlay discovery)")
 	iterations := fs.Int("iterations", 1, "source iterations")
 	seed := fs.Int64("seed", 1, "random seed")
 	minCPU := fs.Float64("min-cpu", 0, "minimum peer CPU MHz")
@@ -323,7 +407,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	svc, err := newControlPeer(*rendezvous)
+	svc, err := newControlPeer(*rendezvous, *superRing)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,14 @@
 // Run donor peers against it:
 //
 //	trianad -listen 127.0.0.1:7101 -id alice -rendezvous 127.0.0.1:7100 -cpu 2600 -ram 1024
+//
+// Or run the replicated super-peer overlay instead of flat rendezvous —
+// three super-peers, then donors publishing into the ring:
+//
+//	trianad -listen 127.0.0.1:7200 -super-peer
+//	trianad -listen 127.0.0.1:7201 -super-peer -super-ring 127.0.0.1:7200
+//	trianad -listen 127.0.0.1:7202 -super-peer -super-ring 127.0.0.1:7200,127.0.0.1:7201
+//	trianad -listen 127.0.0.1:7210 -id alice -super-ring 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202
 package main
 
 import (
@@ -65,6 +73,11 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof profiling on this address (off by default)")
 		certified  = flag.String("certified", "", "comma-separated certified unit names; empty allows everything")
 
+		superRing   = flag.String("super-ring", "", "comma-separated super-peer addresses; non-empty switches discovery to the replicated overlay")
+		superPeer   = flag.Bool("super-peer", false, "serve as an overlay super-peer: store and replicate adverts, push subscriptions, run anti-entropy")
+		replication = flag.Int("replication", 0, "overlay advert replication factor R (0 = default 2)")
+		syncEvery   = flag.Duration("sync-interval", 0, "super-peer anti-entropy interval (0 = default 15s, negative disables)")
+
 		queryTimeout  = flag.Duration("query-timeout", 0, "discovery query timeout (0 = library default 500ms)")
 		rpcTimeout    = flag.Duration("rpc-timeout", 0, "per-attempt deadline for outbound RPCs (0 = default 10s)")
 		rpcAttempts   = flag.Int("rpc-attempts", 0, "max attempts per outbound RPC, first included (0 = default 3)")
@@ -104,6 +117,21 @@ func main() {
 			rdvAddrs = append(rdvAddrs, a)
 		}
 	}
+	var superAddrs []string
+	for _, a := range strings.Split(*superRing, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			superAddrs = append(superAddrs, a)
+		}
+	}
+	var overlayOpts *service.OverlayOptions
+	if len(superAddrs) > 0 || *superPeer {
+		overlayOpts = &service.OverlayOptions{
+			SuperPeers:   superAddrs,
+			SuperPeer:    *superPeer,
+			Replication:  *replication,
+			SyncInterval: *syncEvery,
+		}
+	}
 	var certifiedList []string
 	for _, u := range strings.Split(*certified, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -127,6 +155,7 @@ func main() {
 			HeartbeatInterval: *hbInterval,
 			HeartbeatMisses:   *hbMisses,
 		},
+		Overlay:     overlayOpts,
 		Sandbox:     pol,
 		RM:          rm,
 		CodeBudget:  *codeBudget,
@@ -141,7 +170,7 @@ func main() {
 		log.Fatalf("trianad: %v", err)
 	}
 	defer svc.Close()
-	if len(rdvAddrs) > 0 {
+	if len(rdvAddrs) > 0 || overlayOpts != nil {
 		if err := svc.Advertise(*ttl); err != nil {
 			log.Fatalf("trianad: enrolment failed: %v", err)
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"consumergrid/internal/advert"
@@ -29,6 +30,9 @@ import (
 type Controller struct {
 	svc  *service.Service
 	logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	pool *DonorPool
 }
 
 // New wraps a service peer as a controller. The service's host despatches
@@ -80,20 +84,7 @@ func (r *Report) Result() *engine.Result { return r.Dist.Local }
 // excluding this controller's own peer. Results are sorted by descending
 // advertised CPU so the policy gets the strongest peers first.
 func (c *Controller) DiscoverPeers(opts RunOptions) ([]service.PeerRef, error) {
-	q := advert.Query{Kind: advert.KindService, Name: service.ServiceType}
-	if opts.MinCPUMHz > 0 || opts.MinFreeRAMMB > 0 {
-		q.MinAttrs = map[string]float64{}
-		if opts.MinCPUMHz > 0 {
-			q.MinAttrs[advert.AttrCPUMHz] = opts.MinCPUMHz
-		}
-		if opts.MinFreeRAMMB > 0 {
-			q.MinAttrs[advert.AttrFreeRAMMB] = opts.MinFreeRAMMB
-		}
-	}
-	if opts.PeerGroup != "" {
-		q.Attrs = map[string]string{advert.AttrGroup: opts.PeerGroup}
-	}
-	ads, err := c.svc.Discovery().Discover(q, 0)
+	ads, err := c.svc.Discovery().Discover(discoveryQuery(opts), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -242,9 +233,16 @@ type FarmOptions struct {
 // that chunk to an alternate peer with the checkpointed state restored,
 // so the committed output stream matches an uninterrupted run.
 func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*service.FarmReport, error) {
-	peers, err := c.DiscoverPeers(opts.Discovery)
-	if err != nil {
-		return nil, fmt.Errorf("controller: farm discovery: %w", err)
+	// A running donor pool already holds push-maintained candidates, so
+	// the per-farm discovery round trip is skipped entirely. An empty
+	// pool (or no pool) falls back to a pull query.
+	peers := c.pooledPeers(opts.Discovery.MaxPeers)
+	if peers == nil {
+		var err error
+		peers, err = c.DiscoverPeers(opts.Discovery)
+		if err != nil {
+			return nil, fmt.Errorf("controller: farm discovery: %w", err)
+		}
 	}
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("controller: no peers available for farm")
@@ -266,6 +264,27 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 		MaxSpeculative:  opts.MaxSpeculative,
 		Quorum:          opts.Quorum,
 	})
+}
+
+// pooledPeers snapshots the donor pool, capped to max when positive.
+// Returns nil (not an empty slice) when no pool is running or the pool
+// has not seen any donors yet, signalling the caller to fall back to a
+// pull query.
+func (c *Controller) pooledPeers(max int) []service.PeerRef {
+	c.mu.Lock()
+	p := c.pool
+	c.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	peers := p.Peers()
+	if len(peers) == 0 {
+		return nil
+	}
+	if max > 0 && len(peers) > max {
+		peers = peers[:max]
+	}
+	return peers
 }
 
 func (c *Controller) log(format string, args ...any) {

@@ -1,0 +1,155 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/overlay"
+	"consumergrid/internal/service"
+)
+
+// DonorPool is the event-driven replacement for query-before-every-farm
+// donor discovery: the controller registers one persistent subscription
+// with the overlay and the super-peers push donor arrivals, departures
+// and capability changes as they happen. RunFarm then reads the live
+// pool instead of paying a discovery round trip per farm.
+type DonorPool struct {
+	ctl   *Controller
+	subID string
+
+	mu       sync.Mutex
+	byAdvert map[string]string     // advert ID -> peer ID (retractions carry only the ID)
+	donors   map[string]donorEntry // by peer ID
+	events   int
+
+	wg sync.WaitGroup
+}
+
+type donorEntry struct {
+	ref service.PeerRef
+	cpu float64
+}
+
+// discoveryQuery translates the discovery filters of RunOptions into an
+// advert query — shared by DiscoverPeers (pull) and StartDonorPool
+// (push) so both paths select identical donors.
+func discoveryQuery(opts RunOptions) advert.Query {
+	q := advert.Query{Kind: advert.KindService, Name: service.ServiceType}
+	if opts.MinCPUMHz > 0 || opts.MinFreeRAMMB > 0 {
+		q.MinAttrs = map[string]float64{}
+		if opts.MinCPUMHz > 0 {
+			q.MinAttrs[advert.AttrCPUMHz] = opts.MinCPUMHz
+		}
+		if opts.MinFreeRAMMB > 0 {
+			q.MinAttrs[advert.AttrFreeRAMMB] = opts.MinFreeRAMMB
+		}
+	}
+	if opts.PeerGroup != "" {
+		q.Attrs = map[string]string{advert.AttrGroup: opts.PeerGroup}
+	}
+	return q
+}
+
+// StartDonorPool subscribes the controller to donor adverts matching
+// the given filters and keeps a live pool from the pushes. Requires the
+// service to be running on the overlay. The pool stays registered until
+// Close; subsequent RunFarm calls draw peers from it without querying.
+func (c *Controller) StartDonorPool(opts RunOptions) (*DonorPool, error) {
+	cl := c.svc.Overlay()
+	if cl == nil {
+		return nil, fmt.Errorf("controller: donor pool requires the discovery overlay")
+	}
+	p := &DonorPool{
+		ctl:      c,
+		subID:    "donor-pool/" + c.svc.PeerID(),
+		byAdvert: make(map[string]string),
+		donors:   make(map[string]donorEntry),
+	}
+	events, err := cl.Subscribe(p.subID, discoveryQuery(opts))
+	if err != nil {
+		return nil, err
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.loop(events)
+	}()
+	c.mu.Lock()
+	c.pool = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+func (p *DonorPool) loop(events <-chan overlay.Event) {
+	for ev := range events {
+		p.mu.Lock()
+		p.events++
+		if ev.Retracted {
+			if peerID, ok := p.byAdvert[ev.ID]; ok {
+				delete(p.byAdvert, ev.ID)
+				delete(p.donors, peerID)
+			}
+		} else if ev.Ad != nil {
+			cpu, _ := strconv.ParseFloat(ev.Ad.Attr(advert.AttrCPUMHz), 64)
+			p.byAdvert[ev.ID] = ev.Ad.PeerID
+			p.donors[ev.Ad.PeerID] = donorEntry{
+				ref: service.PeerRef{ID: ev.Ad.PeerID, Addr: ev.Ad.Addr},
+				cpu: cpu,
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Peers snapshots the live donors, strongest advertised CPU first and
+// the controller's own peer excluded — the same order DiscoverPeers
+// produces, minus the round trips.
+func (p *DonorPool) Peers() []service.PeerRef {
+	p.mu.Lock()
+	entries := make([]donorEntry, 0, len(p.donors))
+	for id, e := range p.donors {
+		if id == p.ctl.svc.PeerID() {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	p.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cpu != entries[j].cpu {
+			return entries[i].cpu > entries[j].cpu
+		}
+		return entries[i].ref.ID < entries[j].ref.ID
+	})
+	out := make([]service.PeerRef, len(entries))
+	for i, e := range entries {
+		out[i] = e.ref
+	}
+	return out
+}
+
+// Size reports the current donor count (excluding self).
+func (p *DonorPool) Size() int { return len(p.Peers()) }
+
+// Events reports how many pushes the pool has absorbed — observability
+// for the /overlay page and tests.
+func (p *DonorPool) Events() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
+}
+
+// Close withdraws the subscription and stops the pool.
+func (p *DonorPool) Close() {
+	if cl := p.ctl.svc.Overlay(); cl != nil {
+		cl.Unsubscribe(p.subID) // closes the event channel; loop exits
+	}
+	p.wg.Wait()
+	p.ctl.mu.Lock()
+	if p.ctl.pool == p {
+		p.ctl.pool = nil
+	}
+	p.ctl.mu.Unlock()
+}

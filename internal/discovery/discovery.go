@@ -25,6 +25,7 @@ import (
 
 	"consumergrid/internal/advert"
 	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/overlay"
 )
 
 // Mode selects the discovery strategy.
@@ -39,6 +40,9 @@ const (
 	ModeFlood
 	// ModeCentral is ModeRendezvous with a single index server.
 	ModeCentral
+	// ModeOverlay delegates publish and discovery to the replicated
+	// super-peer ring of internal/overlay (Config.Overlay).
+	ModeOverlay
 )
 
 // String names the mode.
@@ -50,6 +54,8 @@ func (m Mode) String() string {
 		return "flood"
 	case ModeCentral:
 		return "central"
+	case ModeOverlay:
+		return "overlay"
 	default:
 		return "unknown"
 	}
@@ -78,6 +84,18 @@ type Config struct {
 	// IsRendezvous marks this node as accepting publishes (rendezvous
 	// and central modes).
 	IsRendezvous bool
+	// Placement overrides the home-rendezvous choice with a shared
+	// placement function (typically overlay.Ring.Primary over the
+	// Rendezvous list). When nil, flat mode falls back to the legacy
+	// hash-modulo pick — see homeRendezvous for why that remaps nearly
+	// every peer whenever the rendezvous list changes.
+	Placement func(key string) string
+	// Overlay is the super-peer client Publish/Discover delegate to in
+	// ModeOverlay. Required for that mode.
+	Overlay *overlay.Client
+	// SeenCapacity bounds the flood-dedup FIFO (default maxSeen);
+	// tests shrink it to exercise eviction.
+	SeenCapacity int
 }
 
 // Stats counts protocol traffic for the scalability experiments.
@@ -103,11 +121,61 @@ type Node struct {
 
 	mu        sync.Mutex
 	neighbors []string
-	seen      map[string]bool // flood query IDs already handled
-	seenOrder []string        // bounded eviction, FIFO
+	seen      *seenRing // flood query IDs already handled
 	pending   map[string]*pendingQuery
 	nextQID   uint64
 }
+
+// seenRing is a fixed-capacity FIFO set of flood query IDs: O(1)
+// membership via the map, strict insertion-order eviction via the
+// circular buffer. The previous implementation appended to a slice and
+// evicted with seenOrder[1:], which kept the whole backing array alive
+// (the front of the slice advances but the array never shrinks) and
+// re-allocated on every append once full; the ring's memory is fixed at
+// capacity forever and a recent ID can never be evicted before a staler
+// one.
+type seenRing struct {
+	ids  []string
+	set  map[string]struct{}
+	next int // slot the next insertion overwrites
+	n    int // live entries (== len(ids) once full)
+}
+
+func newSeenRing(capacity int) *seenRing {
+	if capacity <= 0 {
+		capacity = maxSeen
+	}
+	return &seenRing{
+		ids: make([]string, capacity),
+		set: make(map[string]struct{}, capacity),
+	}
+}
+
+// observe records id, reporting whether it was already present. When
+// the ring is full the oldest ID is evicted first.
+func (r *seenRing) observe(id string) (dup bool) {
+	if _, ok := r.set[id]; ok {
+		return true
+	}
+	if r.n == len(r.ids) {
+		delete(r.set, r.ids[r.next])
+	} else {
+		r.n++
+	}
+	r.ids[r.next] = id
+	r.set[id] = struct{}{}
+	r.next = (r.next + 1) % len(r.ids)
+	return false
+}
+
+// has reports membership without recording.
+func (r *seenRing) has(id string) bool {
+	_, ok := r.set[id]
+	return ok
+}
+
+// len reports the live entry count.
+func (r *seenRing) len() int { return r.n }
 
 type pendingQuery struct {
 	mu      sync.Mutex
@@ -133,7 +201,7 @@ func NewNode(host *jxtaserve.Host, cache *advert.Cache, cfg Config) *Node {
 	n := &Node{
 		host: host, cache: cache, cfg: cfg,
 		neighbors: append([]string(nil), cfg.Neighbors...),
-		seen:      make(map[string]bool),
+		seen:      newSeenRing(cfg.SeenCapacity),
 		pending:   make(map[string]*pendingQuery),
 	}
 	host.Handle(methodPublish, n.handlePublish)
@@ -186,6 +254,12 @@ func (n *Node) Publish(ad *advert.Advertisement) error {
 		n.stats.Published.Add(1)
 		_, err = n.host.Request(home, methodPublish, b, nil)
 		return err
+	case ModeOverlay:
+		if n.cfg.Overlay == nil {
+			return fmt.Errorf("discovery: ModeOverlay without Config.Overlay")
+		}
+		n.stats.Published.Add(1)
+		return n.cfg.Overlay.Publish(ad)
 	default:
 		return nil // flood mode answers from local caches
 	}
@@ -193,9 +267,24 @@ func (n *Node) Publish(ad *advert.Advertisement) error {
 
 // homeRendezvous picks the publishing target for a peer ID, or "" when
 // this node has no rendezvous configured.
+//
+// When Config.Placement is set (the overlay deployments route it to the
+// consistent-hash ring's Primary), the flat and overlay paths share one
+// placement function. The legacy fallback is hash(peerID) mod
+// len(Rendezvous) — beware that modulo placement has no stability under
+// membership change: growing the list from k to k+1 servers moves every
+// peer whose hash differs mod k and mod k+1, i.e. an expected k/(k+1)
+// of them (~all), orphaning their published adverts until re-publish.
+// A consistent-hash ring moves only ~1/(k+1). TestModuloRemapsNearlyAll
+// pins both behaviours.
 func (n *Node) homeRendezvous(peerID string) string {
 	if len(n.cfg.Rendezvous) == 0 {
 		return ""
+	}
+	if n.cfg.Placement != nil {
+		if home := n.cfg.Placement(peerID); home != "" {
+			return home
+		}
 	}
 	h := fnv.New32a()
 	h.Write([]byte(peerID))
@@ -211,9 +300,41 @@ func (n *Node) Discover(q advert.Query, limit int) ([]*advert.Advertisement, err
 		return n.discoverRendezvous(q, limit, local)
 	case ModeFlood:
 		return n.discoverFlood(q, limit, local)
+	case ModeOverlay:
+		return n.discoverOverlay(q, limit, local)
 	default:
 		return nil, fmt.Errorf("discovery: unknown mode %d", n.cfg.Mode)
 	}
+}
+
+// discoverOverlay merges local cache hits with the super-peer ring's
+// answer.
+func (n *Node) discoverOverlay(q advert.Query, limit int, acc []*advert.Advertisement) ([]*advert.Advertisement, error) {
+	if n.cfg.Overlay == nil {
+		return nil, fmt.Errorf("discovery: ModeOverlay without Config.Overlay")
+	}
+	n.stats.QueriesSent.Add(1)
+	remote, err := n.cfg.Overlay.Query(q, limit)
+	if err != nil {
+		if len(acc) > 0 {
+			return acc, nil // local knowledge beats a dead ring
+		}
+		return nil, err
+	}
+	seen := make(map[string]bool, len(acc))
+	for _, ad := range acc {
+		seen[ad.ID] = true
+	}
+	for _, ad := range remote {
+		if !seen[ad.ID] {
+			seen[ad.ID] = true
+			acc = append(acc, ad)
+		}
+	}
+	if limit > 0 && len(acc) > limit {
+		acc = acc[:limit]
+	}
+	return acc, nil
 }
 
 func (n *Node) discoverRendezvous(q advert.Query, limit int, acc []*advert.Advertisement) ([]*advert.Advertisement, error) {
@@ -346,15 +467,9 @@ func (n *Node) handleQuery(req *jxtaserve.Message) (*jxtaserve.Message, error) {
 
 	// Flood query: dedupe, deliver matches to the origin, forward.
 	n.mu.Lock()
-	if n.seen[qid] {
+	if n.seen.observe(qid) {
 		n.mu.Unlock()
 		return &jxtaserve.Message{}, nil
-	}
-	n.seen[qid] = true
-	n.seenOrder = append(n.seenOrder, qid)
-	if len(n.seenOrder) > maxSeen {
-		delete(n.seen, n.seenOrder[0])
-		n.seenOrder = n.seenOrder[1:]
 	}
 	neighbors := append([]string(nil), n.neighbors...)
 	n.mu.Unlock()

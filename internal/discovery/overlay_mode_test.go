@@ -1,0 +1,66 @@
+package discovery
+
+import (
+	"testing"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/overlay"
+)
+
+// TestModeOverlayPublishAndDiscover drives a discovery.Node in overlay
+// mode against a two-super ring: the node's Publish/Discover API stays
+// identical while the transport-level work is delegated to the
+// replicated super-peer tier.
+func TestModeOverlayPublishAndDiscover(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ring := overlay.NewRing(0)
+	var supers []*overlay.SuperPeer
+	for _, id := range []string{"sp-0", "sp-1"} {
+		h, err := jxtaserve.NewHost(id, tr, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		ring.Add(h.Addr())
+		sp, err := overlay.NewSuper(h, overlay.SuperOptions{Ring: ring, Replication: 2, SweepInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sp.Close)
+		supers = append(supers, sp)
+	}
+
+	newOverlayPeer := func(id string) *testPeer {
+		h, err := jxtaserve.NewHost(id, tr, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		cl, err := overlay.NewClient(h, overlay.ClientOptions{Ring: ring, Replication: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		return &testPeer{host: h, node: NewNode(h, advert.NewCache(), Config{Mode: ModeOverlay, Overlay: cl})}
+	}
+
+	a := newOverlayPeer("peer-a")
+	b := newOverlayPeer("peer-b")
+	if err := a.node.Publish(peerAd("peer-a", 2000)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.node.Discover(advert.Query{Kind: advert.KindPeer}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].PeerID != "peer-a" {
+		t.Fatalf("overlay Discover = %+v, want peer-a's advert", got)
+	}
+	// Both supers hold the advert (R=2), so either one can die.
+	for i, sp := range supers {
+		if live, _ := sp.Entries(); live != 1 {
+			t.Fatalf("super %d holds %d live adverts, want 1", i, live)
+		}
+	}
+}

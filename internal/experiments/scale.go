@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/discovery"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/overlay"
+	"consumergrid/internal/simnet"
+)
+
+// ScalePoint is one (strategy, network size) measurement of T6.
+type ScalePoint struct {
+	Peers          int
+	Strategy       string
+	MsgsPerPublish float64
+	MsgsPerQuery   float64
+	P90Query       time.Duration
+	Found          bool
+}
+
+// T6 regenerates the discovery comparison at consumer-grid scale:
+// flooding, flat rendezvous and the replicated super-peer overlay at
+// 1,000+ peers. The overlay claim under test: a publish costs O(R)
+// messages (R replicas, independent of network size) and a topical
+// query O(1), where flooding pays O(N·TTL) per query and the paper's
+// flat rendezvous remaps nearly every peer on membership change.
+func T6(cfg Config) (*Result, error) {
+	cfg.defaults()
+	tab := metrics.NewTable("T6: discovery at scale (simnet, 100µs links)",
+		"peers", "strategy", "msgs/publish", "msgs/query", "p90 query", "found")
+
+	sizes := []int{1000}
+	if cfg.Scale > 1 {
+		big := 1000 * cfg.Scale
+		if big > 5000 {
+			big = 5000
+		}
+		sizes = append(sizes, big)
+	}
+	const queries = 10
+	results := map[string]map[int]ScalePoint{}
+	for _, n := range sizes {
+		for _, strategy := range []string{"flood", "rendezvous", "overlay"} {
+			cfg.logf("T6: %s at %d peers", strategy, n)
+			pt, err := DiscoveryScaleTrial(strategy, n, queries, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(n, strategy, round2(pt.MsgsPerPublish), round2(pt.MsgsPerQuery),
+				pt.P90Query.Round(10*time.Microsecond), pt.Found)
+			if results[strategy] == nil {
+				results[strategy] = map[int]ScalePoint{}
+			}
+			results[strategy][n] = pt
+		}
+	}
+
+	shapeOK := true
+	for _, n := range sizes {
+		// Overlay cost is pinned, not just bounded: 2 RPC round trips per
+		// publish at R=2 (client→owner, owner→replica) and 1 per topical
+		// query, at every network size.
+		if ov := results["overlay"][n]; ov.MsgsPerPublish != 4 || ov.MsgsPerQuery != 2 {
+			shapeOK = false
+		}
+		// Flooding pays per query what the overlay never does.
+		if results["flood"][n].MsgsPerQuery < 20*results["overlay"][n].MsgsPerQuery {
+			shapeOK = false
+		}
+		for _, s := range []string{"flood", "rendezvous", "overlay"} {
+			if !results[s][n].Found {
+				shapeOK = false
+			}
+		}
+	}
+	if len(sizes) > 1 {
+		first, last := sizes[0], sizes[len(sizes)-1]
+		if results["flood"][last].MsgsPerQuery <= results["flood"][first].MsgsPerQuery {
+			shapeOK = false // flood traffic must grow with the network
+		}
+		if results["overlay"][last].MsgsPerQuery != results["overlay"][first].MsgsPerQuery {
+			shapeOK = false // overlay cost must not
+		}
+	}
+	return &Result{
+		Tables:    []*metrics.Table{tab},
+		ShapeOK:   shapeOK,
+		ShapeNote: "overlay publishes cost O(R)=4 msgs and topical queries O(1)=2 msgs at every size; flooding pays O(N·TTL) per query",
+	}, nil
+}
+
+// DiscoveryScaleTrial builds an n-peer network on a fresh simnet using
+// one discovery strategy, publishes a target advert at a far peer, then
+// measures message cost and latency over several queries from distinct
+// peers. Exported for the BenchmarkDiscover* pair in bench_discovery_test.go.
+func DiscoveryScaleTrial(strategy string, n, queries int, seed int64) (ScalePoint, error) {
+	pt := ScalePoint{Peers: n, Strategy: strategy, Found: true}
+	net := simnet.New()
+	net.Latency = 100 * time.Microsecond
+	rng := rand.New(rand.NewSource(seed))
+
+	type peer struct {
+		host *jxtaserve.Host
+		node *discovery.Node
+	}
+	var all []*peer
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+		for _, p := range all {
+			p.host.Close()
+		}
+	}()
+
+	var rdvAddrs []string
+	ring := overlay.NewRing(0)
+	mode := discovery.ModeFlood
+	switch strategy {
+	case "rendezvous":
+		mode = discovery.ModeRendezvous
+		for i := 0; i < 4; i++ {
+			h, err := jxtaserve.NewHost(fmt.Sprintf("rdv-%d", i), net, "")
+			if err != nil {
+				return pt, err
+			}
+			all = append(all, &peer{host: h, node: discovery.NewNode(h, advert.NewCache(),
+				discovery.Config{Mode: mode, IsRendezvous: true})})
+			rdvAddrs = append(rdvAddrs, h.Addr())
+		}
+	case "overlay":
+		mode = discovery.ModeOverlay
+		for i := 0; i < 3; i++ {
+			h, err := jxtaserve.NewHost(fmt.Sprintf("super-%d", i), net, "")
+			if err != nil {
+				return pt, err
+			}
+			all = append(all, &peer{host: h})
+			ring.Add(h.Addr())
+			sp, err := overlay.NewSuper(h, overlay.SuperOptions{
+				Ring: ring, Replication: 2, SweepInterval: -1})
+			if err != nil {
+				return pt, err
+			}
+			closers = append(closers, sp.Close)
+		}
+	}
+
+	edge := make([]*peer, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := jxtaserve.NewHost(fmt.Sprintf("p%d", i), net, "")
+		if err != nil {
+			return pt, err
+		}
+		// TTL 8 reaches ~everything on the degree-4 small-world graph at
+		// these sizes (T2's TTL 6 tops out near 300 peers) — and each extra
+		// hop multiplies flood traffic, which is exactly the paper's point.
+		// The generous timeout is headroom for loaded CI machines; a found
+		// query returns as soon as the first response lands, so it never
+		// shows up in the latency figures.
+		cfg := discovery.Config{Mode: mode, Rendezvous: rdvAddrs,
+			TTL: 8, QueryTimeout: time.Second}
+		if strategy == "overlay" {
+			cl, err := overlay.NewClient(h, overlay.ClientOptions{Ring: ring, Replication: 2})
+			if err != nil {
+				return pt, err
+			}
+			closers = append(closers, cl.Close)
+			cfg.Overlay = cl
+			cfg.Placement = ring.Primary
+		}
+		p := &peer{host: h, node: discovery.NewNode(h, advert.NewCache(), cfg)}
+		all = append(all, p)
+		edge = append(edge, p)
+	}
+	if strategy == "flood" {
+		// Random small-world topology: ring plus three random chords per
+		// peer (T2 uses two; the extra chord keeps every pair within the
+		// TTL-8 horizon at these sizes).
+		for i, p := range edge {
+			p.node.AddNeighbor(edge[(i+1)%n].host.Addr())
+			p.node.AddNeighbor(edge[(i+n-1)%n].host.Addr())
+			for j := 0; j < 3; j++ {
+				p.node.AddNeighbor(edge[rng.Intn(n)].host.Addr())
+			}
+		}
+	}
+
+	target := &advert.Advertisement{
+		Kind: advert.KindService, ID: "target", PeerID: edge[n/2].host.PeerID(),
+		Name: "triana", Addr: edge[n/2].host.Addr(),
+		Expires: time.Now().Add(time.Hour),
+	}
+	net.ResetCounters()
+	if err := edge[n/2].node.Publish(target); err != nil {
+		return pt, err
+	}
+	pt.MsgsPerPublish = float64(net.Messages())
+
+	q := advert.Query{Kind: advert.KindService, Name: "triana"}
+	if strategy != "flood" {
+		// One untimed warm-up query absorbs first-use costs (allocator,
+		// scheduler) so the p90 reflects steady state. Flooding skips it:
+		// a warm-up flood would take seconds to drain for two messages of
+		// difference.
+		if _, err := edge[1].node.Discover(q, 1); err != nil {
+			return pt, err
+		}
+	}
+	// Collect the garbage from network construction (and any earlier
+	// trial) now, so a mid-query GC pause does not masquerade as
+	// discovery latency.
+	runtime.GC()
+	latencies := make([]time.Duration, 0, queries)
+	var totalMsgs int64
+	for i := 0; i < queries; i++ {
+		// Distinct query sources, spread around the network, never the
+		// publisher itself.
+		src := edge[(1+i*(n/queries+1))%n]
+		if src == edge[n/2] {
+			src = edge[0]
+		}
+		net.ResetCounters()
+		start := time.Now()
+		got, err := src.node.Discover(q, 1)
+		if err != nil {
+			return pt, err
+		}
+		latencies = append(latencies, time.Since(start))
+		if strategy == "flood" {
+			// Discover returns on the first hit; let the residual flood
+			// drain so the counter reflects the query's full traffic.
+			time.Sleep(150 * time.Millisecond)
+		}
+		totalMsgs += net.Messages()
+		if len(got) == 0 {
+			pt.Found = false
+		}
+	}
+	pt.MsgsPerQuery = float64(totalMsgs) / float64(queries)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pt.P90Query = latencies[(len(latencies)*9)/10]
+	return pt, nil
+}

@@ -1,0 +1,489 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/health"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/trace"
+)
+
+// Event is one pushed subscription update: a new or changed advert, or
+// its retraction (expiry, explicit withdrawal).
+type Event struct {
+	SubID     string
+	ID        string // advert ID
+	Version   uint64
+	Retracted bool
+	Ad        *advert.Advertisement // nil on retraction
+}
+
+// ClientOptions configures an overlay client.
+type ClientOptions struct {
+	// Ring is the super-peer membership to publish into and query.
+	// Required; shared with (or mirroring) the supers' ring.
+	Ring *Ring
+	// Replication is the factor R the supers run with (default
+	// DefaultReplication). The client subscribes to every owner of its
+	// topic so a single super death never silences its subscriptions.
+	Replication int
+	// Health orders owner candidates (healthy supers tried first) and
+	// receives the client's RPC outcomes. Optional; nil builds a
+	// private tracker.
+	Health *health.Tracker
+	// EventBuffer is each subscription channel's depth (default 64).
+	// A full channel drops the oldest pending event, never blocks the
+	// push path.
+	EventBuffer int
+	// Registry receives overlay_client_* series (default metrics.Default()).
+	Registry *metrics.Registry
+	// Tracer records publish spans (default trace.Default()).
+	Tracer *trace.Recorder
+	// Logf receives diagnostics; may be nil.
+	Logf func(format string, args ...any)
+}
+
+// clientSub is one live subscription with its per-advert version dedup
+// table: the same write reaches the client once per owner pushing it,
+// and must surface exactly once.
+type clientSub struct {
+	id    string
+	query advert.Query
+	ch    chan Event
+	seen  map[string]uint64 // advert ID -> highest delivered version
+}
+
+// Client is a peer's handle on the discovery overlay: it publishes the
+// peer's own adverts (with monotonic versions), queries the ring, and
+// holds push subscriptions.
+type Client struct {
+	host    *jxtaserve.Host
+	opts    ClientOptions
+	health  *health.Tracker
+	metrics *clientMetrics
+	tracer  *trace.Recorder
+
+	mu        sync.Mutex
+	versions  map[string]uint64 // per published advert ID
+	published map[string]*advert.Advertisement
+	subs      map[string]*clientSub
+	closed    bool
+}
+
+// NewClient attaches an overlay client to a host and registers its
+// notification handler immediately.
+func NewClient(host *jxtaserve.Host, opts ClientOptions) (*Client, error) {
+	if opts.Ring == nil {
+		return nil, fmt.Errorf("overlay: ClientOptions.Ring required")
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = DefaultReplication
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = 64
+	}
+	if opts.Health == nil {
+		opts.Health = health.New(health.Options{Owner: host.PeerID()})
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = trace.Default()
+	}
+	c := &Client{
+		host:      host,
+		opts:      opts,
+		health:    opts.Health,
+		metrics:   newClientMetrics(opts.Registry, host.PeerID()),
+		tracer:    opts.Tracer,
+		versions:  make(map[string]uint64),
+		published: make(map[string]*advert.Advertisement),
+		subs:      make(map[string]*clientSub),
+	}
+	host.Handle(methodNotify, c.handleNotify)
+	return c, nil
+}
+
+// Close drops every subscription, telling the supers best-effort so
+// they stop pushing, and closes the event channels.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]*clientSub, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.subs = make(map[string]*clientSub)
+	c.mu.Unlock()
+	for _, s := range subs {
+		c.tellUnsubscribe(s)
+		close(s.ch)
+	}
+	c.metrics.subscriptions.Set(0)
+}
+
+// Health exposes the tracker ordering super-peer candidates.
+func (c *Client) Health() *health.Tracker { return c.health }
+
+// Ring exposes the client's view of the super-peer ring.
+func (c *Client) Ring() *Ring { return c.opts.Ring }
+
+// ClientStats snapshots a client's overlay-facing state for status pages.
+type ClientStats struct {
+	// Supers lists the ring members this client places adverts across.
+	Supers []string
+	// Replication is the configured replication factor R.
+	Replication int
+	// Published counts adverts this client currently maintains.
+	Published int
+	// Subscriptions counts the client's live push subscriptions.
+	Subscriptions int
+}
+
+// Stats snapshots the client for observability surfaces.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	published, subs := len(c.published), len(c.subs)
+	c.mu.Unlock()
+	return ClientStats{
+		Supers:        c.opts.Ring.Nodes(),
+		Replication:   c.opts.Replication,
+		Published:     published,
+		Subscriptions: subs,
+	}
+}
+
+// targets returns the supers responsible for a query, healthiest first.
+// A fully-specified topic (kind + exact name) routes to its O(R)
+// owners; wildcard or open queries fan out to every super — still
+// O(supers), never O(peers).
+func (c *Client) targets(q advert.Query) []string {
+	var owners []string
+	if q.Kind != "" && q.Name != "" && !strings.HasSuffix(q.Name, "*") {
+		owners = c.opts.Ring.Owners(TopicKey(string(q.Kind), q.Name), c.opts.Replication)
+	} else {
+		owners = c.opts.Ring.Nodes()
+	}
+	usable, gated := c.health.Rank(owners)
+	return append(usable, gated...)
+}
+
+// adTargets returns the owners of one advert's topic, healthiest first.
+func (c *Client) adTargets(ad *advert.Advertisement) []string {
+	owners := c.opts.Ring.Owners(TopicKey(string(ad.Kind), ad.Name), c.opts.Replication)
+	usable, gated := c.health.Rank(owners)
+	return append(usable, gated...)
+}
+
+// Publish registers (or renews) an advert on the overlay. Each publish
+// of the same advert ID gets the next version, so renewals win
+// last-writer-wins everywhere and replicas dedup cleanly. The write is
+// sent to one owner, which replicates synchronously to the rest before
+// acking — O(R) messages total.
+func (c *Client) Publish(ad *advert.Advertisement) error {
+	c.mu.Lock()
+	c.versions[ad.ID]++
+	version := c.versions[ad.ID]
+	c.published[ad.ID] = ad.Clone()
+	c.mu.Unlock()
+	c.metrics.publishes.Inc()
+
+	payload, err := ad.MarshalText()
+	if err != nil {
+		return err
+	}
+	span := c.tracer.Start("", "", "overlay.publish", c.host.PeerID())
+	span.SetAttr("advert", ad.ID)
+	defer span.End()
+	headers := map[string]string{"version": strconv.FormatUint(version, 10)}
+	trace.Inject(span, func(k, v string) { headers[k] = v })
+	reply, err := c.firstAck(c.adTargets(ad), methodPublish, payload, headers)
+	if err == nil && reply.Header("accepted") == "0" {
+		// The ring holds a higher version than our counter — typically
+		// the tombstone an expiry sweep minted for our previous copy.
+		// Outbid it once and renew.
+		if cur, perr := strconv.ParseUint(reply.Header("version"), 10, 64); perr == nil && cur >= version {
+			c.mu.Lock()
+			if cur >= c.versions[ad.ID] {
+				c.versions[ad.ID] = cur + 1
+			}
+			headers["version"] = strconv.FormatUint(c.versions[ad.ID], 10)
+			c.mu.Unlock()
+			_, err = c.firstAck(c.adTargets(ad), methodPublish, payload, headers)
+		}
+	}
+	span.Fail(err)
+	return err
+}
+
+// Retract withdraws a previously published advert: a tombstone one
+// version past the last publish, replicated like any write.
+func (c *Client) Retract(id string) error {
+	c.mu.Lock()
+	ad := c.published[id]
+	c.versions[id]++
+	version := c.versions[id]
+	delete(c.published, id)
+	c.mu.Unlock()
+	if ad == nil {
+		return fmt.Errorf("overlay: advert %s was not published here", id)
+	}
+	span := c.tracer.Start("", "", "overlay.retract", c.host.PeerID())
+	span.SetAttr("advert", id)
+	defer span.End()
+	headers := map[string]string{
+		"id":      id,
+		"version": strconv.FormatUint(version, 10),
+	}
+	trace.Inject(span, func(k, v string) { headers[k] = v })
+	_, err := c.firstAck(c.adTargets(ad), methodRetract, nil, headers)
+	span.Fail(err)
+	return err
+}
+
+// firstAck tries targets in order until one answers the request,
+// reporting outcomes to the health tracker so dead supers sink in the
+// candidate order.
+func (c *Client) firstAck(targets []string, method string, payload []byte, headers map[string]string) (*jxtaserve.Message, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("overlay: no super-peers on the ring")
+	}
+	var lastErr error
+	for _, addr := range targets {
+		start := time.Now()
+		reply, err := c.host.Request(addr, method, payload, headers)
+		if err == nil {
+			c.health.ReportSuccess(addr, time.Since(start))
+			return reply, nil
+		}
+		c.health.ReportFailure(addr)
+		lastErr = err
+		c.logf("overlay: %s %s via %s: %v", c.host.PeerID(), method, addr, err)
+	}
+	return nil, lastErr
+}
+
+// Query asks the overlay for matching adverts. Topic queries cost one
+// RPC to the first live owner; open queries fan out to every super and
+// merge, deduplicating by advert ID.
+func (c *Client) Query(q advert.Query, limit int) ([]*advert.Advertisement, error) {
+	c.metrics.queries.Inc()
+	payload, err := q.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	headers := map[string]string{"limit": strconv.Itoa(limit)}
+	targets := c.targets(q)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("overlay: no super-peers on the ring")
+	}
+	topical := q.Kind != "" && q.Name != "" && !strings.HasSuffix(q.Name, "*")
+	if topical {
+		// All owners hold the same replicated topic: the first answer
+		// is the answer.
+		var lastErr error
+		for _, addr := range targets {
+			start := time.Now()
+			reply, err := c.host.Request(addr, methodQuery, payload, headers)
+			if err != nil {
+				c.health.ReportFailure(addr)
+				lastErr = err
+				continue
+			}
+			c.health.ReportSuccess(addr, time.Since(start))
+			return advert.DecodeList(reply.Payload)
+		}
+		return nil, lastErr
+	}
+	byID := make(map[string]*advert.Advertisement)
+	var reached bool
+	var lastErr error
+	for _, addr := range targets {
+		start := time.Now()
+		reply, err := c.host.Request(addr, methodQuery, payload, headers)
+		if err != nil {
+			c.health.ReportFailure(addr)
+			lastErr = err
+			continue
+		}
+		c.health.ReportSuccess(addr, time.Since(start))
+		reached = true
+		ads, err := advert.DecodeList(reply.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, ad := range ads {
+			byID[ad.ID] = ad
+		}
+	}
+	if !reached {
+		return nil, lastErr
+	}
+	out := make([]*advert.Advertisement, 0, len(byID))
+	for _, ad := range byID {
+		out = append(out, ad)
+	}
+	sortAds(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Subscribe registers a persistent query with every super responsible
+// for it and returns the channel its push events arrive on. Duplicates
+// from the redundant owners are deduplicated by advert version before
+// delivery; the channel is closed by Unsubscribe or Close.
+func (c *Client) Subscribe(subID string, q advert.Query) (<-chan Event, error) {
+	sub := &clientSub{
+		id:    subID,
+		query: q,
+		ch:    make(chan Event, c.opts.EventBuffer),
+		seen:  make(map[string]uint64),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("overlay: client closed")
+	}
+	if _, dup := c.subs[subID]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("overlay: subscription %q already exists", subID)
+	}
+	c.subs[subID] = sub
+	c.metrics.subscriptions.Set(float64(len(c.subs)))
+	c.mu.Unlock()
+
+	payload, err := q.MarshalText()
+	if err != nil {
+		c.dropSub(subID)
+		return nil, err
+	}
+	headers := map[string]string{"sub": subID, "addr": c.host.Addr()}
+	registered := 0
+	var lastErr error
+	for _, addr := range c.targets(q) {
+		if _, err := c.host.Request(addr, methodSubscribe, payload, headers); err != nil {
+			c.health.ReportFailure(addr)
+			lastErr = err
+			c.logf("overlay: %s subscribe via %s: %v", c.host.PeerID(), addr, err)
+			continue
+		}
+		registered++
+	}
+	if registered == 0 {
+		c.dropSub(subID)
+		if lastErr == nil {
+			lastErr = fmt.Errorf("overlay: no super-peers on the ring")
+		}
+		return nil, lastErr
+	}
+	return sub.ch, nil
+}
+
+// Unsubscribe withdraws a subscription and closes its channel.
+func (c *Client) Unsubscribe(subID string) {
+	sub := c.dropSub(subID)
+	if sub == nil {
+		return
+	}
+	c.tellUnsubscribe(sub)
+	close(sub.ch)
+}
+
+func (c *Client) dropSub(subID string) *clientSub {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.subs[subID]
+	delete(c.subs, subID)
+	c.metrics.subscriptions.Set(float64(len(c.subs)))
+	return sub
+}
+
+func (c *Client) tellUnsubscribe(sub *clientSub) {
+	headers := map[string]string{"sub": sub.id, "addr": c.host.Addr()}
+	for _, addr := range c.targets(sub.query) {
+		if _, err := c.host.Request(addr, methodUnsub, nil, headers); err != nil {
+			c.logf("overlay: %s unsubscribe via %s: %v", c.host.PeerID(), addr, err)
+		}
+	}
+}
+
+// handleNotify receives one pushed update from a super-peer.
+func (c *Client) handleNotify(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+	subID, id := req.Header("sub"), req.Header("id")
+	version, err := strconv.ParseUint(req.Header("version"), 10, 64)
+	if err != nil || subID == "" || id == "" {
+		return nil, fmt.Errorf("overlay: bad notify (sub %q, id %q)", subID, id)
+	}
+	ev := Event{SubID: subID, ID: id, Version: version, Retracted: req.Header("event") == eventRetract}
+	if !ev.Retracted {
+		ad := new(advert.Advertisement)
+		if err := ad.UnmarshalText(req.Payload); err != nil {
+			return nil, err
+		}
+		ev.Ad = ad
+	}
+	c.metrics.events.Inc()
+	c.mu.Lock()
+	sub := c.subs[subID]
+	if sub == nil {
+		c.mu.Unlock()
+		// Stale push from a super that has not processed the
+		// unsubscribe yet; acking quietly stops the retry.
+		return &jxtaserve.Message{}, nil
+	}
+	// Dedup by version: R owners push every write, the subscriber must
+	// see it once. A retraction for an advert this subscriber never saw
+	// is also suppressed — there is nothing to retract downstream.
+	if last, ok := sub.seen[id]; ok && version <= last {
+		c.mu.Unlock()
+		c.metrics.deduped.Inc()
+		return &jxtaserve.Message{}, nil
+	}
+	if ev.Retracted {
+		if _, everSeen := sub.seen[id]; !everSeen {
+			sub.seen[id] = version
+			c.mu.Unlock()
+			c.metrics.deduped.Inc()
+			return &jxtaserve.Message{}, nil
+		}
+	}
+	sub.seen[id] = version
+	// Deliver without blocking the super's push goroutine: a stalled
+	// consumer sheds its oldest pending event instead of wedging the
+	// overlay.
+	select {
+	case sub.ch <- ev:
+	default:
+		select {
+		case <-sub.ch:
+		default:
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+		}
+	}
+	c.mu.Unlock()
+	return &jxtaserve.Message{}, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+func sortAds(ads []*advert.Advertisement) {
+	sort.Slice(ads, func(i, j int) bool { return ads[i].ID < ads[j].ID })
+}

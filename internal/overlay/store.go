@@ -1,0 +1,337 @@
+package overlay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"consumergrid/internal/advert"
+)
+
+// Entry is one replicated advert record: the advertisement plus the
+// publisher-assigned version and the tombstone flag. Versions order
+// concurrent writes (last-writer-wins per advert ID); tombstones make
+// deletion replicable — a retraction must win against a stale copy of
+// the advert arriving later via anti-entropy, which a plain delete
+// cannot do.
+type Entry struct {
+	Ad        *advert.Advertisement
+	ID        string // == Ad.ID when Ad != nil; tombstones carry only the ID
+	Version   uint64
+	Tombstone bool
+}
+
+// digestWord folds the entry's identity, version and tombstone flag
+// into the word XORed into its shard's anti-entropy digest.
+func (e Entry) digestWord() uint64 {
+	h := hash64(e.ID)
+	h ^= e.Version * 0x9e3779b97f4a7c15
+	if e.Tombstone {
+		h = ^h
+	}
+	return h
+}
+
+// store is a super-peer's versioned advert table. All methods are safe
+// for concurrent use.
+type store struct {
+	mu      sync.Mutex
+	entries map[string]Entry // by advert ID
+	now     func() time.Time
+}
+
+func newStore(now func() time.Time) *store {
+	if now == nil {
+		now = time.Now
+	}
+	return &store{entries: make(map[string]Entry), now: now}
+}
+
+// put merges an update entry, reporting whether it was accepted (its
+// version is newer than what the store holds). Equal versions are
+// idempotent no-ops, which is what makes replication and anti-entropy
+// safe to repeat.
+func (s *store) put(e Entry) bool {
+	accepted, _ := s.putVersioned(e)
+	return accepted
+}
+
+// putVersioned is put plus the version now stored for the ID, so a
+// rejecting super can tell the publisher what it must outbid. A
+// publisher's renewal can otherwise collide forever with the tombstone
+// an expiry sweep minted at version+1 behind its back.
+func (s *store) putVersioned(e Entry) (accepted bool, current uint64) {
+	if e.ID == "" && e.Ad != nil {
+		e.ID = e.Ad.ID
+	}
+	if e.ID == "" {
+		return false, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.entries[e.ID]; ok && prev.Version >= e.Version {
+		return false, prev.Version
+	}
+	s.entries[e.ID] = e
+	return true, e.Version
+}
+
+// get returns the entry for id.
+func (s *store) get(id string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	return e, ok
+}
+
+// find returns up to limit live, unexpired matches, sorted by ID.
+func (s *store) find(q advert.Query, limit int) []*advert.Advertisement {
+	now := s.now()
+	s.mu.Lock()
+	var out []*advert.Advertisement
+	for _, e := range s.entries {
+		if e.Tombstone || e.Ad == nil || e.Ad.Expired(now) || !q.Matches(e.Ad) {
+			continue
+		}
+		out = append(out, e.Ad.Clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// sweepExpired tombstones every live entry past its expiry, returning
+// the new tombstones so the caller can push retractions. The tombstone
+// takes version+1 so it outranks the expired advert everywhere.
+func (s *store) sweepExpired() []Entry {
+	now := s.now()
+	s.mu.Lock()
+	var swept []Entry
+	for id, e := range s.entries {
+		if e.Tombstone || e.Ad == nil || !e.Ad.Expired(now) {
+			continue
+		}
+		t := Entry{ID: id, Ad: e.Ad, Version: e.Version + 1, Tombstone: true}
+		s.entries[id] = t
+		swept = append(swept, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(swept, func(i, j int) bool { return swept[i].ID < swept[j].ID })
+	return swept
+}
+
+// counts reports (live adverts, tombstones).
+func (s *store) counts() (live, tombs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.Tombstone {
+			tombs++
+		} else {
+			live++
+		}
+	}
+	return live, tombs
+}
+
+// ShardDigest summarises one anti-entropy shard: how many entries it
+// holds and the XOR-fold of their (id, version, tombstone) words. Two
+// replicas whose digests match hold identical shard contents with
+// overwhelming probability; a mismatch names exactly which shard to
+// pull.
+type ShardDigest struct {
+	Count uint64
+	Hash  uint64
+}
+
+// digest summarises the store into shards buckets.
+func (s *store) digest(shards int) []ShardDigest {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	out := make([]ShardDigest, shards)
+	s.mu.Lock()
+	for id, e := range s.entries {
+		i := ShardOf(id, shards)
+		out[i].Count++
+		out[i].Hash ^= e.digestWord()
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// shardEntries snapshots every entry (live and tombstone) in the given
+// shards, sorted by ID.
+func (s *store) shardEntries(want map[int]bool, shards int) []Entry {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	s.mu.Lock()
+	var out []Entry
+	for id, e := range s.entries {
+		if want[ShardOf(id, shards)] {
+			if e.Ad != nil {
+				e.Ad = e.Ad.Clone()
+			}
+			out = append(out, e)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- wire codecs -------------------------------------------------------------
+
+// encodeEntries frames entries for sync-pull replies: per entry the
+// version, the tombstone flag, the ID and (for live entries) the advert
+// XML, all length-prefixed.
+func encodeEntries(entries []Entry) ([]byte, error) {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	out = appendUvarint(out, tmp[:], uint64(len(entries)))
+	for _, e := range entries {
+		out = appendUvarint(out, tmp[:], e.Version)
+		flag := uint64(0)
+		if e.Tombstone {
+			flag = 1
+		}
+		out = appendUvarint(out, tmp[:], flag)
+		out = appendUvarint(out, tmp[:], uint64(len(e.ID)))
+		out = append(out, e.ID...)
+		var adBytes []byte
+		if e.Ad != nil && !e.Tombstone {
+			b, err := e.Ad.MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			adBytes = b
+		}
+		out = appendUvarint(out, tmp[:], uint64(len(adBytes)))
+		out = append(out, adBytes...)
+	}
+	return out, nil
+}
+
+// decodeEntries parses an encodeEntries payload.
+func decodeEntries(b []byte) ([]Entry, error) {
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("overlay: entry list too large (%d)", count)
+	}
+	out := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		if e.Version, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		var flag uint64
+		if flag, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		e.Tombstone = flag == 1
+		var idLen uint64
+		if idLen, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < idLen {
+			return nil, fmt.Errorf("overlay: truncated entry ID")
+		}
+		e.ID = string(b[:idLen])
+		b = b[idLen:]
+		var adLen uint64
+		if adLen, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < adLen {
+			return nil, fmt.Errorf("overlay: truncated entry advert")
+		}
+		if adLen > 0 {
+			ad := new(advert.Advertisement)
+			if err := ad.UnmarshalText(b[:adLen]); err != nil {
+				return nil, err
+			}
+			e.Ad = ad
+		}
+		b = b[adLen:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// encodeDigests frames a digest vector for sync-digest exchanges.
+func encodeDigests(ds []ShardDigest) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	out = appendUvarint(out, tmp[:], uint64(len(ds)))
+	for _, d := range ds {
+		out = appendUvarint(out, tmp[:], d.Count)
+		out = appendUvarint(out, tmp[:], d.Hash)
+	}
+	return out
+}
+
+// decodeDigests parses an encodeDigests payload.
+func decodeDigests(b []byte) ([]ShardDigest, error) {
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("overlay: digest vector too large (%d)", count)
+	}
+	out := make([]ShardDigest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var d ShardDigest
+		if d.Count, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if d.Hash, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func appendUvarint(out, tmp []byte, x uint64) []byte {
+	n := binary.PutUvarint(tmp, x)
+	return append(out, tmp[:n]...)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("overlay: bad varint")
+	}
+	return x, b[n:], nil
+}
+
+// parseShardList decodes the comma-separated shard header of a sync
+// pull ("3,17,22").
+func parseShardList(s string, shards int) (map[int]bool, error) {
+	want := make(map[int]bool)
+	if s == "" {
+		return want, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		var i int
+		if _, err := fmt.Sscanf(part, "%d", &i); err != nil {
+			return nil, fmt.Errorf("overlay: bad shard %q", part)
+		}
+		if i < 0 || i >= shards {
+			return nil, fmt.Errorf("overlay: shard %d out of range", i)
+		}
+		want[i] = true
+	}
+	return want, nil
+}

@@ -32,6 +32,7 @@ import (
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/mcode"
 	"consumergrid/internal/metrics"
+	"consumergrid/internal/overlay"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/trace"
@@ -94,6 +95,10 @@ type Options struct {
 	// backpressure instead of blocking when the budget is exhausted.
 	MaxInflightDespatches int
 	ShedDespatchOverload  bool
+	// Overlay opts the daemon into the super-peer discovery overlay;
+	// when set, the discovery agent is routed through it (Mode becomes
+	// ModeOverlay). Nil keeps the flat Discovery config as given.
+	Overlay *OverlayOptions
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -116,6 +121,9 @@ type Service struct {
 	resStats metrics.ResilienceStats
 	health   *health.Tracker // live peer scores + circuit breakers
 	admit    *admission      // bounded in-flight despatch budget
+
+	overlay      *overlay.Client    // nil unless Options.Overlay set
+	overlaySuper *overlay.SuperPeer // nil unless also a ring member
 
 	tracer *trace.Recorder // span recorder for despatch lifecycles
 
@@ -191,7 +199,16 @@ func New(opts Options) (*Service, error) {
 		s.rm = gateway.NewFork()
 		s.ownRM = true
 	}
-	s.disc = discovery.NewNode(host, advert.NewCache(), opts.Discovery)
+	discCfg := opts.Discovery
+	// A bootstrap super-peer may start with an empty ring list (it joins
+	// its own address); clients need at least one super to talk to.
+	if opts.Overlay != nil && (len(opts.Overlay.SuperPeers) > 0 || opts.Overlay.SuperPeer) {
+		if err := s.setupOverlay(opts.Overlay, &discCfg); err != nil {
+			host.Close()
+			return nil, err
+		}
+	}
+	s.disc = discovery.NewNode(host, advert.NewCache(), discCfg)
 	mcode.Attach(host) // every peer can serve the modules it knows
 	host.Handle(MethodRun, s.handleRun)
 	host.Handle(MethodWait, s.handleWait)
@@ -239,6 +256,12 @@ func (s *Service) Close() error {
 	close(s.shutdown)
 	if s.ownRM {
 		s.rm.Close()
+	}
+	if s.overlay != nil {
+		s.overlay.Close()
+	}
+	if s.overlaySuper != nil {
+		s.overlaySuper.Close()
 	}
 	err := s.host.Close()
 	s.bg.Wait()

@@ -26,6 +26,8 @@ import (
 //	GET /units     the unit toolbox
 //	GET /metrics   the live registry, Prometheus text format
 //	GET /traces    recent despatch traces as indented span trees
+//	GET /overlay   the discovery overlay: ring membership, publishes,
+//	               subscriptions and (for super-peers) the advert store
 func Handler(svc *service.Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -39,7 +41,7 @@ func Handler(svc *service.Service) http.Handler {
 			html.EscapeString(svc.PeerID()), html.EscapeString(svc.Addr()))
 		fetches, bytes := svc.Fetcher().Fetches()
 		fmt.Fprintf(&b, "<p>module bundles fetched on demand: %d (%d bytes)</p>", fetches, bytes)
-		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/units">units</a> · <a href="/metrics">metrics</a> · <a href="/traces">traces</a></p>`)
+		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/overlay">overlay</a> · <a href="/units">units</a> · <a href="/metrics">metrics</a> · <a href="/traces">traces</a></p>`)
 		jobsTable(&b, svc)
 		resilienceTable(&b, svc)
 		footer(&b)
@@ -84,6 +86,14 @@ func Handler(svc *service.Service) http.Handler {
 				html.EscapeString(n), m.In, m.Out, html.EscapeString(m.Description))
 		}
 		b.WriteString("</table>")
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/overlay", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Overlay on "+svc.PeerID())
+		b.WriteString(`<meta http-equiv="refresh" content="2">`)
+		overlayTables(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
 	})
@@ -176,6 +186,48 @@ func healthTable(b *strings.Builder, svc *service.Service) {
 			html.EscapeString(p.Peer), p.State, p.Score, p.P50, p.P90,
 			html.EscapeString(strings.Join(flags, " ")))
 	}
+	b.WriteString("</table>")
+}
+
+// overlayTables renders the peer's view of the discovery overlay: the
+// super-peer ring it publishes into and — when this daemon is itself a
+// super-peer — the replicated advert store it serves.
+func overlayTables(b *strings.Builder, svc *service.Service) {
+	cl := svc.Overlay()
+	if cl == nil {
+		b.WriteString("<p>discovery overlay not configured; this peer uses flat discovery</p>")
+		return
+	}
+	stats := cl.Stats()
+	b.WriteString("<h2>overlay client</h2>" +
+		"<table><tr><th>item</th><th>value</th></tr>")
+	fmt.Fprintf(b, "<tr><td>replication factor</td><td>%d</td></tr>", stats.Replication)
+	fmt.Fprintf(b, "<tr><td>published adverts</td><td>%d</td></tr>", stats.Published)
+	fmt.Fprintf(b, "<tr><td>push subscriptions</td><td>%d</td></tr>", stats.Subscriptions)
+	b.WriteString("</table>")
+
+	b.WriteString("<h2>super-peer ring</h2>")
+	if len(stats.Supers) == 0 {
+		b.WriteString("<p>ring is empty</p>")
+	} else {
+		b.WriteString("<table><tr><th>super-peer</th></tr>")
+		for _, addr := range stats.Supers {
+			fmt.Fprintf(b, "<tr><td><code>%s</code></td></tr>", html.EscapeString(addr))
+		}
+		b.WriteString("</table>")
+	}
+
+	sp := svc.OverlaySuper()
+	if sp == nil {
+		b.WriteString("<p>this peer is an overlay client only (not a ring member)</p>")
+		return
+	}
+	live, tombstones := sp.Entries()
+	b.WriteString("<h2>super-peer store</h2>" +
+		"<table><tr><th>item</th><th>value</th></tr>")
+	fmt.Fprintf(b, "<tr><td>live adverts</td><td>%d</td></tr>", live)
+	fmt.Fprintf(b, "<tr><td>tombstones</td><td>%d</td></tr>", tombstones)
+	fmt.Fprintf(b, "<tr><td>subscriptions served</td><td>%d</td></tr>", sp.Subscriptions())
 	b.WriteString("</table>")
 }
 

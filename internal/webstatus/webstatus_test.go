@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/overlay"
 	"consumergrid/internal/policy"
 	"consumergrid/internal/service"
 	"consumergrid/internal/taskgraph"
@@ -188,5 +190,68 @@ func TestJobsSnapshotStates(t *testing.T) {
 	defer worker.Close()
 	if jobs := worker.Jobs(); len(jobs) != 0 {
 		t.Errorf("fresh jobs = %+v", jobs)
+	}
+}
+
+// TestOverlayPage covers both shapes of /overlay: a flat peer reports
+// the overlay as unconfigured, and an overlay super-peer renders ring
+// membership, its client stats and the replicated advert store.
+func TestOverlayPage(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	flat, err := service.New(service.Options{PeerID: "flat-peer", Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	flatSrv := httptest.NewServer(Handler(flat))
+	defer flatSrv.Close()
+	if page := get(t, flatSrv, "/overlay"); !strings.Contains(page, "overlay not configured") {
+		t.Errorf("flat /overlay = %s", page)
+	}
+
+	// A seed super (known address) so the second daemon has a ring to join.
+	seedHost, err := jxtaserve.NewHost("seed-super", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedHost.Close()
+	seedRing := overlay.NewRing(0, seedHost.Addr())
+	seedSuper, err := overlay.NewSuper(seedHost, overlay.SuperOptions{
+		Ring: seedRing, Replication: 2, SweepInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedSuper.Close()
+
+	super, err := service.New(service.Options{
+		PeerID: "web-super", Transport: tr, CPUMHz: 2000,
+		Overlay: &service.OverlayOptions{
+			SuperPeers: []string{seedHost.Addr()}, SuperPeer: true,
+			Replication: 2, SyncInterval: -1, SweepInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer super.Close()
+	if err := super.Advertise(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(Handler(super))
+	defer srv.Close()
+	page := get(t, srv, "/overlay")
+	for _, want := range []string{
+		"overlay client", "replication factor", "published adverts",
+		"super-peer ring", seedHost.Addr(),
+		"super-peer store", "live adverts", "tombstones", "subscriptions served",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/overlay missing %q", want)
+		}
+	}
+	// The daemon advertised itself through the overlay, so the page
+	// reports one maintained advert.
+	if !strings.Contains(page, "<tr><td>published adverts</td><td>1</td></tr>") {
+		t.Errorf("/overlay published count wrong:\n%s", page)
 	}
 }

@@ -40,6 +40,9 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_op,omitempty"`
 	MBPerSec    float64 `json:"mb_s,omitempty"`
 	Iterations  int64   `json:"n"`
+	// Extra collects custom b.ReportMetric units (e.g. "msgs/query",
+	// "p90-query-ns" from the discovery benches), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the on-disk BENCH_*.json schema.
@@ -163,6 +166,11 @@ func parseBench(out string) (map[string]Result, error) {
 				r.BytesPerOp = v
 			case "allocs/op":
 				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[rest[i+1]] = v
 			}
 		}
 		results[m[1]] = r
@@ -219,6 +227,14 @@ func report(w *os.File, prev, cur *Snapshot, gate string, threshold float64) boo
 	for _, n := range names {
 		c := cur.Benchmarks[n]
 		line := fmt.Sprintf("%-55s %14.0f %12.0f %10.0f", n, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+		extraUnits := make([]string, 0, len(c.Extra))
+		for u := range c.Extra {
+			extraUnits = append(extraUnits, u)
+		}
+		sort.Strings(extraUnits)
+		for _, u := range extraUnits {
+			line += fmt.Sprintf("  %s=%.0f", u, c.Extra[u])
+		}
 		if prev != nil {
 			if p, ok := prev.Benchmarks[n]; ok && p.NsPerOp > 0 {
 				dNs := (c.NsPerOp - p.NsPerOp) / p.NsPerOp
