@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance
 
 build:
 	go build ./...
@@ -31,6 +31,18 @@ bench-smoke:
 		-bench 'BenchmarkKernel|BenchmarkCodec|BenchmarkEngineFanOut' \
 		-gate 'BenchmarkKernelFFT|BenchmarkCodec' \
 		-benchtime 100ms -threshold 0.25 -no-save
+
+# Wire-protocol conformance: golden frames for both codecs, a short
+# fuzz pass over the binary decoder and both round-trip targets, the
+# full dialler×listener interop matrix, and the mux invariants (FIFO,
+# credit bounds, reset isolation, goroutine leaks) under the race
+# detector. Run with -update after a deliberate wire change to
+# regenerate the golden fixtures.
+wire-conformance:
+	go test ./internal/jxtaserve/ -run 'TestGolden|TestInterop|TestReadBinaryMessageRejects' -count=1
+	go test ./internal/jxtaserve/ -run '^$$' -fuzz FuzzReadBinaryMessage -fuzztime 10s
+	go test ./internal/jxtaserve/ -run '^$$' -fuzz FuzzBinaryMessageRoundTrip -fuzztime 10s
+	go test -race ./internal/jxtaserve/ ./internal/simnet/ -run 'TestMux' -count=1
 
 # Observability smoke: boot a real daemon, scrape /metrics, and assert
 # the core series families are listed (they register eagerly, so a

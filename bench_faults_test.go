@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/service"
 	"consumergrid/internal/simnet"
 	"consumergrid/internal/taskgraph"
@@ -48,13 +49,39 @@ func benchChunks(seed int64, nChunks, perChunk int) [][]types.Data {
 }
 
 func BenchmarkDespatchUnderFaults(b *testing.B) {
-	cases := []struct {
+	faults := []struct {
 		name  string
 		fault simnet.LinkFaults
 	}{
 		{"clean", simnet.LinkFaults{}},
 		{"drop-every-13", simnet.LinkFaults{DropEvery: 13}},
 		{"jitter-200us", simnet.LinkFaults{Latency: 100 * time.Microsecond, Jitter: 200 * time.Microsecond}},
+	}
+	// The unsuffixed sub-names now run the multiplexed wire (one shared
+	// connection per peer pair, faults landing per stream), so their
+	// trajectory against older snapshots shows what the mux buys; the
+	// -legacy variants keep the pre-mux dial-per-RPC wire measurable.
+	type variant struct {
+		suffix string
+		wire   jxtaserve.WireOptions
+	}
+	variants := []variant{
+		{"", jxtaserve.WireOptions{Mux: true, Binary: true}},
+		{"-legacy", jxtaserve.WireOptions{}},
+	}
+	var cases []struct {
+		name  string
+		fault simnet.LinkFaults
+		wire  jxtaserve.WireOptions
+	}
+	for _, v := range variants {
+		for _, f := range faults {
+			cases = append(cases, struct {
+				name  string
+				fault simnet.LinkFaults
+				wire  jxtaserve.WireOptions
+			}{f.name + v.suffix, f.fault, v.wire})
+		}
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -63,6 +90,7 @@ func BenchmarkDespatchUnderFaults(b *testing.B) {
 			newSvc := func(label string) *service.Service {
 				s, err := service.New(service.Options{
 					PeerID: label, Transport: n.Peer(label),
+					Wire: tc.wire,
 					Resilience: service.ResilienceOptions{
 						MaxAttempts: 4,
 						BaseDelay:   2 * time.Millisecond,

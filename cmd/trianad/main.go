@@ -85,6 +85,10 @@ func main() {
 		rpcBackoffCap = flag.Duration("rpc-backoff-max", 0, "backoff ceiling (0 = default 500ms)")
 		hbInterval    = flag.Duration("heartbeat-interval", 0, "failure-detector ping interval (0 = default 1s)")
 		hbMisses      = flag.Int("heartbeat-misses", 0, "consecutive missed heartbeats before a peer is declared dead (0 = default 3)")
+
+		wireMux    = flag.Bool("wire-mux", true, "multiplex all traffic to a peer over one TCP connection")
+		wireBinary = flag.Bool("wire-binary", true, "offer the binary wire codec (falls back to XML for peers that lack it)")
+		wireWindow = flag.Int("wire-window", 0, "per-stream flow-control window in frames (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -94,7 +98,11 @@ func main() {
 	}
 
 	if *rdvServer {
-		runRendezvous(*id, *listen)
+		runRendezvous(*id, *listen, jxtaserve.WireOptions{
+			Mux:    *wireMux,
+			Binary: *wireBinary && *wireMux,
+			Window: *wireWindow,
+		})
 		return
 	}
 
@@ -155,7 +163,12 @@ func main() {
 			HeartbeatInterval: *hbInterval,
 			HeartbeatMisses:   *hbMisses,
 		},
-		Overlay:     overlayOpts,
+		Overlay: overlayOpts,
+		Wire: jxtaserve.WireOptions{
+			Mux:    *wireMux,
+			Binary: *wireBinary && *wireMux,
+			Window: *wireWindow,
+		},
 		Sandbox:     pol,
 		RM:          rm,
 		CodeBudget:  *codeBudget,
@@ -204,8 +217,14 @@ func main() {
 
 // runRendezvous hosts a bare rendezvous peer: a discovery cache that
 // other daemons publish to and query.
-func runRendezvous(id, listen string) {
-	host, err := jxtaserve.NewHost(id, jxtaserve.TCP{}, listen)
+func runRendezvous(id, listen string, wire jxtaserve.WireOptions) {
+	var transport jxtaserve.Transport = jxtaserve.TCP{}
+	if wire.Mux {
+		mt := jxtaserve.NewMux(transport, wire)
+		defer mt.Close()
+		transport = mt
+	}
+	host, err := jxtaserve.NewHost(id, transport, listen)
 	if err != nil {
 		log.Fatalf("trianad: %v", err)
 	}

@@ -1,0 +1,242 @@
+// Binary wire codec v1: the length-prefixed framing that replaces the
+// XML envelope on negotiated connections. The outer shape matches the
+// XML framing — two uvarint lengths, an envelope block, then the raw
+// payload — so both codecs share the size limits and the bounded
+// payload reader; only the envelope bytes differ:
+//
+//	frame    := uvarint envLen | uvarint payloadLen | envelope | payload
+//	envelope := uvarint stream
+//	          | uvarint len(kind)  | kind
+//	          | uvarint nHeaders
+//	          | { uvarint len(key) | key | uvarint len(value) | value }*
+//
+// Headers are written in sorted key order, so encoding is canonical: a
+// Message has exactly one binary frame, which is what lets the golden
+// conformance fixtures pin the format byte-for-byte and the fuzz
+// harness assert the encode(decode(x)) fixpoint.
+//
+// Unlike the XML envelope, the binary envelope imposes no character
+// repertoire: any byte sequence round-trips. Applications that may be
+// downgraded to an XML session should still keep kinds and headers
+// XML-safe; WriteMessage enforces that on the fallback path exactly as
+// before.
+//
+// Decoding parses the envelope in place from the pooled slab — kind and
+// header keys are interned from a small fixed vocabulary, so the
+// steady-state pipe.data frame decodes with a single allocation (the
+// payload, which must outlive the slab).
+package jxtaserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrBadFrame is returned when a binary envelope is structurally
+// invalid: truncated varints, lengths overrunning the envelope, or
+// trailing bytes after the last header.
+var ErrBadFrame = errors.New("jxtaserve: malformed binary envelope")
+
+// WriteBinaryMessage frames m onto w in binary v1. The payload is
+// written straight from m.Payload — no intermediate copy — and the
+// envelope is rendered into a pooled scratch buffer.
+func WriteBinaryMessage(w io.Writer, m *Message) error {
+	if m.Kind == "" {
+		return errors.New("jxtaserve: message without kind")
+	}
+	scratch := envPool.Get().(*envScratch)
+	defer func() {
+		scratch.buf.Reset()
+		scratch.keys = scratch.keys[:0]
+		envPool.Put(scratch)
+	}()
+	for k := range m.Headers {
+		scratch.keys = append(scratch.keys, k)
+	}
+	sortStrings(scratch.keys)
+
+	buf := &scratch.buf
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) {
+		n := binary.PutUvarint(tmp[:], x)
+		buf.Write(tmp[:n])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putUvarint(m.Stream)
+	putString(m.Kind)
+	putUvarint(uint64(len(scratch.keys)))
+	for _, k := range scratch.keys {
+		putString(k)
+		putString(m.Headers[k])
+	}
+
+	if buf.Len() > maxEnvelopeLen || len(m.Payload) > maxPayloadLen {
+		return ErrFrameTooLarge
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(buf.Len()))
+	n += binary.PutUvarint(hdr[n:], uint64(len(m.Payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	wireMsgsOut.Inc()
+	wireBytesOut.Add(int64(n) + int64(buf.Len()) + int64(len(m.Payload)))
+	return nil
+}
+
+// ReadBinaryMessage reads one binary v1 frame from r. The envelope is
+// parsed from a pooled slab; only strings that must outlive the slab
+// are copied out, with kinds and header keys interned because they come
+// from a tiny recurring vocabulary.
+func ReadBinaryMessage(r io.Reader) (*Message, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	envLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if envLen > maxEnvelopeLen || payloadLen > maxPayloadLen {
+		return nil, ErrFrameTooLarge
+	}
+	slab := envSlabPool.Get().(*[]byte)
+	defer envSlabPool.Put(slab)
+	if uint64(cap(*slab)) < envLen {
+		*slab = make([]byte, envLen)
+	}
+	env := (*slab)[:envLen]
+	if _, err := io.ReadFull(r, env); err != nil {
+		return nil, err
+	}
+
+	stream, env, err := envUvarint(env)
+	if err != nil {
+		return nil, err
+	}
+	kindBytes, env, err := envBytes(env)
+	if err != nil {
+		return nil, err
+	}
+	if len(kindBytes) == 0 {
+		return nil, errors.New("jxtaserve: envelope without kind")
+	}
+	nHeaders, env, err := envUvarint(env)
+	if err != nil {
+		return nil, err
+	}
+	// Each header needs at least two length bytes, so the count can never
+	// legitimately exceed half the remaining envelope — reject early
+	// rather than sizing a map from a lying prefix.
+	if nHeaders > uint64(len(env))/2 {
+		return nil, ErrBadFrame
+	}
+	m := &Message{Kind: internString(kindBytes), Stream: stream}
+	if nHeaders > 0 {
+		m.Headers = make(map[string]string, nHeaders)
+		for i := uint64(0); i < nHeaders; i++ {
+			var k, v []byte
+			if k, env, err = envBytes(env); err != nil {
+				return nil, err
+			}
+			if v, env, err = envBytes(env); err != nil {
+				return nil, err
+			}
+			m.Headers[internString(k)] = string(v)
+		}
+	}
+	if len(env) != 0 {
+		return nil, ErrBadFrame
+	}
+	if payloadLen > 0 {
+		p, err := readPayload(r, payloadLen)
+		if err != nil {
+			return nil, err
+		}
+		m.Payload = p
+	}
+	wireMsgsIn.Inc()
+	wireBytesIn.Add(int64(envLen) + int64(payloadLen))
+	return m, nil
+}
+
+// envUvarint decodes one varint from the envelope slice.
+func envUvarint(env []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(env)
+	if n <= 0 {
+		return 0, nil, ErrBadFrame
+	}
+	return x, env[n:], nil
+}
+
+// envBytes decodes one length-prefixed byte string from the envelope
+// slice, returning a view into it (valid only until the slab is pooled).
+func envBytes(env []byte) ([]byte, []byte, error) {
+	n, env, err := envUvarint(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(env)) {
+		return nil, nil, ErrBadFrame
+	}
+	return env[:n], env[n:], nil
+}
+
+// internTab maps the recurring envelope vocabulary (kinds, header keys)
+// to stable strings so decoding doesn't allocate one per frame. Header
+// values stay uncached: they are high-cardinality and would flush the
+// table (same reasoning as the xmlSafe verdict cache).
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 64)
+)
+
+func internString(b []byte) string {
+	if len(b) > maxCachedVerdictLen {
+		return string(b)
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)] // no alloc: compiler-recognised map lookup
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) >= maxCachedVerdicts {
+		// A hostile peer spraying unique kinds must not grow the table
+		// without bound; dropping it keeps the footprint fixed.
+		internTab = make(map[string]string, 64)
+	}
+	internTab[s] = s
+	internMu.Unlock()
+	return s
+}
+
+// sortStrings is an allocation-free insertion sort for the handful of
+// header keys a frame carries (sort.Strings forces the slice header to
+// escape; envelope scratch is pooled precisely to avoid that).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -2,6 +2,7 @@ package jxtaserve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -61,6 +62,146 @@ func FuzzReadMessage(f *testing.F) {
 		m, err := ReadMessage(bytes.NewReader(data))
 		if err == nil && m == nil {
 			t.Fatal("nil message with nil error")
+		}
+	})
+}
+
+// FuzzBinaryMessageRoundTrip drives arbitrary kinds, headers, payloads
+// and stream IDs through the binary codec. Unlike XML there is no
+// character repertoire to reject: everything but an empty kind must
+// round-trip exactly.
+func FuzzBinaryMessageRoundTrip(f *testing.F) {
+	f.Add("rpc", "method", "triana.run", []byte("payload"), uint64(0))
+	f.Add(KindPipeData, "pipe", "job/7/in", []byte{0, 1, 2, 255}, uint64(3))
+	f.Add(KindPipeEOF, "", "", []byte(nil), uint64(1<<40))
+	f.Add("k\x00raw", "h\xff", "ctrl\x01<xml>&", []byte("x"), uint64(7)) // XML-unsafe: binary-only ground
+
+	f.Fuzz(func(t *testing.T, kind, hname, hval string, payload []byte, stream uint64) {
+		m := &Message{Kind: kind, Payload: payload, Stream: stream}
+		if hname != "" || hval != "" {
+			m.SetHeader(hname, hval)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryMessage(&buf, m); err != nil {
+			if kind == "" {
+				return // the one rejection the binary codec makes
+			}
+			t.Fatalf("binary encode rejected encodable message: %v", err)
+		}
+		got, err := ReadBinaryMessage(&buf)
+		if err != nil {
+			t.Fatalf("wrote ok but read failed: %v (kind=%q hname=%q hval=%q)", err, kind, hname, hval)
+		}
+		if got.Kind != m.Kind || got.Stream != m.Stream {
+			t.Fatalf("identity: got (%q,%d) want (%q,%d)", got.Kind, got.Stream, m.Kind, m.Stream)
+		}
+		if got.Header(hname) != m.Header(hname) {
+			t.Fatalf("header %q: got %q want %q", hname, got.Header(hname), m.Header(hname))
+		}
+		if !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("payload mismatch: got %d bytes want %d", len(got.Payload), len(m.Payload))
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("decoder left %d trailing bytes unread", buf.Len())
+		}
+	})
+}
+
+// FuzzReadBinaryMessage feeds raw bytes to the binary decoder, seeded
+// with the golden fixtures plus truncated and bit-flipped variants. The
+// decoder must never panic, never allocate past the declared (bounded)
+// lengths, and any successfully decoded message must be a fixpoint:
+// re-encoding it yields bytes that decode to the same message.
+func FuzzReadBinaryMessage(f *testing.F) {
+	for _, tc := range goldenCases() {
+		var buf bytes.Buffer
+		if err := WriteBinaryMessage(&buf, tc.msg); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		f.Add(append([]byte(nil), frame...))
+		if len(frame) > 2 {
+			f.Add(append([]byte(nil), frame[:len(frame)/2]...)) // truncated
+			flipped := append([]byte(nil), frame...)
+			flipped[len(flipped)/3] ^= 0x40 // bit-flipped mid-envelope
+			f.Add(flipped)
+			flipped2 := append([]byte(nil), frame...)
+			flipped2[0] ^= 0x80 // varint length corrupted
+			f.Add(flipped2)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge varint
+	f.Add([]byte{4, 0, 0, 3, 'a', 'b'})                                       // header count lies
+	f.Add([]byte{3, 200, 0, 1, 'k'})                                          // payload len 200, absent
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinaryMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil message with nil error")
+		}
+		// No over-allocation past the declared lengths: everything the
+		// decoder retained must fit inside the input that actually arrived.
+		if len(m.Payload) > len(data) {
+			t.Fatalf("payload %d bytes exceeds %d-byte input", len(m.Payload), len(data))
+		}
+		// Fixpoint: encode(decode(x)) must decode back to the same message.
+		var buf bytes.Buffer
+		if err := WriteBinaryMessage(&buf, m); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		again, err := ReadBinaryMessage(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		assertMessagesEqual(t, again, m)
+	})
+}
+
+// TestReadBinaryMessageRejects pins the decoder's structural checks.
+func TestReadBinaryMessageRejects(t *testing.T) {
+	valid := func(m *Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinaryMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t.Run("trailing junk in envelope", func(t *testing.T) {
+		frame := valid(&Message{Kind: "k"})
+		// Grow the declared envelope length by one and append a junk byte
+		// inside it: the decoder must notice the unconsumed tail.
+		grown := append([]byte{frame[0] + 1}, frame[1:]...)
+		grown = append(grown, 0x00)
+		if _, err := ReadBinaryMessage(bytes.NewReader(grown)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+	})
+	t.Run("empty kind", func(t *testing.T) {
+		if err := WriteBinaryMessage(io.Discard, &Message{}); err == nil {
+			t.Fatal("encoded a message without kind")
+		}
+		// envLen=2, payloadLen=0, stream=0, kindLen=0
+		if _, err := ReadBinaryMessage(bytes.NewReader([]byte{2, 0, 0, 0})); err == nil {
+			t.Fatal("decoded an envelope without kind")
+		}
+	})
+	t.Run("oversize envelope", func(t *testing.T) {
+		var hdr [binary.MaxVarintLen64 + 1]byte
+		n := binary.PutUvarint(hdr[:], maxEnvelopeLen+1)
+		hdr[n] = 0 // payloadLen = 0
+		n++
+		if _, err := ReadBinaryMessage(bytes.NewReader(hdr[:n])); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("lying payload length", func(t *testing.T) {
+		frame := valid(&Message{Kind: "k", Payload: make([]byte, 4<<20)})
+		if _, err := ReadBinaryMessage(bytes.NewReader(frame[:64])); err == nil {
+			t.Fatal("truncated frame decoded successfully")
 		}
 	})
 }

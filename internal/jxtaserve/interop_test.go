@@ -1,0 +1,170 @@
+package jxtaserve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"consumergrid/internal/types"
+)
+
+// The interop matrix pins the negotiation contract: every pairing of
+// {binary-capable, XML-only mux, legacy pre-mux} as dialler and listener
+// must despatch RPCs and pipe traffic end to end, and the handshake must
+// settle on exactly the protocol the matrix predicts — observable via the
+// wire_negotiated_total{proto=...} counters that fleets use to watch
+// rollouts downgrade.
+
+// interopProfiles builds the three wire profiles over real TCP. Legacy is
+// the bare transport from before the mux existed; the other two differ
+// only in whether they offer binary/1 during the hello.
+var interopProfiles = []struct {
+	name string
+	mk   func() Transport
+}{
+	{"binary", func() Transport { return NewMux(TCP{}, WireOptions{Mux: true, Binary: true}) }},
+	{"xmlmux", func() Transport { return NewMux(TCP{}, WireOptions{Mux: true, Binary: false}) }},
+	{"legacy", func() Transport { return TCP{} }},
+}
+
+// wantNegotiated maps dialler->listener pairings to the protocol the
+// handshake must settle on. Empty means no negotiation happens at all
+// (two legacy peers never speak mux.hello).
+var wantNegotiated = map[[2]string]string{
+	{"binary", "binary"}: ProtoBinaryV1,
+	{"binary", "xmlmux"}: ProtoXMLV1,
+	{"binary", "legacy"}: ProtoLegacy,
+	{"xmlmux", "binary"}: ProtoXMLV1,
+	{"xmlmux", "xmlmux"}: ProtoXMLV1,
+	{"xmlmux", "legacy"}: ProtoLegacy,
+	{"legacy", "binary"}: ProtoLegacy,
+	{"legacy", "xmlmux"}: ProtoLegacy,
+	{"legacy", "legacy"}: "",
+}
+
+var negotiableProtos = []string{ProtoBinaryV1, ProtoXMLV1, ProtoLegacy}
+
+func snapshotNegotiated() map[string]int64 {
+	snap := make(map[string]int64, len(negotiableProtos))
+	for _, p := range negotiableProtos {
+		snap[p] = negotiatedTotal(p).Value()
+	}
+	return snap
+}
+
+func TestInteropMatrix(t *testing.T) {
+	for _, dialler := range interopProfiles {
+		for _, listener := range interopProfiles {
+			t.Run(dialler.name+"_dials_"+listener.name, func(t *testing.T) {
+				dt, lt := dialler.mk(), listener.mk()
+				for _, tr := range []Transport{dt, lt} {
+					if mt, ok := tr.(*MuxTransport); ok {
+						t.Cleanup(func() { mt.Close() })
+					}
+				}
+				lh, err := NewHost("peer-listen", lt, "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				dh, err := NewHost("peer-dial", dt, "127.0.0.1:0")
+				if err != nil {
+					lh.Close()
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { dh.Close(); lh.Close() })
+
+				before := snapshotNegotiated()
+
+				// RPC despatch across the pairing.
+				lh.Handle("interop.echo", func(req *Message) (*Message, error) {
+					return &Message{Payload: req.Payload}, nil
+				})
+				reply, err := dh.Request(lh.Addr(), "interop.echo", []byte("ping"), nil)
+				if err != nil {
+					t.Fatalf("RPC across %s->%s: %v", dialler.name, listener.name, err)
+				}
+				if !bytes.Equal(reply.Payload, []byte("ping")) {
+					t.Fatalf("echo reply = %q", reply.Payload)
+				}
+
+				// Pipe despatch the other way of the same pairing: the
+				// listener-profile host owns the input, the dialler streams in.
+				pipe, ad, err := lh.OpenInput("interop/sink", 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pipe.Close()
+				out, err := dh.BindOutput(ad)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := types.NewSampleSet(8000, []float64{4, 5, 6})
+				for i := 0; i < 3; i++ {
+					if err := out.Send(want); err != nil {
+						t.Fatalf("pipe send %d: %v", i, err)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					select {
+					case d := <-pipe.C:
+						ss, ok := d.(*types.SampleSet)
+						if !ok || ss.Samples[2] != 6 {
+							t.Fatalf("datum %d = %#v", i, d)
+						}
+					case <-time.After(5 * time.Second):
+						t.Fatal("pipe datum never arrived")
+					}
+				}
+				out.Close()
+
+				// The negotiation counters must move for exactly the predicted
+				// protocol; a stray increment elsewhere means some connection
+				// in this cell settled on the wrong codec.
+				after := snapshotNegotiated()
+				want2 := wantNegotiated[[2]string{dialler.name, listener.name}]
+				for _, p := range negotiableProtos {
+					delta := after[p] - before[p]
+					switch {
+					case p == want2 && delta == 0:
+						t.Errorf("wire_negotiated_total{proto=%q} never incremented", p)
+					case p != want2 && delta != 0:
+						t.Errorf("wire_negotiated_total{proto=%q} moved by %d in a %s->%s cell",
+							p, delta, dialler.name, listener.name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestInteropLegacyDiallerSecondConn pins the replay path: a legacy
+// dialler's first frame is consumed by the listener's negotiation sniff
+// and must still reach the application, on the first connection and on
+// every later one.
+func TestInteropLegacyDiallerRepeatedConns(t *testing.T) {
+	lt := NewMux(TCP{}, WireOptions{Mux: true, Binary: true})
+	t.Cleanup(func() { lt.Close() })
+	lh, err := NewHost("peer-listen", lt, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := NewHost("peer-dial", TCP{}, "127.0.0.1:0")
+	if err != nil {
+		lh.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dh.Close(); lh.Close() })
+	lh.Handle("interop.echo", func(req *Message) (*Message, error) {
+		return &Message{Payload: req.Payload}, nil
+	})
+	for i := 0; i < 3; i++ {
+		payload := []byte{byte(i)}
+		reply, err := dh.Request(lh.Addr(), "interop.echo", payload, nil)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !bytes.Equal(reply.Payload, payload) {
+			t.Fatalf("request %d echoed %v", i, reply.Payload)
+		}
+	}
+}

@@ -144,8 +144,11 @@ func newHostPair(t *testing.T, tr Transport) (*Host, *Host) {
 }
 
 func listenAddr(tr Transport) string {
-	if _, ok := tr.(TCP); ok {
+	switch v := tr.(type) {
+	case TCP:
 		return "127.0.0.1:0"
+	case *MuxTransport:
+		return listenAddr(v.inner)
 	}
 	return ""
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"unicode/utf8"
@@ -41,6 +42,11 @@ type Message struct {
 	Kind    string
 	Headers map[string]string
 	Payload []byte
+	// Stream is the mux stream ID carrying this message; zero means the
+	// message travels unmuxed (a whole-connection conversation). The ID
+	// is framed by both codecs so the demultiplexer on the far side can
+	// route it without touching the header map.
+	Stream uint64
 }
 
 // Header returns the named header or "".
@@ -71,6 +77,7 @@ var ErrFrameTooLarge = errors.New("jxtaserve: frame exceeds size limit")
 type xmlEnvelope struct {
 	XMLName xml.Name    `xml:"message"`
 	Kind    string      `xml:"kind,attr"`
+	Stream  uint64      `xml:"stream,attr,omitempty"`
 	Headers []xmlHeader `xml:"header"`
 }
 
@@ -179,6 +186,10 @@ func WriteMessage(w io.Writer, m *Message) error {
 	buf := &scratch.buf
 	buf.WriteString(`<message kind="`)
 	writeXMLAttr(buf, m.Kind)
+	if m.Stream != 0 {
+		buf.WriteString(`" stream="`)
+		buf.WriteString(strconv.FormatUint(m.Stream, 10))
+	}
 	buf.WriteString(`">`)
 	for _, k := range scratch.keys {
 		buf.WriteString(`<header name="`)
@@ -275,7 +286,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if env.Kind == "" {
 		return nil, errors.New("jxtaserve: envelope without kind")
 	}
-	m := &Message{Kind: env.Kind}
+	m := &Message{Kind: env.Kind, Stream: env.Stream}
 	for _, h := range env.Headers {
 		m.SetHeader(h.Name, h.Value)
 	}

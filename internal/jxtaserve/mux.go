@@ -1,0 +1,812 @@
+// Stream multiplexing and wire-protocol negotiation. MuxTransport wraps
+// any Transport so that every Conn handed to callers is a lightweight
+// Stream riding a single underlying connection per peer pair: pipes and
+// RPCs between two peers stop costing one TCP connection each.
+//
+// Negotiation happens in-band with the legacy XML framing, so a muxed
+// dialer can talk to any listener ever deployed:
+//
+//	dialer                         listener
+//	------                         --------
+//	mux.hello{protos,win}  ----->
+//	                       <-----  mux.hello{proto,win}   (muxed peer)
+//	        both switch codec if proto == binary/1
+//	                       <-----  rpc.error              (legacy peer)
+//	        dialer closes, marks addr legacy, redials raw
+//
+// A legacy dialer never sends mux.hello, so the muxed listener sees an
+// ordinary first frame (pipe.bind, rpc) and serves the connection
+// unmuxed via a replay wrapper. Binary framing is only offered when the
+// underlying conn can actually switch codecs mid-connection (TCP can;
+// in-process transports pass values and honestly negotiate xml/1).
+//
+// Inside a session every frame carries its stream ID, encoded on the
+// wire as id<<1|syn: the low bit marks the opener's first frame, which
+// is what creates the stream on the receiving side. An unknown ID
+// without the SYN bit is a straggler from an already-reset stream and
+// is dropped — concurrent openers send their first frames in arbitrary
+// ID order, so no high-water heuristic can tell fresh from stale; the
+// explicit bit can. Flow control is credit-based: a sender starts with
+// the peer's advertised window and spends one credit per frame; the
+// receiver returns credit (mux.win) as the application drains its
+// queue. Streams close and reset independently (mux.rst) without
+// disturbing siblings; only an I/O error on the shared connection
+// kills the whole session.
+package jxtaserve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Wire-negotiation message kinds (never seen by applications).
+const (
+	KindMuxHello  = "mux.hello" // headers: protos|proto, win
+	KindMuxReset  = "mux.rst"   // headers: cause; kills one stream
+	KindMuxWindow = "mux.win"   // headers: n; returns n credits to the sender
+)
+
+// Negotiated protocol names, as logged in wire_negotiated_total{proto=...}.
+const (
+	ProtoBinaryV1 = "binary/1" // muxed, binary codec
+	ProtoXMLV1    = "xml/1"    // muxed, XML codec
+	ProtoLegacy   = "legacy"   // unmuxed XML, pre-mux peer
+)
+
+const (
+	defaultWindow = 64   // per-stream frames in flight before credit blocks
+	maxWindow     = 4096 // cap on what a peer may make us buffer per stream
+	acceptBacklog = 128  // inbound streams awaiting Accept
+)
+
+// WireOptions selects the transport features a peer offers.
+type WireOptions struct {
+	// Mux multiplexes all conns to a peer over one connection.
+	Mux bool
+	// Binary offers the binary codec during negotiation (TCP only;
+	// transports that cannot switch codecs fall back to muxed XML).
+	Binary bool
+	// Window is the per-stream receive window in frames; 0 means
+	// defaultWindow.
+	Window int
+}
+
+// binarySwitcher is the capability a Conn must have for binary/1 to be
+// offered: switching the wire codec after the XML hello exchange.
+type binarySwitcher interface{ UseBinary() }
+
+// StreamScopedError marks a Send failure whose blast radius is one
+// stream, not the shared connection — simnet's per-stream fault
+// injection returns these so a simulated drop resets the stream while
+// sibling streams keep flowing, exactly as a real mux would contain a
+// per-stream reset.
+type StreamScopedError interface {
+	error
+	StreamScoped() bool
+}
+
+func isStreamScoped(err error) bool {
+	var se StreamScopedError
+	return errors.As(err, &se) && se.StreamScoped()
+}
+
+// StreamResetError reports a stream reset by the peer (or by injected
+// faults), carrying the advertised cause.
+type StreamResetError struct {
+	Stream uint64
+	Cause  string
+}
+
+func (e *StreamResetError) Error() string {
+	return fmt.Sprintf("jxtaserve: stream %d reset: %s", e.Stream, e.Cause)
+}
+
+// SessionDeadError reports that the shared connection under a stream
+// died; it wraps the I/O error that killed it.
+type SessionDeadError struct {
+	Err error
+}
+
+func (e *SessionDeadError) Error() string { return "jxtaserve: mux session dead: " + e.Err.Error() }
+func (e *SessionDeadError) Unwrap() error { return e.Err }
+
+// --- transport wrapper --------------------------------------------------------
+
+// MuxTransport implements Transport over an inner one, multiplexing
+// dialled conns into per-address sessions and demultiplexing accepted
+// connections back into per-stream Conns.
+type MuxTransport struct {
+	inner Transport
+	opts  WireOptions
+
+	mu       sync.Mutex
+	peers    map[string]*muxPeer
+	sessions map[*session]struct{}
+	lns      map[*muxListener]struct{}
+	closed   bool
+}
+
+// muxPeer serialises dialling per address so concurrent Dials share one
+// handshake instead of racing to open parallel sessions.
+type muxPeer struct {
+	mu     sync.Mutex
+	sess   *session
+	legacy bool // peer rejected mux.hello; dial raw from now on
+}
+
+// NewMux wraps inner with stream multiplexing and protocol negotiation.
+func NewMux(inner Transport, opts WireOptions) *MuxTransport {
+	if opts.Window <= 0 {
+		opts.Window = defaultWindow
+	}
+	if opts.Window > maxWindow {
+		opts.Window = maxWindow
+	}
+	return &MuxTransport{
+		inner:    inner,
+		opts:     opts,
+		peers:    make(map[string]*muxPeer),
+		sessions: make(map[*session]struct{}),
+		lns:      make(map[*muxListener]struct{}),
+	}
+}
+
+func (t *MuxTransport) peer(addr string) *muxPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		p = &muxPeer{}
+		t.peers[addr] = p
+	}
+	return p
+}
+
+// Dial returns a stream on the (possibly fresh) session to addr, or a
+// raw conn when the peer has proven legacy.
+func (t *MuxTransport) Dial(addr string) (Conn, error) {
+	p := t.peer(addr)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.legacy {
+		return t.inner.Dial(addr)
+	}
+	if p.sess != nil && !p.sess.isDead() {
+		if st, err := p.sess.openStream(); err == nil {
+			return st, nil
+		}
+		// Session died between the check and the open; fall through and
+		// establish a fresh one.
+	}
+	p.sess = nil
+	raw, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	proto, peerWin, err := t.dialHello(raw)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	negotiatedTotal(proto).Inc()
+	if proto == ProtoLegacy {
+		// The peer predates mux.hello: it replied rpc.error and is about
+		// to close this conn. Remember that and redial plain.
+		p.legacy = true
+		raw.Close()
+		return t.inner.Dial(addr)
+	}
+	sess := newSession(raw, true, peerWin, t.opts.Window, nil)
+	sess.onDead = func() {
+		p.mu.Lock()
+		if p.sess == sess {
+			p.sess = nil
+		}
+		p.mu.Unlock()
+	}
+	p.sess = sess
+	t.track(sess)
+	sess.start()
+	return sess.openStream()
+}
+
+// dialHello runs the dialler half of the negotiation on a fresh conn.
+func (t *MuxTransport) dialHello(raw Conn) (proto string, peerWin int, err error) {
+	offer := ProtoXMLV1
+	sw, canBinary := raw.(binarySwitcher)
+	if t.opts.Binary && canBinary {
+		offer = ProtoBinaryV1 + "," + ProtoXMLV1
+	}
+	hello := &Message{Kind: KindMuxHello}
+	hello.SetHeader("protos", offer)
+	hello.SetHeader("win", strconv.Itoa(t.opts.Window))
+	if err := raw.Send(hello); err != nil {
+		return "", 0, err
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		// Could be a legacy peer that closed on the unknown kind without
+		// replying, or a genuinely dead link. Don't mark legacy on such
+		// ambiguous evidence — surface the error and let the caller retry.
+		return "", 0, err
+	}
+	switch reply.Kind {
+	case KindMuxHello:
+		proto = reply.Header("proto")
+		switch proto {
+		case ProtoBinaryV1:
+			if !canBinary {
+				return "", 0, fmt.Errorf("jxtaserve: peer chose %s on a conn that cannot switch codecs", proto)
+			}
+			sw.UseBinary()
+		case ProtoXMLV1:
+		default:
+			return "", 0, fmt.Errorf("jxtaserve: peer chose unknown protocol %q", proto)
+		}
+		return proto, parseWindow(reply.Header("win")), nil
+	case KindRPCError:
+		return ProtoLegacy, 0, nil
+	default:
+		return "", 0, fmt.Errorf("jxtaserve: unexpected handshake reply %q", reply.Kind)
+	}
+}
+
+// Listen wraps the inner listener so Accept yields per-stream Conns
+// from muxed peers and plain conns from legacy ones.
+func (t *MuxTransport) Listen(addr string) (Listener, error) {
+	inner, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &muxListener{
+		t:        t,
+		inner:    inner,
+		acceptCh: make(chan Conn, acceptBacklog),
+		done:     make(chan struct{}),
+	}
+	t.mu.Lock()
+	t.lns[l] = struct{}{}
+	t.mu.Unlock()
+	go l.run()
+	return l, nil
+}
+
+func (t *MuxTransport) track(s *session) {
+	t.mu.Lock()
+	t.sessions[s] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *MuxTransport) untrack(s *session) {
+	t.mu.Lock()
+	delete(t.sessions, s)
+	t.mu.Unlock()
+}
+
+// Close tears down every listener and kills every live session.
+func (t *MuxTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	lns := make([]*muxListener, 0, len(t.lns))
+	for l := range t.lns {
+		lns = append(lns, l)
+	}
+	sessions := make([]*session, 0, len(t.sessions))
+	for s := range t.sessions {
+		sessions = append(sessions, s)
+	}
+	t.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, s := range sessions {
+		s.kill(ErrClosed)
+	}
+	return nil
+}
+
+type muxListener struct {
+	t        *MuxTransport
+	inner    Listener
+	acceptCh chan Conn
+	done     chan struct{}
+	once     sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// run accepts raw connections and hands each to a handshake goroutine,
+// so one slow or stalled dialler cannot block the others.
+func (l *muxListener) run() {
+	for {
+		raw, err := l.inner.Accept()
+		if err != nil {
+			l.mu.Lock()
+			l.err = err
+			l.mu.Unlock()
+			l.Close()
+			return
+		}
+		go l.serve(raw)
+	}
+}
+
+// serve classifies one inbound connection: muxed peers open with
+// mux.hello, legacy peers open with application traffic.
+func (l *muxListener) serve(raw Conn) {
+	first, err := raw.Recv()
+	if err != nil {
+		raw.Close()
+		return
+	}
+	if first.Kind != KindMuxHello {
+		negotiatedTotal(ProtoLegacy).Inc()
+		l.deliver(&replayConn{Conn: raw, first: first})
+		return
+	}
+	proto := ProtoXMLV1
+	sw, canBinary := raw.(binarySwitcher)
+	if l.t.opts.Binary && canBinary && offersProto(first.Header("protos"), ProtoBinaryV1) {
+		proto = ProtoBinaryV1
+	}
+	reply := &Message{Kind: KindMuxHello}
+	reply.SetHeader("proto", proto)
+	reply.SetHeader("win", strconv.Itoa(l.t.opts.Window))
+	if err := raw.Send(reply); err != nil {
+		raw.Close()
+		return
+	}
+	if proto == ProtoBinaryV1 {
+		// Safe: the session's demux goroutine has not started, so no Recv
+		// is in flight while the codec flips.
+		sw.UseBinary()
+	}
+	negotiatedTotal(proto).Inc()
+	sess := newSession(raw, false, parseWindow(first.Header("win")), l.t.opts.Window, l.deliver)
+	sess.onDead = func() { l.t.untrack(sess) }
+	l.t.track(sess)
+	sess.start()
+}
+
+// deliver queues an accepted conn (stream or legacy) for Accept.
+func (l *muxListener) deliver(c Conn) {
+	select {
+	case l.acceptCh <- c:
+	case <-l.done:
+		c.Close()
+	}
+}
+
+func (l *muxListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		// Drain conns that raced with close.
+		select {
+		case c := <-l.acceptCh:
+			return c, nil
+		default:
+		}
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+}
+
+func (l *muxListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.inner.Close()
+		l.t.mu.Lock()
+		delete(l.t.lns, l)
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *muxListener) Addr() string { return l.inner.Addr() }
+
+// replayConn serves a legacy dialler whose first frame was consumed
+// during classification: the first Recv replays it.
+type replayConn struct {
+	Conn
+	mu    sync.Mutex
+	first *Message
+}
+
+func (c *replayConn) Recv() (*Message, error) {
+	c.mu.Lock()
+	if m := c.first; m != nil {
+		c.first = nil
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	return c.Conn.Recv()
+}
+
+// offersProto reports whether a comma-separated protos offer includes p.
+func offersProto(offer, p string) bool {
+	for _, o := range strings.Split(offer, ",") {
+		if strings.TrimSpace(o) == p {
+			return true
+		}
+	}
+	return false
+}
+
+// parseWindow decodes a win header, clamped to sane bounds so a hostile
+// hello can neither stall us (0) nor make us buffer unbounded frames.
+func parseWindow(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 1
+	}
+	if n > maxWindow {
+		return maxWindow
+	}
+	return n
+}
+
+// --- session ------------------------------------------------------------------
+
+// session is one multiplexed connection: a single demux goroutine fans
+// inbound frames out to streams; outbound frames from every stream are
+// serialised through writeMu.
+type session struct {
+	conn    Conn
+	writeMu sync.Mutex // serialises conn.Send across streams
+
+	parity  uint64 // local stream IDs ≡ parity (mod 2); dialler 1, listener 0
+	sendWin int    // peer's receive window: initial credit per stream
+	recvWin int    // our receive queue capacity per stream
+
+	onStream func(Conn) // inbound stream delivery; nil rejects inbound
+	onDead   func()
+
+	mu      sync.Mutex
+	streams map[uint64]*stream
+	nextID  uint64
+	err     error
+
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func newSession(conn Conn, dialler bool, sendWin, recvWin int, onStream func(Conn)) *session {
+	s := &session{
+		conn:     conn,
+		sendWin:  sendWin,
+		recvWin:  recvWin,
+		onStream: onStream,
+		streams:  make(map[uint64]*stream),
+		dead:     make(chan struct{}),
+	}
+	if dialler {
+		s.parity, s.nextID = 1, 1
+	} else {
+		s.parity, s.nextID = 0, 2
+	}
+	if s.sendWin < 1 {
+		s.sendWin = 1
+	}
+	if s.recvWin < 1 {
+		s.recvWin = 1
+	}
+	return s
+}
+
+// start launches the demux loop; split from newSession so callers can
+// finish wiring callbacks before frames flow.
+func (s *session) start() { go s.demux() }
+
+func (s *session) isDead() bool {
+	select {
+	case <-s.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// openStream allocates a locally-initiated stream. No frame is sent:
+// the first data frame on the new ID implicitly opens it on the peer.
+func (s *session) openStream() (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isDead() {
+		err := s.err
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, &SessionDeadError{Err: err}
+	}
+	id := s.nextID
+	s.nextID += 2
+	return s.newStreamLocked(id), nil
+}
+
+func (s *session) newStreamLocked(id uint64) *stream {
+	st := &stream{
+		sess:   s,
+		id:     id,
+		credit: int64(s.sendWin),
+		q:      make(chan *Message, s.recvWin),
+	}
+	st.creditCond = sync.NewCond(&st.mu)
+	s.streams[id] = st
+	return st
+}
+
+func (s *session) lookup(id uint64) *stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[id]
+}
+
+func (s *session) remove(id uint64) {
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
+}
+
+// send serialises one frame onto the shared connection.
+func (s *session) send(m *Message) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.conn.Send(m)
+}
+
+// demux routes inbound frames to streams until the connection dies.
+func (s *session) demux() {
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			s.kill(err)
+			return
+		}
+		// Wire stream field is id<<1|syn; control frames may echo a data
+		// frame's SYN bit (simnet's synthetic resets do), so always mask.
+		id := m.Stream >> 1
+		switch m.Kind {
+		case KindMuxReset:
+			if st := s.lookup(id); st != nil {
+				cause := m.Header("cause")
+				if cause == "" {
+					cause = "peer reset"
+				}
+				st.reset(&StreamResetError{Stream: id, Cause: cause}, false)
+			}
+		case KindMuxWindow:
+			if st := s.lookup(id); st != nil {
+				if n, err := strconv.Atoi(m.Header("n")); err == nil && n > 0 {
+					st.grant(n)
+				}
+			}
+		default:
+			s.dispatch(m)
+		}
+	}
+}
+
+// dispatch delivers a data frame, opening the stream when the SYN bit
+// marks the opener's first frame. Frames for unknown IDs without SYN
+// belong to already-reset streams and are dropped — the peer learned of
+// the reset from our mux.rst and stops counting them against credit.
+func (s *session) dispatch(m *Message) {
+	syn := m.Stream&1 == 1
+	id := m.Stream >> 1
+	m.Stream = id // applications see the logical ID, not the wire encoding
+	s.mu.Lock()
+	st := s.streams[id]
+	if st != nil {
+		s.mu.Unlock()
+		st.push(m)
+		return
+	}
+	fresh := syn && id != 0 && id%2 != s.parity && !s.isDead()
+	if fresh && s.onStream != nil {
+		st = s.newStreamLocked(id)
+		st.synSent = true // peer opened it; our frames never carry SYN
+		s.mu.Unlock()
+		st.push(m)
+		s.onStream(st)
+		return
+	}
+	s.mu.Unlock()
+	if fresh {
+		// Peer opened a stream toward a pure dialler session; refuse it
+		// so the peer's sender fails fast instead of starving on credit.
+		rst := &Message{Kind: KindMuxReset, Stream: id << 1}
+		rst.SetHeader("cause", "peer accepts no inbound streams")
+		s.send(rst)
+	}
+}
+
+// kill tears the whole session down: every stream resets locally and
+// the shared connection closes.
+func (s *session) kill(err error) {
+	s.deadOnce.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		// Closed under s.mu, before the snapshot: stream registration
+		// also holds s.mu, so every stream either lands in the snapshot
+		// (and resets below) or observes the dead session and refuses.
+		close(s.dead)
+		streams := make([]*stream, 0, len(s.streams))
+		for _, st := range s.streams {
+			streams = append(streams, st)
+		}
+		s.mu.Unlock()
+		s.conn.Close()
+		for _, st := range streams {
+			st.reset(&SessionDeadError{Err: err}, false)
+		}
+		if s.onDead != nil {
+			s.onDead()
+		}
+	})
+}
+
+// --- stream -------------------------------------------------------------------
+
+// stream is one multiplexed Conn. The demux goroutine is the only
+// pusher into q; Recv is the only consumer; Send never touches q.
+type stream struct {
+	sess *session
+	id   uint64
+
+	mu         sync.Mutex
+	creditCond *sync.Cond // broadcast on grant, reset, session death
+	credit     int64      // frames the peer will buffer; never negative
+	consumed   int        // frames drained since the last credit return
+	closed     bool
+	synSent    bool // first frame not yet sent; next Send carries the SYN bit
+	cause      error
+	q          chan *Message
+}
+
+// ID reports the stream's session-local identifier.
+func (st *stream) ID() uint64 { return st.id }
+
+// Send ships one frame, blocking while the peer's window is exhausted.
+func (st *stream) Send(m *Message) error {
+	st.mu.Lock()
+	for st.credit <= 0 && !st.closed {
+		st.creditCond.Wait()
+	}
+	if st.closed {
+		cause := st.cause
+		st.mu.Unlock()
+		if cause == nil {
+			cause = ErrClosed
+		}
+		return cause
+	}
+	st.credit--
+	wire := st.id << 1
+	if !st.synSent {
+		wire |= 1 // SYN: this frame opens the stream on the peer
+		st.synSent = true
+	}
+	st.mu.Unlock()
+	// Shallow copy so tagging the stream ID never mutates the caller's
+	// message (pipes retry sends of the same *Message after faults).
+	wm := *m
+	wm.Stream = wire
+	err := st.sess.send(&wm)
+	if err == nil {
+		return nil
+	}
+	if isStreamScoped(err) {
+		// The fault hit this stream only; the injector already told the
+		// peer (synthetic mux.rst), so reset locally without another one.
+		st.reset(err, false)
+		return err
+	}
+	st.sess.kill(err)
+	return err
+}
+
+// Recv returns the next frame, granting credit back to the peer as the
+// queue drains. After a reset, frames already queued still drain before
+// the cause surfaces.
+func (st *stream) Recv() (*Message, error) {
+	m, ok := <-st.q
+	if !ok {
+		st.mu.Lock()
+		cause := st.cause
+		st.mu.Unlock()
+		if cause == nil {
+			cause = ErrClosed
+		}
+		return nil, cause
+	}
+	st.mu.Lock()
+	st.consumed++
+	grant := 0
+	if !st.closed && st.consumed*2 >= st.sess.recvWin {
+		grant = st.consumed
+		st.consumed = 0
+	}
+	st.mu.Unlock()
+	if grant > 0 {
+		win := &Message{Kind: KindMuxWindow, Stream: st.id << 1}
+		win.SetHeader("n", strconv.Itoa(grant))
+		// Best-effort: if the session is dying the reset path surfaces it.
+		st.sess.send(win)
+	}
+	return m, nil
+}
+
+// Close resets the stream and tells the peer. Idempotent.
+func (st *stream) Close() error {
+	st.reset(ErrClosed, true)
+	return nil
+}
+
+// push delivers an inbound frame from the demux loop. The queue is
+// sized to the window we advertised, so overflow means the peer ignored
+// flow control: the stream resets rather than block the demux loop (a
+// stalled sibling must never head-of-line-block the session).
+func (st *stream) push(m *Message) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	select {
+	case st.q <- m:
+		st.mu.Unlock()
+	default:
+		st.mu.Unlock()
+		st.reset(&StreamResetError{Stream: st.id, Cause: "flow-control window exceeded"}, true)
+	}
+}
+
+// grant returns credit spent by our sends.
+func (st *stream) grant(n int) {
+	st.mu.Lock()
+	st.credit += int64(n)
+	st.creditCond.Broadcast()
+	st.mu.Unlock()
+}
+
+// reset closes the stream exactly once: queued frames stay readable,
+// blocked senders wake with the cause, and optionally the peer is told.
+func (st *stream) reset(cause error, tellPeer bool) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.cause = cause
+	close(st.q)
+	st.creditCond.Broadcast()
+	st.mu.Unlock()
+	st.sess.remove(st.id)
+	if tellPeer {
+		rst := &Message{Kind: KindMuxReset, Stream: st.id << 1}
+		if cause != nil && cause != ErrClosed {
+			if msg := cause.Error(); xmlSafeSlow(msg) {
+				rst.SetHeader("cause", msg)
+			}
+		}
+		// Best-effort: a dead session has already reset the peer's side.
+		st.sess.send(rst)
+	}
+}

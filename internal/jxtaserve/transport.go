@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Conn is one bidirectional message stream between two peers. Send and
@@ -52,7 +53,14 @@ type tcpConn struct {
 	br *bufio.Reader
 	bw *bufio.Writer
 	mu sync.Mutex // serialises Send (frame integrity)
+	// binary flips the wire codec from XML to binary v1. Set once by the
+	// mux handshake, at a point where no Send or Recv is in flight.
+	binary atomic.Bool
 }
+
+// UseBinary switches subsequent frames to the binary codec, satisfying
+// the mux's binarySwitcher capability check.
+func (c *tcpConn) UseBinary() { c.binary.Store(true) }
 
 // Listen implements Transport.
 func (TCP) Listen(addr string) (Listener, error) {
@@ -102,13 +110,22 @@ func (c *tcpConn) Send(m *Message) error {
 	if c.bw == nil {
 		return ErrClosed
 	}
-	if err := WriteMessage(c.bw, m); err != nil {
+	write := WriteMessage
+	if c.binary.Load() {
+		write = WriteBinaryMessage
+	}
+	if err := write(c.bw, m); err != nil {
 		return err
 	}
 	return c.bw.Flush()
 }
 
-func (c *tcpConn) Recv() (*Message, error) { return ReadMessage(c.br) }
+func (c *tcpConn) Recv() (*Message, error) {
+	if c.binary.Load() {
+		return ReadBinaryMessage(c.br)
+	}
+	return ReadMessage(c.br)
+}
 
 func (c *tcpConn) Close() error {
 	err := c.c.Close()

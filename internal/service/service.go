@@ -99,6 +99,12 @@ type Options struct {
 	// when set, the discovery agent is routed through it (Mode becomes
 	// ModeOverlay). Nil keeps the flat Discovery config as given.
 	Overlay *OverlayOptions
+	// Wire selects transport features: Wire.Mux multiplexes all traffic
+	// to a peer over one connection, Wire.Binary offers the binary codec
+	// during negotiation. Off by default; trianad turns both on. Either
+	// way, XML-only and unmuxed peers still interoperate (the handshake
+	// downgrades per peer).
+	Wire jxtaserve.WireOptions
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -107,6 +113,7 @@ type Options struct {
 type Service struct {
 	opts    Options
 	host    *jxtaserve.Host
+	muxT    *jxtaserve.MuxTransport // nil unless Options.Wire.Mux
 	disc    *discovery.Node
 	fetcher *mcode.Fetcher
 	rm      gateway.ResourceManager
@@ -167,14 +174,24 @@ func New(opts Options) (*Service, error) {
 	if opts.Transport == nil {
 		return nil, fmt.Errorf("service: Transport required")
 	}
-	host, err := jxtaserve.NewHost(opts.PeerID, opts.Transport, opts.Addr)
+	transport := opts.Transport
+	var muxT *jxtaserve.MuxTransport
+	if opts.Wire.Mux {
+		muxT = jxtaserve.NewMux(transport, opts.Wire)
+		transport = muxT
+	}
+	host, err := jxtaserve.NewHost(opts.PeerID, transport, opts.Addr)
 	if err != nil {
+		if muxT != nil {
+			muxT.Close()
+		}
 		return nil, err
 	}
 	s := &Service{
 		opts:     opts,
 		res:      opts.Resilience.withDefaults(),
 		host:     host,
+		muxT:     muxT,
 		fetcher:  mcode.NewFetcher(host, mcode.NewStore(opts.CodeBudget)),
 		rm:       opts.RM,
 		jobs:     make(map[string]*job),
@@ -205,6 +222,9 @@ func New(opts Options) (*Service, error) {
 	if opts.Overlay != nil && (len(opts.Overlay.SuperPeers) > 0 || opts.Overlay.SuperPeer) {
 		if err := s.setupOverlay(opts.Overlay, &discCfg); err != nil {
 			host.Close()
+			if muxT != nil {
+				muxT.Close()
+			}
 			return nil, err
 		}
 	}
@@ -264,6 +284,11 @@ func (s *Service) Close() error {
 		s.overlaySuper.Close()
 	}
 	err := s.host.Close()
+	if s.muxT != nil {
+		// After the host: host.Close unblocks pipe readers, then the mux
+		// kills the sessions those readers rode on.
+		s.muxT.Close()
+	}
 	s.bg.Wait()
 	return err
 }

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/policy"
+	"consumergrid/internal/simnet"
+)
+
+func negotiatedCount(proto string) int64 {
+	return metrics.Default().Counter(
+		metrics.Series("wire_negotiated_total", "proto", proto)).Value()
+}
+
+// TestMixedWireRingDespatch runs a full distributed farm over a ring
+// where the controller and one worker speak the multiplexed protocol
+// while the other worker predates it entirely. Despatch must succeed
+// end to end across both, and the downgrade must be visible in
+// wire_negotiated_total: the mux pair settles on a negotiated protocol,
+// the legacy worker is detected and served raw frames.
+func TestMixedWireRingDespatch(t *testing.T) {
+	n := simnet.New()
+	muxWire := Options{Wire: jxtaserve.WireOptions{Mux: true, Binary: true}}
+	ctl := newService(t, n.Peer("ctl"), "ctl", muxWire)
+	w1 := newService(t, n.Peer("w1"), "w1", muxWire)
+	w2 := newService(t, n.Peer("w2"), "w2", Options{}) // pre-mux peer
+
+	xmlBefore := negotiatedCount(jxtaserve.ProtoXMLV1)
+	legacyBefore := negotiatedCount(jxtaserve.ProtoLegacy)
+
+	g := figure1(t, policy.NameParallel)
+	plan := &policy.Plan{Kind: policy.KindParallel, Replicas: []string{"w1", "w2"}}
+	peers := map[string]PeerRef{
+		"w1": {ID: "w1", Addr: w1.Addr()},
+		"w2": {ID: "w2", Addr: w2.Addr()},
+	}
+	const iters = 12
+	res, err := ctl.RunDistributed(context.Background(), g, "GroupTask", plan, peers,
+		DistOptions{Iterations: iters, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredSignal(t, res, iters)
+	total := 0
+	for peer, counts := range res.Remote {
+		if counts["Gaussian"] == 0 {
+			t.Errorf("replica %s did no work", peer)
+		}
+		total += counts["Gaussian"]
+	}
+	if total != iters {
+		t.Errorf("replicas processed %d total, want %d", total, iters)
+	}
+
+	// Simnet conns cannot switch codecs, so the mux pair settles on
+	// xml/1; the legacy worker registers at least one downgrade.
+	if d := negotiatedCount(jxtaserve.ProtoXMLV1) - xmlBefore; d == 0 {
+		t.Error("no xml/1 negotiation recorded between the mux peers")
+	}
+	if d := negotiatedCount(jxtaserve.ProtoLegacy) - legacyBefore; d == 0 {
+		t.Error("no legacy downgrade recorded for the pre-mux worker")
+	}
+}

@@ -141,6 +141,22 @@ type DropError struct {
 
 func (e *DropError) Error() string { return "simnet: message dropped on link " + e.Link }
 
+// StreamFaultError reports an injected fault whose blast radius is one
+// mux stream: the carrying connection survives and sibling streams keep
+// flowing. It satisfies jxtaserve.StreamScopedError, which is how the
+// mux knows to reset just the stream instead of killing the session.
+type StreamFaultError struct {
+	Stream uint64
+	Err    error
+}
+
+func (e *StreamFaultError) Error() string {
+	return fmt.Sprintf("simnet: stream %d fault: %v", e.Stream, e.Err)
+}
+
+func (e *StreamFaultError) Unwrap() error      { return e.Err }
+func (e *StreamFaultError) StreamScoped() bool { return true }
+
 // PeerDownError reports a dial involving a killed peer.
 type PeerDownError struct {
 	Label string
@@ -164,6 +180,28 @@ func (e *PartitionError) Error() string {
 // a corrupted copy (the caller's message is never mutated in place,
 // since senders may retain or pool their buffers).
 func (n *Network) applyFaults(c *conn, m *jxtaserve.Message) (*jxtaserve.Message, error) {
+	switch m.Kind {
+	case jxtaserve.KindMuxHello, jxtaserve.KindMuxReset, jxtaserve.KindMuxWindow:
+		// Mux control frames ride a reliable control channel: dropping a
+		// credit grant or a reset would wedge flow control rather than
+		// model a data-plane fault. They don't tick the drop clock either,
+		// so the data-frame fault rate matches an unmuxed run.
+		return m, nil
+	}
+	perStream := m.Stream != 0 && c.muxed.Load()
+	if perStream {
+		// Partitions act per stream on muxed connections: the session
+		// survives (it is shared infrastructure, like the physical NIC),
+		// but any stream whose traffic crosses the split resets.
+		n.mu.Lock()
+		severed := n.severedLocked(c.meta)
+		n.mu.Unlock()
+		if severed {
+			c.resetStream(m.Stream, "partition")
+			return m, &StreamFaultError{Stream: m.Stream,
+				Err: &PartitionError{From: c.meta.src, To: c.meta.dstAddr}}
+		}
+	}
 	n.mu.Lock()
 	key, cfg, ok := n.resolveFaultsLocked(c.meta)
 	if !ok {
@@ -217,6 +255,13 @@ func (n *Network) applyFaults(c *conn, m *jxtaserve.Message) (*jxtaserve.Message
 	}
 	if drop {
 		n.dropped.Add(1)
+		if perStream {
+			// The drop clock stays per link (so fault rates are comparable
+			// with unmuxed runs) but the damage lands on one stream: the
+			// far side learns via a synthetic reset, siblings keep flowing.
+			c.resetStream(m.Stream, "injected drop")
+			return m, &StreamFaultError{Stream: m.Stream, Err: &DropError{Link: counterKey}}
+		}
 		c.Close()
 		return m, &DropError{Link: counterKey}
 	}
@@ -241,7 +286,16 @@ func corruptMessage(m *jxtaserve.Message) *jxtaserve.Message {
 	p := make([]byte, len(m.Payload))
 	copy(p, m.Payload)
 	p[len(p)-1] ^= 0xff
-	return &jxtaserve.Message{Kind: m.Kind, Headers: m.Headers, Payload: p}
+	return &jxtaserve.Message{Kind: m.Kind, Headers: m.Headers, Payload: p, Stream: m.Stream}
+}
+
+// resetStream tells the far side that one stream died, without touching
+// the carrying connection. Sent through the inner conn so the synthetic
+// reset cannot itself be dropped or counted as traffic.
+func (c *conn) resetStream(id uint64, cause string) {
+	rst := &jxtaserve.Message{Kind: jxtaserve.KindMuxReset, Stream: id}
+	rst.SetHeader("cause", "simnet: "+cause)
+	c.inner.Send(rst)
 }
 
 // --- peer kill / restart ----------------------------------------------------
@@ -305,6 +359,9 @@ func toSet(labels []string) map[string]bool {
 // Partition splits the network between two label groups (peer labels or
 // addresses): dials crossing the split fail and established crossing
 // connections are severed. Heal removes it. Multiple partitions stack.
+// Muxed connections are not closed — their crossing streams reset one
+// by one as they next send, which is the per-stream fault model the mux
+// benchmarks measure.
 func (n *Network) Partition(groupA, groupB []string) {
 	p := partition{sideA: toSet(groupA), sideB: toSet(groupB)}
 	n.mu.Lock()
@@ -314,6 +371,9 @@ func (n *Network) Partition(groupA, groupB []string) {
 	})
 	n.mu.Unlock()
 	for _, c := range victims {
+		if c.muxed.Load() {
+			continue
+		}
 		c.Close()
 	}
 }

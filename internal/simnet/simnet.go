@@ -31,6 +31,7 @@ type Network struct {
 	bytes     atomic.Int64
 	dropped   atomic.Int64
 	corrupted atomic.Int64
+	dials     atomic.Int64
 
 	mu     sync.Mutex
 	cut    map[string]bool   // addresses whose links are severed
@@ -89,6 +90,11 @@ func (n *Network) Dropped() int64 { return n.dropped.Load() }
 // Corrupted reports pipe.data payloads silently corrupted by injected
 // byzantine faults.
 func (n *Network) Corrupted() int64 { return n.corrupted.Load() }
+
+// Dials reports successful Dial calls — the number of underlying
+// connections ever established. With the mux on, this stays O(peer
+// pairs) no matter how many pipes and RPCs ride the sessions.
+func (n *Network) Dials() int64 { return n.dials.Load() }
 
 // ResetCounters zeroes the accounting, e.g. between experiment phases.
 func (n *Network) ResetCounters() {
@@ -188,6 +194,7 @@ func (n *Network) dial(addr, src string) (jxtaserve.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.dials.Add(1)
 	return n.register(c, meta), nil
 }
 
@@ -237,6 +244,10 @@ type conn struct {
 	inner jxtaserve.Conn
 	meta  connMeta
 
+	// muxed flips when a mux.hello passes through either direction:
+	// the connection carries multiplexed streams, so injected faults
+	// target individual streams instead of tearing the whole pipe down.
+	muxed     atomic.Bool
 	closeOnce sync.Once
 }
 
@@ -250,6 +261,9 @@ func MessageSize(m *jxtaserve.Message) int64 {
 }
 
 func (c *conn) Send(m *jxtaserve.Message) error {
+	if m.Kind == jxtaserve.KindMuxHello {
+		c.muxed.Store(true)
+	}
 	if c.net.Latency > 0 {
 		time.Sleep(c.net.Latency)
 	}
@@ -262,7 +276,13 @@ func (c *conn) Send(m *jxtaserve.Message) error {
 	return c.inner.Send(m)
 }
 
-func (c *conn) Recv() (*jxtaserve.Message, error) { return c.inner.Recv() }
+func (c *conn) Recv() (*jxtaserve.Message, error) {
+	m, err := c.inner.Recv()
+	if err == nil && m.Kind == jxtaserve.KindMuxHello {
+		c.muxed.Store(true)
+	}
+	return m, err
+}
 
 func (c *conn) Close() error {
 	c.closeOnce.Do(func() { c.net.unregister(c) })
