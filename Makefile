@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance datastore-smoke
 
 build:
 	go build ./...
@@ -50,6 +50,17 @@ wire-conformance:
 # scrape fails, or any series family is missing.
 metrics-smoke:
 	./tools/metrics_smoke.sh
+
+# Content-addressed data tier: the chunkstore/manifest unit and fuzz
+# suites, ring chunk placement, and the end-to-end farm battery —
+# manifest despatch, the >= 50% controller-egress reduction under
+# quorum, the legacy streaming fallback, the peer fetch rung, and the
+# dead-replica chaos case. Then a short run of the egress benchmark
+# pair so the streaming-vs-manifest byte counts stay visible in CI logs.
+datastore-smoke:
+	go test ./internal/chunkstore/ ./internal/overlay/ -run 'TestChunk|TestManifest|FuzzChunk' -count=1
+	go test ./internal/service/ -run 'TestFarmManifestDespatch|TestFarmEgressReduction|TestFarmLegacyPeerStreamsPayloads|TestResolveManifestPeerRung|TestFarmSurvivesDeadChunkReplica' -count=1 -v
+	go test -run '^$$' -bench 'BenchmarkFarmEgress' -benchtime 5x .
 
 # Deterministic byzantine chaos harness: seeded simnet with a corrupting
 # peer and a dead peer, quorum voting, breaker and score assertions via

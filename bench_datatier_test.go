@@ -1,0 +1,112 @@
+package consumergrid_test
+
+// Controller-egress benches for the content-addressed data tier. Both
+// run the identical quorum farm on the identical simnet topology; the
+// only variable is whether farm inputs travel as streamed payloads
+// (once per voter) or as chunk manifests resolved through donor caches
+// and the super-peer ring. The egress-B/op custom metric is the
+// controller's data-plane bytes per farm — the number the tier exists
+// to cut, tracked by the benchreg snapshots.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"consumergrid/internal/service"
+	"consumergrid/internal/simnet"
+	"consumergrid/internal/taskgraph"
+	"consumergrid/internal/types"
+	"consumergrid/internal/units"
+	"consumergrid/internal/units/signal"
+)
+
+func benchService(b *testing.B, n *simnet.Network, id string, opts service.Options) *service.Service {
+	b.Helper()
+	opts.PeerID = id
+	opts.Transport = n.Peer(id)
+	s, err := service.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// egressBody builds the one-unit accumulator farm body once and clones
+// it per attempt.
+func egressBody(b *testing.B) func() *taskgraph.Graph {
+	b.Helper()
+	g := taskgraph.New("egressbody")
+	task, err := units.NewTask("Accum", signal.NameAccumStat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.MustAdd(task)
+	g.ExternalIn = []taskgraph.Endpoint{{Task: "Accum", Node: 0}}
+	g.ExternalOut = []taskgraph.Endpoint{{Task: "Accum", Node: 0}}
+	return func() *taskgraph.Graph { return g.Clone() }
+}
+
+// egressChunks derives 3 chunks x 4 spectra of 512 bins (~4 KiB of
+// payload per datum) so manifest overhead is noise against data bytes.
+func egressChunks() [][]types.Data {
+	rng := rand.New(rand.NewSource(42))
+	chunks := make([][]types.Data, 3)
+	for c := range chunks {
+		for i := 0; i < 4; i++ {
+			amps := make([]float64, 512)
+			for j := range amps {
+				amps[j] = rng.Float64()*100 + float64(j)
+			}
+			chunks[c] = append(chunks[c], &types.Spectrum{Resolution: 1, Amplitudes: amps})
+		}
+	}
+	return chunks
+}
+
+func benchFarmEgress(b *testing.B, prefix string, dataTier bool) {
+	n := simnet.New()
+	ctlOpts := service.Options{DataTier: service.DataTierOptions{Enable: dataTier}}
+	if dataTier {
+		super := benchService(b, n, prefix+"super", service.Options{
+			Overlay: &service.OverlayOptions{SuperPeer: true, Replication: 1, SweepInterval: -1},
+		})
+		ctlOpts.Overlay = &service.OverlayOptions{
+			SuperPeers: []string{super.Addr()}, Replication: 1,
+		}
+	}
+	ctl := benchService(b, n, prefix+"ctl", ctlOpts)
+	var peers []service.PeerRef
+	for _, w := range []string{"w1", "w2", "w3"} {
+		s := benchService(b, n, prefix+w, service.Options{
+			DataTier: service.DataTierOptions{Enable: dataTier},
+		})
+		peers = append(peers, service.PeerRef{ID: prefix + w, Addr: s.Addr()})
+	}
+
+	body := egressBody(b)
+	chunks := egressChunks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var egress int64
+	for i := 0; i < b.N; i++ {
+		before := ctl.Resilience().Snapshot().FarmEgressBytes
+		rep, err := ctl.FarmChunks(context.Background(), chunks, service.FarmOptions{
+			Body:   body,
+			Peers:  peers,
+			Quorum: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Outputs) != len(chunks)*4 {
+			b.Fatalf("farm committed %d outputs, want %d", len(rep.Outputs), len(chunks)*4)
+		}
+		egress += ctl.Resilience().Snapshot().FarmEgressBytes - before
+	}
+	b.ReportMetric(float64(egress)/float64(b.N), "egress-B/op")
+}
+
+func BenchmarkFarmEgressStreaming(b *testing.B) { benchFarmEgress(b, "ebs-", false) }
+func BenchmarkFarmEgressDataTier(b *testing.B)  { benchFarmEgress(b, "ebd-", true) }

@@ -89,6 +89,10 @@ func main() {
 		wireMux    = flag.Bool("wire-mux", true, "multiplex all traffic to a peer over one TCP connection")
 		wireBinary = flag.Bool("wire-binary", true, "offer the binary wire codec (falls back to XML for peers that lack it)")
 		wireWindow = flag.Int("wire-window", 0, "per-stream flow-control window in frames (0 = default 64)")
+
+		dataTier     = flag.Bool("data-tier", true, "join the content-addressed chunk tier: farm inputs travel as digest manifests resolved via donor caches and ring replicas (peers without it still get streamed payloads)")
+		chunkCache   = flag.Int64("chunk-cache", 0, "chunk cache budget in bytes (0 = default 64 MiB)")
+		chunkTimeout = flag.Duration("chunk-fetch-timeout", 0, "per-source chunk fetch deadline before the ladder falls back (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -168,6 +172,11 @@ func main() {
 			Mux:    *wireMux,
 			Binary: *wireBinary && *wireMux,
 			Window: *wireWindow,
+		},
+		DataTier: service.DataTierOptions{
+			Enable:       *dataTier,
+			CacheBytes:   *chunkCache,
+			FetchTimeout: *chunkTimeout,
 		},
 		Sandbox:     pol,
 		RM:          rm,

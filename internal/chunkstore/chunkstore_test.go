@@ -1,0 +1,292 @@
+package chunkstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/types"
+)
+
+func newTestStore(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	return New(Options{
+		MaxBytes: maxBytes,
+		Owner:    t.Name(),
+		Registry: metrics.NewRegistry(),
+		Logf:     t.Logf,
+	})
+}
+
+func chunkOf(n int, fill byte) (string, []byte) {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = fill
+	}
+	return Digest(data), data
+}
+
+func TestDigestDataMatchesMarshal(t *testing.T) {
+	d := &types.Spectrum{Resolution: 2, Amplitudes: []float64{1, 2, 3}}
+	digest, payload, err := DigestData(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := types.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != string(want) {
+		t.Fatalf("payload differs from types.Marshal")
+	}
+	if digest != Digest(want) {
+		t.Fatalf("digest %s != Digest(Marshal(d)) %s", digest, Digest(want))
+	}
+	back, err := types.Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.(*types.Spectrum); !ok {
+		t.Fatalf("round trip produced %T", back)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := newTestStore(t, 300)
+	var digests []string
+	for i := 0; i < 4; i++ {
+		dg, data := chunkOf(100, byte(i))
+		digests = append(digests, dg)
+		s.Put(dg, data)
+	}
+	// Budget holds 3 of the 4; the first inserted is the LRU victim.
+	if _, ok := s.Get(digests[0]); ok {
+		t.Fatalf("oldest chunk survived eviction")
+	}
+	for _, dg := range digests[1:] {
+		if _, ok := s.Get(dg); !ok {
+			t.Fatalf("recent chunk %s evicted", short(dg))
+		}
+	}
+	if got := s.Snapshot().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// Touching the now-oldest survivor promotes it past the next victim.
+	s.Get(digests[1])
+	dg, data := chunkOf(100, 0xFF)
+	s.Put(dg, data)
+	if _, ok := s.Get(digests[1]); !ok {
+		t.Fatalf("touched chunk was evicted despite recency")
+	}
+	if _, ok := s.Get(digests[2]); ok {
+		t.Fatalf("untouched chunk survived over the touched one")
+	}
+	if s.Bytes() > 300 {
+		t.Fatalf("cache holds %d bytes over the 300 budget", s.Bytes())
+	}
+}
+
+func TestStorePinExemptFromEviction(t *testing.T) {
+	s := newTestStore(t, 100)
+	pinDg, pinData := chunkOf(500, 1) // five times the whole budget
+	s.Pin(pinDg, pinData)
+	for i := 0; i < 5; i++ {
+		dg, data := chunkOf(60, byte(10+i))
+		s.Put(dg, data)
+	}
+	if _, ok := s.Get(pinDg); !ok {
+		t.Fatalf("pinned chunk was evicted")
+	}
+	if s.Bytes() > 100 {
+		t.Fatalf("unpinned bytes %d over budget", s.Bytes())
+	}
+	// After Unpin the oversized chunk rejoins the LRU and, being over
+	// budget on its own, is evicted by the next insertion pressure.
+	s.Unpin(pinDg)
+	dg, data := chunkOf(60, 0xEE)
+	s.Put(dg, data)
+	if _, ok := s.Get(pinDg); ok {
+		t.Fatalf("unpinned oversized chunk survived the budget")
+	}
+}
+
+func TestFetchLadderVerifiesAndFallsBack(t *testing.T) {
+	s := newTestStore(t, 1<<20)
+	dg, data := chunkOf(64, 7)
+	calls := []string{}
+	fetch := func(addr, digest string) ([]byte, error) {
+		calls = append(calls, addr)
+		switch addr {
+		case "ring-dead":
+			return nil, errors.New("dial refused")
+		case "peer-lies":
+			return []byte("not the chunk"), nil
+		case "controller":
+			return data, nil
+		}
+		return nil, errors.New("unknown source")
+	}
+	sources := []Source{
+		{Addr: "ring-dead", Class: SourceRing},
+		{Addr: "peer-lies", Class: SourcePeer},
+		{Addr: "controller", Class: SourceController},
+	}
+	got, class, err := s.Fetch(dg, sources, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != SourceController {
+		t.Fatalf("resolved via %s, want controller", class)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("wrong bytes")
+	}
+	if len(calls) != 3 {
+		t.Fatalf("ladder tried %v, want all three rungs", calls)
+	}
+	snap := s.Snapshot()
+	if snap.DigestMismatch != 1 {
+		t.Fatalf("digest mismatches = %d, want 1 (the lying peer)", snap.DigestMismatch)
+	}
+	if snap.FetchController != 1 || snap.FetchRing != 0 || snap.FetchPeer != 0 {
+		t.Fatalf("fetch sources = %+v", snap)
+	}
+
+	// Second fetch is a pure cache hit: no wire calls.
+	calls = nil
+	_, class, err = s.Fetch(dg, sources, fetch)
+	if err != nil || class != SourceLocal {
+		t.Fatalf("second fetch: class=%s err=%v", class, err)
+	}
+	if len(calls) != 0 {
+		t.Fatalf("cache hit still dialled %v", calls)
+	}
+	if got := s.Snapshot().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestFetchAllSourcesFailing(t *testing.T) {
+	s := newTestStore(t, 1<<20)
+	dg, _ := chunkOf(16, 9)
+	fetch := func(addr, digest string) ([]byte, error) { return nil, errors.New("down") }
+	_, _, err := s.Fetch(dg, []Source{{Addr: "a", Class: SourceRing}}, fetch)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, _, err := s.Fetch(dg, nil, fetch); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("no sources: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFetchSingleflightCoalesces(t *testing.T) {
+	s := newTestStore(t, 1<<20)
+	dg, data := chunkOf(128, 3)
+	var fetches int
+	gate := make(chan struct{})
+	fetch := func(addr, digest string) ([]byte, error) {
+		fetches++ // only the leader runs this; no extra locking needed
+		<-gate
+		return data, nil
+	}
+	sources := []Source{{Addr: "controller", Class: SourceController}}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := s.Fetch(dg, sources, fetch)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Let every goroutine reach the store before releasing the leader.
+	for s.Snapshot().Misses == 0 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if fetches != 1 {
+		t.Fatalf("wire fetches = %d, want 1 (singleflight)", fetches)
+	}
+	for i, got := range results {
+		if string(got) != string(data) {
+			t.Fatalf("waiter %d got wrong bytes", i)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Misses)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Origin: "127.0.0.1:7000",
+		Items: []Item{
+			{Digest: Digest([]byte("a")), Ring: []string{"127.0.0.1:7200", "127.0.0.1:7201"}, Peers: []string{"127.0.0.1:7301"}},
+			{Digest: Digest([]byte("b"))},
+			{Digest: Digest([]byte("c")), Peers: []string{"127.0.0.1:7302", "127.0.0.1:7303"}},
+		},
+	}
+	back, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Origin != m.Origin || len(back.Items) != len(m.Items) {
+		t.Fatalf("decoded %+v", back)
+	}
+	for i, it := range back.Items {
+		want := m.Items[i]
+		if it.Digest != want.Digest || fmt.Sprint(it.Ring) != fmt.Sprint(want.Ring) || fmt.Sprint(it.Peers) != fmt.Sprint(want.Peers) {
+			t.Fatalf("item %d: got %+v want %+v", i, it, want)
+		}
+	}
+	srcs := back.Sources(back.Items[0])
+	wantClasses := []string{SourceRing, SourceRing, SourcePeer, SourceController}
+	if len(srcs) != len(wantClasses) {
+		t.Fatalf("sources = %+v", srcs)
+	}
+	for i, src := range srcs {
+		if src.Class != wantClasses[i] {
+			t.Fatalf("source %d class %s, want %s", i, src.Class, wantClasses[i])
+		}
+	}
+}
+
+func TestManifestEmptyRoundTrip(t *testing.T) {
+	back, err := DecodeManifest(EncodeManifest(&Manifest{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Origin != "" || len(back.Items) != 0 {
+		t.Fatalf("decoded %+v", back)
+	}
+	if srcs := back.Sources(Item{}); len(srcs) != 0 {
+		t.Fatalf("empty manifest offered sources %+v", srcs)
+	}
+}
+
+func TestDecodeManifestRejects(t *testing.T) {
+	good := EncodeManifest(&Manifest{Origin: "o", Items: []Item{{Digest: Digest([]byte("x"))}}})
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      {99},
+		"truncated origin": good[:2],
+		"truncated item":   good[:len(good)-3],
+		"trailing bytes":   append(append([]byte{}, good...), 0xAA),
+		"empty digest":     {manifestVersion, 0, 1, 0, 0, 0},
+	}
+	for name, p := range cases {
+		if _, err := DecodeManifest(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// The chunk manifest: what a controller sends instead of payload
+// bytes. One manifest describes one farm chunk — the ordered digest
+// list the donor must materialise, plus per-digest fetch hints (ring
+// replica addresses, donors observed to hold the chunk) and the
+// controller's own address as the fallback of last resort. The binary
+// layout is uvarint length-prefixed, version-tagged, and bounded on
+// decode so a hostile manifest cannot balloon allocation.
+package chunkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Manifest is the metadata a donor turns back into chunk payloads.
+type Manifest struct {
+	// Origin is the controller's host address — always fetchable, so a
+	// manifest can be resolved even with an empty cache, dead ring and
+	// no peer hints.
+	Origin string
+	// Items lists the chunk's data in delivery order.
+	Items []Item
+}
+
+// Item is one datum of the chunk: its content digest and where to look
+// for it before falling back to the origin.
+type Item struct {
+	Digest string
+	Ring   []string // super-peer replicas, consistent-hash placed
+	Peers  []string // donors that resolved this digest earlier
+}
+
+// Sources flattens an item's hints into the fetch ladder order the
+// Store consumes: ring replicas, then peer hints, then the origin.
+func (m *Manifest) Sources(it Item) []Source {
+	out := make([]Source, 0, len(it.Ring)+len(it.Peers)+1)
+	for _, a := range it.Ring {
+		out = append(out, Source{Addr: a, Class: SourceRing})
+	}
+	for _, a := range it.Peers {
+		out = append(out, Source{Addr: a, Class: SourcePeer})
+	}
+	if m.Origin != "" {
+		out = append(out, Source{Addr: m.Origin, Class: SourceController})
+	}
+	return out
+}
+
+const (
+	manifestVersion = 1
+
+	// Decode bounds: a manifest names one farm chunk, so these are
+	// generous by an order of magnitude. Anything larger is rejected as
+	// hostile rather than allocated.
+	maxManifestItems = 1 << 16
+	maxManifestAddr  = 1 << 12
+	maxManifestHints = 256
+)
+
+// EncodeManifest renders a manifest to its wire payload.
+func EncodeManifest(m *Manifest) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	size := 1 + uvarintLen(uint64(len(m.Origin))) + len(m.Origin) + uvarintLen(uint64(len(m.Items)))
+	for _, it := range m.Items {
+		size += blobLen(it.Digest) + uvarintLen(uint64(len(it.Ring))) + uvarintLen(uint64(len(it.Peers)))
+		for _, a := range it.Ring {
+			size += blobLen(a)
+		}
+		for _, a := range it.Peers {
+			size += blobLen(a)
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, manifestVersion)
+	out = appendBlobBytes(out, tmp[:], m.Origin)
+	out = appendUvarintBytes(out, tmp[:], uint64(len(m.Items)))
+	for _, it := range m.Items {
+		out = appendBlobBytes(out, tmp[:], it.Digest)
+		out = appendUvarintBytes(out, tmp[:], uint64(len(it.Ring)))
+		for _, a := range it.Ring {
+			out = appendBlobBytes(out, tmp[:], a)
+		}
+		out = appendUvarintBytes(out, tmp[:], uint64(len(it.Peers)))
+		for _, a := range it.Peers {
+			out = appendBlobBytes(out, tmp[:], a)
+		}
+	}
+	return out
+}
+
+// DecodeManifest parses a wire payload, rejecting unknown versions and
+// anything that exceeds the decode bounds.
+func DecodeManifest(p []byte) (*Manifest, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("chunkstore: empty manifest")
+	}
+	if p[0] != manifestVersion {
+		return nil, fmt.Errorf("chunkstore: manifest version %d not supported", p[0])
+	}
+	p = p[1:]
+	origin, p, err := readBlobBytes(p, maxManifestAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: manifest origin: %w", err)
+	}
+	n, p, err := readUvarintBytes(p)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: manifest item count: %w", err)
+	}
+	if n > maxManifestItems {
+		return nil, fmt.Errorf("chunkstore: manifest lists %d items (max %d)", n, maxManifestItems)
+	}
+	m := &Manifest{Origin: origin, Items: make([]Item, 0, min(int(n), 1024))}
+	for i := uint64(0); i < n; i++ {
+		var it Item
+		it.Digest, p, err = readBlobBytes(p, maxManifestAddr)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: manifest item %d digest: %w", i, err)
+		}
+		if it.Digest == "" {
+			return nil, fmt.Errorf("chunkstore: manifest item %d: empty digest", i)
+		}
+		it.Ring, p, err = readAddrList(p)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: manifest item %d ring: %w", i, err)
+		}
+		it.Peers, p, err = readAddrList(p)
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: manifest item %d peers: %w", i, err)
+		}
+		m.Items = append(m.Items, it)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("chunkstore: %d trailing bytes after manifest", len(p))
+	}
+	return m, nil
+}
+
+func readAddrList(p []byte) ([]string, []byte, error) {
+	n, p, err := readUvarintBytes(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxManifestHints {
+		return nil, nil, fmt.Errorf("%d hints (max %d)", n, maxManifestHints)
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var a string
+		a, p, err = readBlobBytes(p, maxManifestAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, a)
+	}
+	return out, p, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func blobLen(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+func appendUvarintBytes(out, tmp []byte, v uint64) []byte {
+	n := binary.PutUvarint(tmp, v)
+	return append(out, tmp[:n]...)
+}
+
+func appendBlobBytes(out, tmp []byte, s string) []byte {
+	out = appendUvarintBytes(out, tmp, uint64(len(s)))
+	return append(out, s...)
+}
+
+func readUvarintBytes(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated uvarint")
+	}
+	// Insist on the minimal encoding so decode∘encode is a fixpoint:
+	// two manifests are byte-equal iff they say the same thing.
+	if n != uvarintLen(v) {
+		return 0, nil, fmt.Errorf("non-minimal uvarint")
+	}
+	return v, p[n:], nil
+}
+
+func readBlobBytes(p []byte, maxLen int) (string, []byte, error) {
+	n, p, err := readUvarintBytes(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(maxLen) {
+		return "", nil, fmt.Errorf("blob of %d bytes (max %d)", n, maxLen)
+	}
+	if uint64(len(p)) < n {
+		return "", nil, fmt.Errorf("blob truncated: want %d bytes, have %d", n, len(p))
+	}
+	return string(p[:n]), p[n:], nil
+}

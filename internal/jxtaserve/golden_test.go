@@ -66,6 +66,28 @@ func goldenCases() []struct {
 			Headers: map[string]string{"pipe": "farm/in"},
 			Payload: []byte{1, 2, 3},
 		}},
+		{"chunk-fetch", &Message{
+			Kind: KindChunkFetch,
+			Headers: map[string]string{
+				"digest": "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+				"from":   "donor-3",
+			},
+		}},
+		{"chunk-data", &Message{
+			Kind:    KindChunkData,
+			Stream:  7,
+			Headers: map[string]string{"digest": "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"},
+			Payload: []byte("the chunk bytes, verbatim"),
+		}},
+		{"pipe-manifest", &Message{
+			Kind:    KindPipeManifest,
+			Headers: map[string]string{"pipe": "farm/ctrl/1/c0/a0/in"},
+			// A hand-laid chunkstore manifest payload: version 1, origin
+			// "o", one item with digest "d", one ring addr "r", no peers.
+			// Laid out literally so this fixture does not depend on the
+			// chunkstore encoder.
+			Payload: []byte{1, 1, 'o', 1, 1, 'd', 1, 1, 'r', 0},
+		}},
 	}
 }
 

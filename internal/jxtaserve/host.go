@@ -23,6 +23,8 @@ type Host struct {
 	mu       sync.Mutex
 	inputs   map[string]*InputPipe // by pipe name
 	handlers map[string]Handler    // by rpc method
+	source   ChunkSource           // answers chunk.fetch conns
+	resolver ManifestResolver      // materialises pipe.manifest frames
 	closed   bool
 	wg       sync.WaitGroup
 	// DefaultTTL is the advert lifetime attached to OpenInput adverts;
@@ -33,6 +35,17 @@ type Host struct {
 // Handler serves one RPC method. It receives the request and returns the
 // reply payload; a non-nil error is reported to the caller as KindRPCError.
 type Handler func(req *Message) (*Message, error)
+
+// ChunkSource answers chunk.fetch lookups from local storage. The
+// returned bytes are shipped verbatim; fetchers verify them against the
+// digest, so a source never needs to be trusted.
+type ChunkSource func(digest string) ([]byte, bool)
+
+// ManifestResolver turns a pipe.manifest payload into the ordered
+// marshalled data payloads it names — the donor-side fetch ladder. A
+// service installs it when its data tier is enabled; a pipe producer
+// must not send manifests to hosts that have not advertised one.
+type ManifestResolver func(manifest []byte) ([][]byte, error)
 
 // NewHost starts a host for peerID listening at addr on the transport.
 func NewHost(peerID string, tr Transport, addr string) (*Host, error) {
@@ -110,6 +123,8 @@ func (h *Host) serveConn(conn Conn) {
 		h.servePipe(conn, first.Header("pipe"))
 	case KindRPC:
 		h.serveRPC(conn, first)
+	case KindChunkFetch:
+		h.serveChunkFetch(conn, first)
 	default:
 		conn.Send(&Message{Kind: KindRPCError,
 			Headers: map[string]string{"error": "unexpected kind " + first.Kind}})
@@ -151,11 +166,120 @@ func (h *Host) servePipe(conn Conn, name string) {
 			if !pipe.deliver(types.Seal(d)) {
 				return // pipe closed locally
 			}
+		case KindPipeManifest:
+			// The manifest replaces a run of pipe.data frames: resolve
+			// every digest through the installed ladder and deliver the
+			// materialised data in order, sealed exactly as streamed
+			// payloads are. Any failure severs the conversation — the
+			// producer detects the short stream the same way it detects
+			// a vanished peer.
+			h.mu.Lock()
+			resolve := h.resolver
+			h.mu.Unlock()
+			if resolve == nil {
+				return
+			}
+			payloads, err := resolve(m.Payload)
+			if err != nil {
+				return
+			}
+			for _, payload := range payloads {
+				d, err := types.Unmarshal(payload)
+				if err != nil {
+					return
+				}
+				if !pipe.deliver(types.Seal(d)) {
+					return
+				}
+			}
 		case KindPipeEOF:
 			return
 		default:
 			return
 		}
+	}
+}
+
+// serveChunkFetch answers one digest lookup from the installed chunk
+// source: chunk.data on a hit, rpc.error on a miss or when no source is
+// installed. One conversation per connection — over the mux a stream
+// costs a frame, so fetchers dial per digest.
+func (h *Host) serveChunkFetch(conn Conn, req *Message) {
+	digest := req.Header("digest")
+	h.mu.Lock()
+	source := h.source
+	h.mu.Unlock()
+	if source == nil {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "no chunk source at " + h.peerID}})
+		return
+	}
+	data, ok := source(digest)
+	if !ok {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "chunk not held: " + digest}})
+		return
+	}
+	reply := &Message{Kind: KindChunkData, Payload: data}
+	reply.SetHeader("digest", digest)
+	conn.Send(reply)
+}
+
+// SetChunkSource installs (or, with nil, removes) the local storage
+// chunk.fetch conversations are answered from.
+func (h *Host) SetChunkSource(fn ChunkSource) {
+	h.mu.Lock()
+	h.source = fn
+	h.mu.Unlock()
+}
+
+// HasChunkSource reports whether a chunk source is installed, so an
+// embedding layer (the overlay super) can avoid clobbering a hook the
+// service already wired with its own accounting.
+func (h *Host) HasChunkSource() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.source != nil
+}
+
+// SetManifestResolver installs the fetch ladder pipe.manifest frames
+// are materialised through.
+func (h *Host) SetManifestResolver(fn ManifestResolver) {
+	h.mu.Lock()
+	h.resolver = fn
+	h.mu.Unlock()
+}
+
+// FetchChunk dials a peer and asks for one chunk by digest. The timeout
+// bounds the whole conversation; zero means no deadline. Callers verify
+// the returned bytes hash to the digest — the transport does not.
+func (h *Host) FetchChunk(addr, digest string, timeout time.Duration) ([]byte, error) {
+	conn, err := h.transport.Dial(addr)
+	if err != nil {
+		return nil, &DialError{Addr: addr, Err: err}
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() { conn.Close() })
+		defer timer.Stop()
+	}
+	req := &Message{Kind: KindChunkFetch}
+	req.SetHeader("digest", digest)
+	req.SetHeader("from", h.peerID)
+	if err := conn.Send(req); err != nil {
+		return nil, err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch reply.Kind {
+	case KindChunkData:
+		return reply.Payload, nil
+	case KindRPCError:
+		return nil, &RPCError{Method: KindChunkFetch, Addr: addr, Remote: reply.Header("error")}
+	default:
+		return nil, fmt.Errorf("jxtaserve: chunk fetch %s: unexpected %s", addr, reply.Kind)
 	}
 }
 
@@ -386,9 +510,25 @@ func (p *OutputPipe) Send(d types.Data) error {
 	if err != nil {
 		return err
 	}
+	return p.SendRaw(payload)
+}
+
+// SendRaw ships one already-marshalled datum. Producers that hold the
+// canonical encoding (a controller that just digested it) use this to
+// skip a second marshal and to account the exact bytes put on the wire.
+func (p *OutputPipe) SendRaw(payload []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.conn.Send(&Message{Kind: KindPipeData, Payload: payload})
+}
+
+// SendManifest ships an encoded chunk manifest in place of streamed
+// data. Only send to a host whose service advertised a manifest
+// resolver; anyone else severs the pipe.
+func (p *OutputPipe) SendManifest(manifest []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Send(&Message{Kind: KindPipeManifest, Payload: manifest})
 }
 
 // Close signals end-of-stream to the remote input pipe, then tears the

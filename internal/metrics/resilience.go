@@ -25,6 +25,11 @@ type ResilienceStats struct {
 	// DespatchSheds counts despatch attempts refused by admission
 	// control because the in-flight budget was exhausted.
 	DespatchSheds Counter
+	// FarmEgressBytes counts the controller's data-plane bytes per farm:
+	// streamed payloads on the legacy path; manifests, ring write-through
+	// replicas, and controller-direct chunk serves on the data-tier path.
+	// The content-addressed tier exists to drive this number down.
+	FarmEgressBytes Counter
 }
 
 // ResilienceSnapshot is a point-in-time copy of the counters, in the
@@ -41,6 +46,7 @@ type ResilienceSnapshot struct {
 	QuorumCommits       int64
 	QuorumDisagreements int64
 	DespatchSheds       int64
+	FarmEgressBytes     int64
 }
 
 // Snapshot reads every counter at once.
@@ -57,5 +63,6 @@ func (s *ResilienceStats) Snapshot() ResilienceSnapshot {
 		QuorumCommits:       s.QuorumCommits.Value(),
 		QuorumDisagreements: s.QuorumDisagreements.Value(),
 		DespatchSheds:       s.DespatchSheds.Value(),
+		FarmEgressBytes:     s.FarmEgressBytes.Value(),
 	}
 }

@@ -1,0 +1,149 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"consumergrid/internal/chunkstore"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/metrics"
+	"consumergrid/internal/simnet"
+)
+
+// chunkCluster is newCluster with a chunk vault attached to every
+// super, the shape a data-tier ring runs in production.
+type chunkCluster struct {
+	*cluster
+	vaults []*chunkstore.Store
+}
+
+func newChunkCluster(t *testing.T, n, r int) *chunkCluster {
+	t.Helper()
+	c := &chunkCluster{cluster: &cluster{t: t, net: simnet.New(), ring: NewRing(0)}}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("super-%d", i)
+		h, err := jxtaserve.NewHost(label, c.net.Peer(label), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.hosts = append(c.hosts, h)
+		c.ring.Add(h.Addr())
+	}
+	for i, h := range c.hosts {
+		vault := chunkstore.New(chunkstore.Options{
+			Owner:    fmt.Sprintf("super-%d", i),
+			Registry: metrics.NewRegistry(),
+		})
+		c.vaults = append(c.vaults, vault)
+		sp, err := NewSuper(h, SuperOptions{
+			Ring: c.ring, Replication: r, SweepInterval: -1, Chunks: vault,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.supers = append(c.supers, sp)
+	}
+	t.Cleanup(func() {
+		for _, sp := range c.supers {
+			sp.Close()
+		}
+		for _, h := range c.hosts {
+			h.Close()
+		}
+	})
+	return c
+}
+
+func TestPutChunkReplicatesToRingOwners(t *testing.T) {
+	c := newChunkCluster(t, 3, 2)
+	cl := c.client("controller", 2)
+
+	data := []byte("immutable chunk bytes")
+	digest := chunkstore.Digest(data)
+
+	acked, err := cl.PutChunk(digest, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != 2 {
+		t.Fatalf("acked = %d, want 2 replicas", acked)
+	}
+
+	owners := cl.ChunkOwners(digest)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v", owners)
+	}
+	isOwner := map[string]bool{}
+	for _, addr := range owners {
+		isOwner[addr] = true
+	}
+	for i, h := range c.hosts {
+		_, held := c.vaults[i].Get(digest)
+		if held != isOwner[h.Addr()] {
+			t.Fatalf("super %d (owner=%v) held=%v", i, isOwner[h.Addr()], held)
+		}
+	}
+
+	// The replica serves the chunk back over the chunk-fetch wire
+	// conversation — the ring rung of a donor's fetch ladder.
+	fh, err := jxtaserve.NewHost("donor", c.net.Peer("donor"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	got, err := fh.FetchChunk(owners[0], digest, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("fetched %q", got)
+	}
+}
+
+func TestPutChunkRejectsCorruptPayload(t *testing.T) {
+	c := newChunkCluster(t, 2, 2)
+	cl := c.client("controller", 2)
+	if _, err := cl.PutChunk(chunkstore.Digest([]byte("real")), []byte("fake")); err == nil {
+		t.Fatal("corrupt chunk.put was accepted")
+	}
+	for i := range c.vaults {
+		if c.vaults[i].Len() != 0 {
+			t.Fatalf("super %d stored a corrupt chunk", i)
+		}
+	}
+}
+
+func TestPutChunkWithoutVaultRefused(t *testing.T) {
+	// newCluster attaches no vault: discovery-only supers must refuse
+	// chunk writes rather than silently dropping them.
+	c := newCluster(t, 2, 2, time.Now)
+	cl := c.client("controller", 2)
+	data := []byte("x")
+	if _, err := cl.PutChunk(chunkstore.Digest(data), data); err == nil {
+		t.Fatal("chunk.put accepted by vault-less super")
+	}
+}
+
+func TestPutChunkSurvivesDeadReplica(t *testing.T) {
+	c := newChunkCluster(t, 3, 2)
+	cl := c.client("controller", 2)
+	data := []byte("replicated despite a dead owner")
+	digest := chunkstore.Digest(data)
+
+	owners := cl.ChunkOwners(digest)
+	// Kill the primary owner; the write-through still lands on the
+	// surviving replica and reports one ack.
+	for i, h := range c.hosts {
+		if h.Addr() == owners[0] {
+			c.net.Kill(fmt.Sprintf("super-%d", i))
+		}
+	}
+	acked, err := cl.PutChunk(digest, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != 1 {
+		t.Fatalf("acked = %d, want 1 (primary dead)", acked)
+	}
+}

@@ -17,6 +17,8 @@ type superMetrics struct {
 	retractions   *metrics.Counter
 	syncRounds    *metrics.Counter
 	syncPulled    *metrics.Counter
+	chunkPuts     *metrics.Counter // chunk replicas accepted into the vault
+	chunkPutBytes *metrics.Counter
 	pushLatency   *metrics.Histogram // seconds, per notify RPC
 }
 
@@ -37,6 +39,8 @@ func newSuperMetrics(reg *metrics.Registry, owner string) *superMetrics {
 		retractions:   reg.Counter(l("overlay_retractions_total")),
 		syncRounds:    reg.Counter(l("overlay_sync_rounds_total")),
 		syncPulled:    reg.Counter(l("overlay_sync_pulled_total")),
+		chunkPuts:     reg.Counter(l("overlay_chunk_puts_total")),
+		chunkPutBytes: reg.Counter(l("overlay_chunk_put_bytes_total")),
 		pushLatency:   reg.Histogram(l("overlay_push_latency_seconds")),
 	}
 }

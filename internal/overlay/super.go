@@ -56,6 +56,11 @@ type SuperOptions struct {
 	Tracer *trace.Recorder
 	// Now overrides the clock for deterministic expiry tests.
 	Now func() time.Time
+	// Chunks, when set, makes this super a chunk replica holder: it
+	// accepts overlay.chunk.put writes into the vault and serves them
+	// back over the host's chunk-fetch conversation. Nil refuses chunk
+	// writes (a discovery-only super).
+	Chunks ChunkVault
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -127,6 +132,12 @@ func NewSuper(host *jxtaserve.Host, opts SuperOptions) (*SuperPeer, error) {
 	host.Handle(methodUnsub, s.handleUnsubscribe)
 	host.Handle(methodSyncDigest, s.handleSyncDigest)
 	host.Handle(methodSyncPull, s.handleSyncPull)
+	host.Handle(methodChunkPut, s.handleChunkPut)
+	if opts.Chunks != nil && !host.HasChunkSource() {
+		// Serve chunk fetches from the vault unless the embedding
+		// service already installed a source with its own accounting.
+		host.SetChunkSource(opts.Chunks.Get)
+	}
 	if opts.SweepInterval > 0 {
 		s.goBG(func() { s.loop(opts.SweepInterval, func() { s.SweepOnce() }) })
 	}

@@ -1,0 +1,249 @@
+// The service side of the content-addressed data tier: the controller
+// stops streaming farm payloads per attempt and instead ships a chunk
+// manifest (ordered digest list plus fetch hints), which the donor
+// materialises through the chunkstore fallback ladder — local cache,
+// super-peer ring replica, a donor that resolved the digest earlier,
+// and finally the controller itself. The capability is negotiated per
+// despatch: a donor that runs the data tier tags its triana.run reply,
+// and a controller only sends manifests to peers that did — legacy
+// peers keep receiving streamed payloads, byte for byte as before.
+package service
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"consumergrid/internal/chunkstore"
+	"consumergrid/internal/types"
+)
+
+// capChunkstore is the triana.run reply header a data-tier donor sets;
+// its absence is what makes a legacy peer fall back to streaming.
+const capChunkstore = "chunkstore"
+
+// maxPeerHints bounds the donor hints embedded per manifest item.
+const maxPeerHints = 3
+
+// DataTierOptions opts a daemon into the content-addressed chunk tier.
+type DataTierOptions struct {
+	// Enable turns the tier on: the daemon caches chunks, resolves
+	// manifests, serves chunk fetches, and (as a controller) despatches
+	// manifests to capable donors.
+	Enable bool
+	// CacheBytes bounds the per-peer LRU chunk cache (default 64 MiB).
+	CacheBytes int64
+	// FetchTimeout bounds one chunk fetch from one source; the ladder
+	// moves to the next rung on expiry (default 2s).
+	FetchTimeout time.Duration
+}
+
+// setupDataTier creates the peer's chunk store and installs the wire
+// hooks: the store answers chunk.fetch conversations and materialises
+// pipe.manifest frames. Also run for super-peers regardless of Enable,
+// so every ring member can hold chunk replicas.
+func (s *Service) setupDataTier(o DataTierOptions) {
+	s.chunkFetchTimeout = o.FetchTimeout
+	if s.chunkFetchTimeout <= 0 {
+		s.chunkFetchTimeout = 2 * time.Second
+	}
+	s.chunks = chunkstore.New(chunkstore.Options{
+		MaxBytes: o.CacheBytes,
+		Owner:    s.opts.PeerID,
+		Logf:     s.opts.Logf,
+	})
+	s.host.SetChunkSource(s.serveChunk)
+	s.host.SetManifestResolver(s.resolveManifest)
+}
+
+// ChunkStore exposes the daemon's chunk cache; nil when the data tier
+// is off.
+func (s *Service) ChunkStore() *chunkstore.Store { return s.chunks }
+
+// serveChunk answers a chunk.fetch conversation from the local store.
+// Bytes served from pinned entries are a controller feeding its own
+// live farm (the controller-direct rung), so they count as farm egress;
+// serves from the LRU are donor-to-donor traffic the controller never
+// paid for.
+func (s *Service) serveChunk(digest string) ([]byte, bool) {
+	data, pinned, ok := s.chunks.Lookup(digest)
+	if !ok {
+		return nil, false
+	}
+	if pinned {
+		s.resStats.FarmEgressBytes.Add(int64(len(data)))
+	}
+	return data, true
+}
+
+// resolveManifest is the donor-side fetch ladder: decode the manifest
+// and materialise every digest, in order, through the chunk store.
+func (s *Service) resolveManifest(payload []byte) ([][]byte, error) {
+	man, err := chunkstore.DecodeManifest(payload)
+	if err != nil {
+		return nil, err
+	}
+	span := s.tracer.Start("", "", "chunk.resolve", s.opts.PeerID)
+	span.SetAttr("items", strconv.Itoa(len(man.Items)))
+	defer span.End()
+	fetched := 0
+	out := make([][]byte, 0, len(man.Items))
+	for _, it := range man.Items {
+		data, class, err := s.chunks.Fetch(it.Digest, man.Sources(it), s.fetchChunkWire)
+		if err != nil {
+			span.Fail(err)
+			s.logf("service: %s manifest digest %.12s: %v", s.opts.PeerID, it.Digest, err)
+			return nil, err
+		}
+		if class != chunkstore.SourceLocal {
+			fetched++
+		}
+		out = append(out, data)
+	}
+	span.SetAttr("fetched", strconv.Itoa(fetched))
+	return out, nil
+}
+
+func (s *Service) fetchChunkWire(addr, digest string) ([]byte, error) {
+	return s.host.FetchChunk(addr, digest, s.chunkFetchTimeout)
+}
+
+// farmManifests is a controller's per-farm manifest state: the digests
+// and canonical payloads of every chunk (pinned locally for the
+// controller-direct rung and write-through replicated to the ring),
+// plus the donors observed to have resolved each digest — the peer
+// hints later manifests carry.
+type farmManifests struct {
+	s      *Service
+	origin string
+	chunks [][]manifestEntry
+
+	mu    sync.Mutex
+	hints map[string][]string // digest -> donor addrs, capped
+}
+
+type manifestEntry struct {
+	digest  string
+	payload []byte
+	ring    []string
+}
+
+// prepareFarmManifests digests every chunk datum, pins the payloads in
+// the controller's own store, and write-throughs each unique digest to
+// its ring owners. Replication bytes are controller egress — the point
+// is that they are paid once per digest, not once per attempt.
+func (s *Service) prepareFarmManifests(chunks [][]manifestDatum) *farmManifests {
+	fm := &farmManifests{
+		s:      s,
+		origin: s.Addr(),
+		chunks: make([][]manifestEntry, len(chunks)),
+		hints:  make(map[string][]string),
+	}
+	seen := make(map[string]bool)
+	for c, chunk := range chunks {
+		entries := make([]manifestEntry, len(chunk))
+		for i, d := range chunk {
+			e := manifestEntry{digest: d.digest, payload: d.payload}
+			if s.overlay != nil {
+				e.ring = s.overlay.ChunkOwners(d.digest)
+			}
+			entries[i] = e
+			if seen[d.digest] {
+				continue
+			}
+			seen[d.digest] = true
+			s.chunks.Pin(d.digest, d.payload)
+			if s.overlay != nil {
+				if acked, err := s.overlay.PutChunk(d.digest, d.payload); err == nil {
+					s.resStats.FarmEgressBytes.Add(int64(acked) * int64(len(d.payload)))
+				} else {
+					s.logf("service: farm chunk replicate %.12s: %v", d.digest, err)
+				}
+			}
+		}
+		fm.chunks[c] = entries
+	}
+	return fm
+}
+
+// release unpins the farm's chunks; the LRU may keep serving them to
+// stragglers until pressure evicts them.
+func (fm *farmManifests) release() {
+	seen := make(map[string]bool)
+	for _, chunk := range fm.chunks {
+		for _, e := range chunk {
+			if !seen[e.digest] {
+				seen[e.digest] = true
+				fm.s.chunks.Unpin(e.digest)
+			}
+		}
+	}
+}
+
+// manifestFor renders chunk c's manifest with the hints known right
+// now — a retry or speculative backup of a chunk another donor already
+// resolved gets that donor as a peer rung.
+func (fm *farmManifests) manifestFor(c int, excludeAddr string) []byte {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	m := &chunkstore.Manifest{Origin: fm.origin, Items: make([]chunkstore.Item, len(fm.chunks[c]))}
+	for i, e := range fm.chunks[c] {
+		var peers []string
+		for _, addr := range fm.hints[e.digest] {
+			if addr != excludeAddr {
+				peers = append(peers, addr)
+			}
+		}
+		m.Items[i] = chunkstore.Item{Digest: e.digest, Ring: e.ring, Peers: peers}
+	}
+	return chunkstore.EncodeManifest(m)
+}
+
+// recordResolved notes that a donor materialised chunk c (its attempt
+// returned a complete result), making it a fetch source for those
+// digests.
+func (fm *farmManifests) recordResolved(c int, donorAddr string) {
+	if donorAddr == "" {
+		return
+	}
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	for _, e := range fm.chunks[c] {
+		hints := fm.hints[e.digest]
+		known := false
+		for _, a := range hints {
+			if a == donorAddr {
+				known = true
+				break
+			}
+		}
+		if !known && len(hints) < maxPeerHints {
+			fm.hints[e.digest] = append(hints, donorAddr)
+		}
+	}
+}
+
+// digestFarmChunks canonically encodes every datum once, up front: the
+// same bytes feed the digest, the pin, the ring replica and (on the
+// legacy path) the stream, so a chunk's identity is fixed before the
+// first attempt.
+type manifestDatum struct {
+	digest  string
+	payload []byte
+}
+
+func digestFarmChunks(chunks [][]types.Data) ([][]manifestDatum, error) {
+	out := make([][]manifestDatum, len(chunks))
+	for c, chunk := range chunks {
+		ds := make([]manifestDatum, len(chunk))
+		for i, d := range chunk {
+			digest, payload, err := chunkstore.DigestData(d)
+			if err != nil {
+				return nil, err
+			}
+			ds[i] = manifestDatum{digest: digest, payload: payload}
+		}
+		out[c] = ds
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package service
+
+// The data-tier acceptance battery: manifest despatch end to end over a
+// super-peer ring, the legacy streaming fallback against a donor that
+// never negotiated the tier, the peer-to-peer rung of the fetch ladder,
+// and the chaos case — the ring replica holding a farm's chunks dies
+// mid-farm and the controller-direct fallback carries the rest.
+
+import (
+	"testing"
+	"time"
+
+	"consumergrid/internal/chunkstore"
+	"consumergrid/internal/simnet"
+	"consumergrid/internal/types"
+)
+
+// dataTierNet builds a controller plus donors with the chunk tier on,
+// and optionally a super-peer ring of one for chunk placement. Labels
+// are prefixed per test: the process-global metrics registry keys
+// series by peer.
+func dataTierNet(t *testing.T, n *simnet.Network, prefix string, withRing bool, donorTier []bool) (ctl *Service, donors []*Service, peers []PeerRef) {
+	t.Helper()
+	var superAddrs []string
+	if withRing {
+		sp := newService(t, n.Peer(prefix+"super"), prefix+"super", Options{
+			Overlay: &OverlayOptions{SuperPeer: true, Replication: 1, SweepInterval: -1},
+		})
+		superAddrs = []string{sp.Addr()}
+	}
+	ctlOpts := Options{
+		Resilience: chaosResilience(),
+		DataTier:   DataTierOptions{Enable: true},
+	}
+	if withRing {
+		ctlOpts.Overlay = &OverlayOptions{SuperPeers: superAddrs, Replication: 1}
+	}
+	ctl = newService(t, n.Peer(prefix+"ctl"), prefix+"ctl", ctlOpts)
+	for i, tier := range donorTier {
+		label := prefix + "w" + string(rune('1'+i))
+		w := newService(t, n.Peer(label), label, Options{
+			DataTier: DataTierOptions{Enable: tier},
+		})
+		donors = append(donors, w)
+		peers = append(peers, PeerRef{ID: label, Addr: w.Addr()})
+	}
+	return ctl, donors, peers
+}
+
+// streamingEgressBaseline farms the same chunks over plain streaming
+// peers and reports the controller's egress bytes — the number the data
+// tier must beat.
+func streamingEgressBaseline(t *testing.T, chunks [][]types.Data, fo FarmOptions) ([]types.Data, int64) {
+	t.Helper()
+	n := simnet.New()
+	ctl, peers := chaosNet(t, n)
+	rep := runChaosFarm(t, ctl, peers, chunks, fo)
+	return rep.Outputs, ctl.Resilience().Snapshot().FarmEgressBytes
+}
+
+// bigChunks derives chunks of wide spectra — payloads large enough
+// that digest/manifest overhead is noise against the data bytes, the
+// regime the tier is built for.
+func bigChunks(seed int64, nChunks, perChunk, bins int) [][]types.Data {
+	chunks := chaosChunks(seed, nChunks, perChunk)
+	for _, chunk := range chunks {
+		for _, d := range chunk {
+			sp := d.(*types.Spectrum)
+			amps := make([]float64, bins)
+			for i := range amps {
+				amps[i] = sp.Amplitudes[i%2] + float64(i)
+			}
+			sp.Amplitudes = amps
+		}
+	}
+	return chunks
+}
+
+// TestFarmManifestDespatch is the plain-farm manifest path: with the
+// tier negotiated everywhere and a ring for placement, a farm's outputs
+// are identical to the streaming run's and every chunk is resolved
+// through the fetch ladder rather than the controller's stream.
+func TestFarmManifestDespatch(t *testing.T) {
+	chunks := chaosChunks(chaosSeed, 4, 5)
+	want, _ := streamingEgressBaseline(t, chunks, FarmOptions{})
+
+	n := simnet.New()
+	ctl, donors, peers := dataTierNet(t, n, "dt-", true, []bool{true, true})
+	rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{})
+	assertSameOutputs(t, rep.Outputs, want)
+
+	var hits, ring, peer, origin int64
+	for _, d := range donors {
+		snap := d.ChunkStore().Snapshot()
+		hits += snap.Hits
+		ring += snap.FetchRing
+		peer += snap.FetchPeer
+		origin += snap.FetchController
+	}
+	if ring+peer+origin+hits == 0 {
+		t.Fatal("no donor resolved any chunk through the fetch ladder; manifests were never despatched")
+	}
+	if ring == 0 {
+		t.Error("no chunk was fetched from the ring replica despite a live super")
+	}
+	if egress := ctl.Resilience().Snapshot().FarmEgressBytes; egress == 0 {
+		t.Fatal("egress accounting dead")
+	}
+	t.Logf("fetches: ring=%d peer=%d controller=%d hits=%d", ring, peer, origin, hits)
+}
+
+// TestFarmEgressReduction is the tentpole acceptance test: under quorum
+// despatch (every chunk attempted by three voters), the streaming
+// controller pays for each chunk's bytes once per voter, while the
+// manifest controller pays roughly once total — the ring write-through
+// — plus metadata. The ISSUE's bar is a >= 50% egress reduction.
+func TestFarmEgressReduction(t *testing.T) {
+	chunks := bigChunks(chaosSeed, 3, 4, 512)
+	want, streamEgress := streamingEgressBaseline(t, chunks, FarmOptions{Quorum: 3})
+
+	n := simnet.New()
+	ctl, _, peers := dataTierNet(t, n, "eg-", true, []bool{true, true, true})
+	rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{Quorum: 3})
+	assertSameOutputs(t, rep.Outputs, want)
+
+	egress := ctl.Resilience().Snapshot().FarmEgressBytes
+	if egress == 0 || streamEgress == 0 {
+		t.Fatalf("egress accounting dead: data-tier=%d streaming=%d", egress, streamEgress)
+	}
+	if 2*egress > streamEgress {
+		t.Errorf("data-tier egress %d is not <= half the streaming egress %d", egress, streamEgress)
+	}
+	t.Logf("egress: streaming=%d data-tier=%d (%.0f%% saved)",
+		streamEgress, egress, 100*(1-float64(egress)/float64(streamEgress)))
+}
+
+// TestFarmLegacyPeerStreamsPayloads proves the negotiated fallback: a
+// donor without the tier never advertises the capability, so the
+// controller streams payloads exactly as before and the farm completes
+// with identical outputs.
+func TestFarmLegacyPeerStreamsPayloads(t *testing.T) {
+	chunks := chaosChunks(chaosSeed, 3, 4)
+	want, _ := streamingEgressBaseline(t, chunks, FarmOptions{})
+
+	n := simnet.New()
+	ctl, donors, peers := dataTierNet(t, n, "lg-", false, []bool{false, false})
+	rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{})
+	assertSameOutputs(t, rep.Outputs, want)
+
+	for i, d := range donors {
+		if d.ChunkStore() != nil {
+			t.Fatalf("donor %d runs a chunk store; test misconfigured", i)
+		}
+	}
+	// The controller pinned its farm chunks but no donor ever fetched
+	// them: every byte went over the legacy stream.
+	var payloadBytes int64
+	for _, chunk := range chunks {
+		for _, d := range chunk {
+			_, p, err := chunkstore.DigestData(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloadBytes += int64(len(p))
+		}
+	}
+	egress := ctl.Resilience().Snapshot().FarmEgressBytes
+	if egress < payloadBytes {
+		t.Errorf("controller egress %d < one full streaming pass %d", egress, payloadBytes)
+	}
+	if got := ctl.ChunkStore().Snapshot(); got.Entries == 0 {
+		t.Error("controller did not pin its farm chunks")
+	}
+}
+
+// TestResolveManifestPeerRung exercises the donor-to-donor rung in
+// isolation: a manifest whose only hint is a sibling donor that already
+// holds the chunk resolves without touching ring or controller, and a
+// re-resolve hits the local cache.
+func TestResolveManifestPeerRung(t *testing.T) {
+	n := simnet.New()
+	a := newService(t, n.Peer("pr-a"), "pr-a", Options{DataTier: DataTierOptions{Enable: true}})
+	b := newService(t, n.Peer("pr-b"), "pr-b", Options{DataTier: DataTierOptions{Enable: true}})
+
+	data := []types.Data{
+		&types.Spectrum{Resolution: 1, Amplitudes: []float64{1, 2}},
+		&types.Spectrum{Resolution: 1, Amplitudes: []float64{3, 4}},
+	}
+	m := &chunkstore.Manifest{}
+	for _, d := range data {
+		digest, payload, err := chunkstore.DigestData(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ChunkStore().Put(digest, payload)
+		m.Items = append(m.Items, chunkstore.Item{Digest: digest, Peers: []string{a.Addr()}})
+	}
+
+	payloads, err := b.resolveManifest(chunkstore.EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != len(data) {
+		t.Fatalf("resolved %d payloads, want %d", len(payloads), len(data))
+	}
+	snap := b.ChunkStore().Snapshot()
+	if snap.FetchPeer != int64(len(data)) {
+		t.Errorf("peer fetches = %d, want %d", snap.FetchPeer, len(data))
+	}
+	if snap.FetchRing != 0 || snap.FetchController != 0 {
+		t.Errorf("ladder skipped the peer rung: ring=%d controller=%d", snap.FetchRing, snap.FetchController)
+	}
+	if _, err := b.resolveManifest(chunkstore.EncodeManifest(m)); err != nil {
+		t.Fatal(err)
+	}
+	if snap := b.ChunkStore().Snapshot(); snap.Hits != int64(len(data)) {
+		t.Errorf("re-resolve hits = %d, want %d (local cache)", snap.Hits, len(data))
+	}
+}
+
+// TestFarmSurvivesDeadChunkReplica is the chaos satellite: the single
+// ring replica holding the farm's chunks is killed after the first
+// chunk commits. Later manifests still name the dead super, the ring
+// rung times out, and the controller-direct fallback completes the farm
+// with outputs identical to the fault-free run.
+func TestFarmSurvivesDeadChunkReplica(t *testing.T) {
+	chunks := chaosChunks(chaosSeed, 4, 5)
+	want, _ := streamingEgressBaseline(t, chunks, FarmOptions{})
+
+	n := simnet.New()
+	ctl, donors, peers := dataTierNet(t, n, "dr-", true, []bool{true, true})
+	rep := runChaosFarm(t, ctl, peers, chunks, FarmOptions{
+		AfterChunk: func(c int) {
+			if c == 0 {
+				n.Kill("dr-super")
+			}
+		},
+		AttemptTimeout: 20 * time.Second,
+	})
+	assertSameOutputs(t, rep.Outputs, want)
+
+	var ring, origin int64
+	for _, d := range donors {
+		snap := d.ChunkStore().Snapshot()
+		ring += snap.FetchRing
+		origin += snap.FetchController
+	}
+	if origin == 0 {
+		t.Error("no controller-direct fetches despite a dead ring replica; the fallback never engaged")
+	}
+	t.Logf("ring=%d controller=%d after replica death", ring, origin)
+}

@@ -60,6 +60,10 @@ type RemoteJob struct {
 	// result-collection span joins the same tree.
 	TraceID      string
 	despatchSpan string
+	// ChunkCapable records that the hosting peer advertised the
+	// content-addressed data tier in its run reply; a capable controller
+	// may send this job chunk manifests instead of streamed payloads.
+	ChunkCapable bool
 }
 
 // Despatch ships a part to its peer: the remote service fetches modules
@@ -140,6 +144,7 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 	return &RemoteJob{
 		Part: part, JobID: reply.Header("job"), InAds: ads,
 		TraceID: despatch.TraceID(), despatchSpan: despatch.SpanID(),
+		ChunkCapable: reply.Header(capChunkstore) != "",
 	}, nil
 }
 
@@ -336,18 +341,9 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 				break
 			}
 		}
-		for r, peerID := range plan.Replicas {
-			ref, ok := peers[peerID]
-			if !ok {
-				closeLocalPipes()
-				return nil, fmt.Errorf("service: plan names unknown peer %q", peerID)
-			}
-			if !allGated && !s.health.Usable(peerID) {
-				s.logf("service: replica %s breaker open, skipping", peerID)
-				continue
-			}
+		tryReplica := func(r int, peerID string) {
 			part := RemotePart{
-				Peer:       ref,
+				Peer:       peers[peerID],
 				Body:       body.Clone(),
 				InLabels:   replicaLabels(inLabels, r),
 				OutTargets: outTargets,
@@ -359,12 +355,41 @@ func (s *Service) RunDistributed(ctx context.Context, g *taskgraph.Graph, groupN
 				despatchErr = err
 				s.health.ReportFailure(peerID)
 				s.logf("service: replica %s unavailable, skipping: %v", peerID, err)
-				continue
+				return
 			}
 			s.health.ReportSuccess(peerID, 0)
 			jobs = append(jobs, job)
 			for j := range inLabels {
 				inputAds[j] = append(inputAds[j], job.InAds[j])
+			}
+		}
+		var gated []struct {
+			r      int
+			peerID string
+		} // breaker-skipped replicas, kept for a second pass
+		for r, peerID := range plan.Replicas {
+			if _, ok := peers[peerID]; !ok {
+				closeLocalPipes()
+				return nil, fmt.Errorf("service: plan names unknown peer %q", peerID)
+			}
+			if !allGated && !s.health.Usable(peerID) {
+				s.logf("service: replica %s breaker open, skipping", peerID)
+				gated = append(gated, struct {
+					r      int
+					peerID string
+				}{r, peerID})
+				continue
+			}
+			tryReplica(r, peerID)
+		}
+		if len(jobs) == 0 && len(gated) > 0 {
+			// Every usable replica refused. A gated replica is a better
+			// bet than failing the run: its breaker reflects stale RPC
+			// history, not the despatch we are about to attempt — under
+			// churn an idle-but-gated donor is often the only one left.
+			for _, g := range gated {
+				s.logf("service: retrying breaker-gated replica %s (no other replica accepted)", g.peerID)
+				tryReplica(g.r, g.peerID)
 			}
 		}
 		if len(jobs) == 0 {

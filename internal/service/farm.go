@@ -79,6 +79,13 @@ type FarmOptions struct {
 	// commits only a majority-agreed result digest. Overrides
 	// Speculate for the chunk's launch strategy.
 	Quorum int
+
+	// datums holds every chunk's canonical payloads (and digests),
+	// computed once per farm; manifests is the data-tier state when the
+	// controller runs the chunk store. Both are farm-internal: FarmChunks
+	// populates them after applying defaults.
+	datums    [][]manifestDatum
+	manifests *farmManifests
 }
 
 func (o FarmOptions) withFarmDefaults(res ResilienceOptions) FarmOptions {
@@ -179,6 +186,18 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 			opts.Quorum, len(opts.Peers))
 	}
 	opts = opts.withFarmDefaults(s.res)
+	// Canonically encode every datum once: the payloads feed the digests,
+	// the attempt streams, and (data tier on) the pinned chunks and ring
+	// replicas — so re-despatches and speculative backups never re-pay
+	// the marshal, and a chunk's identity is fixed before attempt one.
+	var err error
+	if opts.datums, err = digestFarmChunks(chunks); err != nil {
+		return nil, err
+	}
+	if s.chunks != nil {
+		opts.manifests = s.prepareFarmManifests(opts.datums)
+		defer opts.manifests.release()
+	}
 	farmID := s.nextRunID.Add(1)
 	report := &FarmReport{PeerChunks: make(map[string]int)}
 	state := opts.InitialState
@@ -422,6 +441,11 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 			s.admit.release()
 			if r.err == nil && len(r.got) == len(chunk) {
 				s.health.ReportSuccess(fl.peer.ID, time.Since(fl.start))
+				if opts.manifests != nil {
+					// The winner materialised this chunk's digests; later
+					// manifests can offer it as a peer fetch source.
+					opts.manifests.recordResolved(c, fl.peer.Addr)
+				}
 				if fl.spec {
 					report.SpeculationWins++
 					s.resStats.SpeculationWins.Inc()
@@ -614,6 +638,12 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 						peer: fl.peer, got: r.got, state: r.newState,
 						digest: digest, elapsed: time.Since(fl.start),
 					})
+					if opts.manifests != nil {
+						// A voter resolved the chunk's digests even before
+						// the vote commits — later quorum siblings can fetch
+						// from it instead of the controller.
+						opts.manifests.recordResolved(c, fl.peer.Addr)
+					}
 					// Peer stays busy: it has voted.
 					continue
 				}
@@ -675,16 +705,30 @@ func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.D
 	if err != nil {
 		return nil, nil, err
 	}
-	// The stream checks the context between items so an abandoned
-	// attempt (racing sibling won, peer declared dead, timeout) stops
-	// feeding the loser promptly instead of pushing the whole chunk.
+	// Feed the chunk. With the data tier negotiated on both ends, one
+	// manifest frame replaces the payload stream: the donor resolves the
+	// digests through its cache, the ring, sibling donors, and only then
+	// the controller — that ladder, not this loop, is now the data plane.
+	// A legacy peer (or a farm on a controller without the tier) still
+	// gets the payloads streamed, checking the context between items so
+	// an abandoned attempt stops feeding the loser promptly.
 	var sendErr error
-	for _, d := range chunk {
-		if attemptCtx.Err() != nil {
-			break
+	if opts.manifests != nil && job.ChunkCapable {
+		if attemptCtx.Err() == nil {
+			payload := opts.manifests.manifestFor(c, peer.Addr)
+			if sendErr = out.SendManifest(payload); sendErr == nil {
+				s.resStats.FarmEgressBytes.Add(int64(len(payload)))
+			}
 		}
-		if sendErr = out.Send(d); sendErr != nil {
-			break
+	} else {
+		for _, d := range opts.datums[c] {
+			if attemptCtx.Err() != nil {
+				break
+			}
+			if sendErr = out.SendRaw(d.payload); sendErr != nil {
+				break
+			}
+			s.resStats.FarmEgressBytes.Add(int64(len(d.payload)))
 		}
 	}
 	// Abandoned mid-stream: cancel the remote job before signalling

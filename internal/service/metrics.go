@@ -46,4 +46,5 @@ func registerResilience(peerID string, st *metrics.ResilienceStats) {
 	reg.RegisterCounter(metrics.Series("service_quorum_commits_total", "peer", peerID), &st.QuorumCommits)
 	reg.RegisterCounter(metrics.Series("service_quorum_disagreements_total", "peer", peerID), &st.QuorumDisagreements)
 	reg.RegisterCounter(metrics.Series("service_despatch_shed_total", "peer", peerID), &st.DespatchSheds)
+	reg.RegisterCounter(metrics.Series("service_farm_egress_bytes_total", "peer", peerID), &st.FarmEgressBytes)
 }

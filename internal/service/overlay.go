@@ -41,14 +41,20 @@ func (s *Service) setupOverlay(o *OverlayOptions, discCfg *discovery.Config) err
 		if syncInterval == 0 {
 			syncInterval = 15 * time.Second
 		}
-		super, err := overlay.NewSuper(s.host, overlay.SuperOptions{
+		superOpts := overlay.SuperOptions{
 			Ring:          ring,
 			Replication:   o.Replication,
 			SyncInterval:  syncInterval,
 			SweepInterval: o.SweepInterval,
 			Tracer:        s.tracer,
 			Logf:          s.opts.Logf,
-		})
+		}
+		if s.chunks != nil {
+			// The super's chunk cache doubles as its ring vault, so
+			// controllers can place farm chunk replicas here.
+			superOpts.Chunks = s.chunks
+		}
+		super, err := overlay.NewSuper(s.host, superOpts)
 		if err != nil {
 			return err
 		}

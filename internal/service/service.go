@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"consumergrid/internal/advert"
+	"consumergrid/internal/chunkstore"
 	"consumergrid/internal/discovery"
 	"consumergrid/internal/engine"
 	"consumergrid/internal/gateway"
@@ -105,6 +106,13 @@ type Options struct {
 	// way, XML-only and unmuxed peers still interoperate (the handshake
 	// downgrades per peer).
 	Wire jxtaserve.WireOptions
+	// DataTier opts the daemon into the content-addressed chunk tier:
+	// farm inputs travel as digest manifests resolved through donor
+	// caches and ring replicas instead of being re-streamed by the
+	// controller per attempt. Off by default; trianad turns it on. Peers
+	// negotiate per despatch, so mixed grids interoperate (a legacy donor
+	// still gets streamed payloads).
+	DataTier DataTierOptions
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -131,6 +139,9 @@ type Service struct {
 
 	overlay      *overlay.Client    // nil unless Options.Overlay set
 	overlaySuper *overlay.SuperPeer // nil unless also a ring member
+
+	chunks            *chunkstore.Store // nil unless the data tier is on
+	chunkFetchTimeout time.Duration
 
 	tracer *trace.Recorder // span recorder for despatch lifecycles
 
@@ -215,6 +226,12 @@ func New(opts Options) (*Service, error) {
 	if s.rm == nil {
 		s.rm = gateway.NewFork()
 		s.ownRM = true
+	}
+	// Super-peers join the data tier even when not explicitly enabled:
+	// a ring member must be able to hold chunk replicas for the farms
+	// that place them there.
+	if opts.DataTier.Enable || (opts.Overlay != nil && opts.Overlay.SuperPeer) {
+		s.setupDataTier(opts.DataTier)
 	}
 	discCfg := opts.Discovery
 	// A bootstrap super-peer may start with an empty ring list (it joins
@@ -769,6 +786,11 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 	}
 	reply := &jxtaserve.Message{Payload: adsPayload}
 	reply.SetHeader("job", id)
+	if s.chunks != nil {
+		// Advertise the data tier: a capable controller may send chunk
+		// manifests to this job's input pipes instead of streaming.
+		reply.SetHeader(capChunkstore, "1")
+	}
 	return reply, nil
 }
 

@@ -154,6 +154,40 @@ func resilienceTable(b *strings.Builder, svc *service.Service) {
 		{"quorum commits", snap.QuorumCommits},
 		{"quorum disagreements", snap.QuorumDisagreements},
 		{"despatches shed", snap.DespatchSheds},
+		{"farm egress bytes", snap.FarmEgressBytes},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)
+	}
+	b.WriteString("</table>")
+	chunkstoreTable(b, svc)
+}
+
+// chunkstoreTable renders the data-tier cache: where this peer's farm
+// chunks actually came from, and how many controller bytes the ladder
+// saved.
+func chunkstoreTable(b *strings.Builder, svc *service.Service) {
+	st := svc.ChunkStore()
+	if st == nil {
+		return
+	}
+	snap := st.Snapshot()
+	b.WriteString("<h2>chunk store</h2>" +
+		"<table><tr><th>counter</th><th>value</th></tr>")
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"cache hits", snap.Hits},
+		{"cache misses", snap.Misses},
+		{"fetches from ring", snap.FetchRing},
+		{"fetches from peers", snap.FetchPeer},
+		{"fetches from controller", snap.FetchController},
+		{"controller bytes saved", snap.BytesSaved},
+		{"evictions", snap.Evictions},
+		{"digest mismatches", snap.DigestMismatch},
+		{"cached bytes", snap.CacheBytes},
+		{"cached chunks", int64(snap.Entries)},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)

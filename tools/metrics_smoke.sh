@@ -36,7 +36,10 @@ for series in \
     service_jobs_hosted_total \
     service_heartbeats_total \
     mcode_store_hits_total \
-    engine_cow_clones_total; do
+    engine_cow_clones_total \
+    chunkstore_cache_hits_total \
+    chunkstore_fetch_total \
+    service_farm_egress_bytes_total; do
     if ! grep -q "$series" "$OUT"; then
         echo "metrics-smoke: scrape is missing $series" >&2
         status=1
