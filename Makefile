@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance datastore-smoke
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance datastore-smoke tenant-smoke
 
 build:
 	go build ./...
@@ -61,6 +61,20 @@ datastore-smoke:
 	go test ./internal/chunkstore/ ./internal/overlay/ -run 'TestChunk|TestManifest|FuzzChunk' -count=1
 	go test ./internal/service/ -run 'TestFarmManifestDespatch|TestFarmEgressReduction|TestFarmLegacyPeerStreamsPayloads|TestResolveManifestPeerRung|TestFarmSurvivesDeadChunkReplica' -count=1 -v
 	go test -run '^$$' -bench 'BenchmarkFarmEgress' -benchtime 5x .
+
+# Multi-tenant despatch plane: the 2-shard × 3-tenant smoke scenario
+# (concurrent equal-weight farms over a pooled simnet grid, asserting
+# Jain's fairness index >= 0.9 on admission grants and the presence of
+# tenant-labelled metric families), the fair-share scheduler's own
+# regression battery under -race (FIFO wake order, weighted shares,
+# outcome exactness racing Close), the N-tenants × M-farms byzantine
+# contention suite, the daemon flag-validation table, and the T7
+# fairness experiment end to end.
+tenant-smoke:
+	go test ./internal/controller/ -run 'TestTenantSmoke|TestDonorPoolShard|TestDonorPoolDefaultShards' -count=1 -v
+	go test -race ./internal/service/ -run 'TestAdmission|TestTenant' -count=1
+	go test ./cmd/trianad/ ./internal/policy/ -run 'TestValidate|TestParseTenants|TestJain|TestWeightedJain' -count=1
+	go test ./internal/experiments/ -run 'TestEveryExperimentRunsAndHoldsShape/T7' -count=1
 
 # Deterministic byzantine chaos harness: seeded simnet with a corrupting
 # peer and a dead peer, quorum voting, breaker and score assertions via

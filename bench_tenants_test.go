@@ -1,0 +1,64 @@
+package consumergrid_test
+
+// Fair-share scheduler benches: the T7 despatch-plane kernel at a
+// saturated 2x oversubscription, single-tenant baseline against
+// multi-tenant splits of the same aggregate load. ns/op tracks the
+// wall time of draining the whole workload; the custom metrics are the
+// tentpole's acceptance numbers — jain-x1000 is Jain's fairness index
+// over per-tenant throughput (1000 = perfectly fair) and p99-sched-us
+// the worst tenant's 99th-percentile acquire-to-grant wait. Tracked by
+// the benchreg snapshots (BENCH_*-tenants.json).
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"consumergrid/internal/policy"
+	"consumergrid/internal/service"
+)
+
+var benchTrialSeq atomic.Int64
+
+func benchFairShare(b *testing.B, tenants int) {
+	const (
+		donors              = 64
+		despatchesPerStream = 8
+		svcTime             = 200 * time.Microsecond
+	)
+	weights := map[string]int{}
+	for i := 0; i < tenants; i++ {
+		weights[fmt.Sprintf("t%d", i)] = 1
+	}
+	streamsPer := 2 * donors / tenants
+
+	var jain, p99 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Owners are unique per trial so the registry histograms never
+		// blend iterations.
+		owner := fmt.Sprintf("bench-fs-%d", benchTrialSeq.Add(1))
+		results := service.SchedulerTrial(owner, weights, donors, streamsPer,
+			despatchesPerStream, svcTime, 1)
+		var thr []float64
+		p99 = 0
+		for _, r := range results {
+			thr = append(thr, r.PerSec)
+			if r.P99WaitMS > p99 {
+				p99 = r.P99WaitMS
+			}
+		}
+		jain = policy.JainIndex(thr)
+	}
+	b.ReportMetric(jain*1000, "jain-x1000")
+	b.ReportMetric(p99*1000, "p99-sched-us")
+}
+
+func BenchmarkFairShareScheduler(b *testing.B) {
+	for _, tenants := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			benchFairShare(b, tenants)
+		})
+	}
+}

@@ -74,6 +74,8 @@ func main() {
 		err = cmdMetrics(args)
 	case "traces":
 		err = cmdTraces(args)
+	case "tenant":
+		err = cmdTenant(args)
 	case "overlay":
 		err = cmdOverlay(args)
 	case "run":
@@ -90,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|overlay|run|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|tenant|overlay|run|export} [flags]")
 }
 
 func cmdUnits(args []string) error {
@@ -321,6 +323,31 @@ func cmdTraces(args []string) error {
 		headers = map[string]string{"trace": *traceID}
 	}
 	return fetchObservability(*addr, service.MethodTraces, headers)
+}
+
+// cmdTenant dumps a daemon's fair-share scheduler ledger: per-tenant
+// weights, in-flight slots, queue depth, admit/shed totals and the p99
+// scheduling wait. With -tenant and -weight it first adjusts that
+// tenant's fair-share weight on the daemon.
+func cmdTenant(args []string) error {
+	fs := flag.NewFlagSet("tenant", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	tenant := fs.String("tenant", "", "tenant to adjust (with -weight)")
+	weight := fs.Int("weight", 0, "new fair-share weight for -tenant")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	var headers map[string]string
+	if *tenant != "" && *weight > 0 {
+		headers = map[string]string{
+			"set-tenant": *tenant,
+			"set-weight": fmt.Sprint(*weight),
+		}
+	} else if (*tenant == "") != (*weight == 0) {
+		return fmt.Errorf("-tenant and -weight must be given together")
+	}
+	return fetchObservability(*addr, service.MethodTenants, headers)
 }
 
 // cmdOverlay inspects the super-peer discovery overlay: it lists ring

@@ -88,13 +88,39 @@ func main() {
 
 		wireMux    = flag.Bool("wire-mux", true, "multiplex all traffic to a peer over one TCP connection")
 		wireBinary = flag.Bool("wire-binary", true, "offer the binary wire codec (falls back to XML for peers that lack it)")
-		wireWindow = flag.Int("wire-window", 0, "per-stream flow-control window in frames (0 = default 64)")
+		wireWindow = flag.Int("wire-window", 64, "per-stream flow-control window in frames (must be positive; a window of 0 would stall every stream)")
 
 		dataTier     = flag.Bool("data-tier", true, "join the content-addressed chunk tier: farm inputs travel as digest manifests resolved via donor caches and ring replicas (peers without it still get streamed payloads)")
 		chunkCache   = flag.Int64("chunk-cache", 0, "chunk cache budget in bytes (0 = default 64 MiB)")
 		chunkTimeout = flag.Duration("chunk-fetch-timeout", 0, "per-source chunk fetch deadline before the ladder falls back (0 = default 2s)")
+
+		tenants      = flag.String("tenants", "", "comma-separated tenant:weight pairs seeding the fair-share despatch scheduler (e.g. alice:4,bob:1)")
+		tenantWeight = flag.Int("tenant-weight", 1, "fair-share weight for tenants not listed in -tenants")
 	)
 	flag.Parse()
+
+	cfg := daemonConfig{
+		Replication:     *replication,
+		ChunkCache:      *chunkCache,
+		WireWindow:      *wireWindow,
+		CPUMHz:          *cpuMHz,
+		RAMMB:           *ramMB,
+		RPCAttempts:     *rpcAttempts,
+		HeartbeatMisses: *hbMisses,
+		BatchSlots:      *batchSlots,
+		CodeBudget:      *codeBudget,
+		MemLimit:        *memLimit,
+		AdvertTTL:       *ttl,
+		Tenants:         *tenants,
+		TenantWeight:    *tenantWeight,
+	}
+	if err := cfg.validate(); err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
+	tenantWeights, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
 
 	if *id == "" {
 		host, _ := os.Hostname()
@@ -178,15 +204,17 @@ func main() {
 			CacheBytes:   *chunkCache,
 			FetchTimeout: *chunkTimeout,
 		},
-		Sandbox:     pol,
-		RM:          rm,
-		CodeBudget:  *codeBudget,
-		CPUMHz:      *cpuMHz,
-		FreeRAMMB:   *ramMB,
-		PeerGroup:   *group,
-		RequireCode: *require,
-		Certified:   certifiedList,
-		Logf:        log.Printf,
+		Sandbox:             pol,
+		RM:                  rm,
+		Tenants:             tenantWeights,
+		TenantDefaultWeight: *tenantWeight,
+		CodeBudget:          *codeBudget,
+		CPUMHz:              *cpuMHz,
+		FreeRAMMB:           *ramMB,
+		PeerGroup:           *group,
+		RequireCode:         *require,
+		Certified:           certifiedList,
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("trianad: %v", err)

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodConfig is a fully-valid daemon configuration the table mutates
+// one field at a time.
+func goodConfig() daemonConfig {
+	return daemonConfig{
+		Replication:     2,
+		ChunkCache:      64 << 20,
+		WireWindow:      64,
+		CPUMHz:          1000,
+		RAMMB:           512,
+		RPCAttempts:     3,
+		HeartbeatMisses: 3,
+		BatchSlots:      2,
+		CodeBudget:      1 << 20,
+		MemLimit:        1 << 30,
+		AdvertTTL:       time.Minute,
+		Tenants:         "alice:4,bob:1",
+		TenantWeight:    1,
+	}
+}
+
+// TestValidateRejectsNonsense is the satellite fail-fast table: every
+// flag value that could never be meant is refused with a message naming
+// the flag, and the zero-means-default conventions stay accepted.
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*daemonConfig)
+		wantFlag string // "" means the config must validate
+	}{
+		{"valid baseline", func(c *daemonConfig) {}, ""},
+		{"zero-default knobs stay legal", func(c *daemonConfig) {
+			c.Replication, c.ChunkCache, c.RPCAttempts = 0, 0, 0
+			c.HeartbeatMisses, c.BatchSlots, c.CodeBudget, c.MemLimit = 0, 0, 0, 0
+			c.RAMMB, c.Tenants = 0, ""
+		}, ""},
+		{"negative replication", func(c *daemonConfig) { c.Replication = -1 }, "-replication"},
+		{"negative chunk cache", func(c *daemonConfig) { c.ChunkCache = -1 }, "-chunk-cache"},
+		{"zero wire window", func(c *daemonConfig) { c.WireWindow = 0 }, "-wire-window"},
+		{"negative wire window", func(c *daemonConfig) { c.WireWindow = -8 }, "-wire-window"},
+		{"zero cpu", func(c *daemonConfig) { c.CPUMHz = 0 }, "-cpu"},
+		{"negative ram", func(c *daemonConfig) { c.RAMMB = -1 }, "-ram"},
+		{"negative rpc attempts", func(c *daemonConfig) { c.RPCAttempts = -2 }, "-rpc-attempts"},
+		{"negative heartbeat misses", func(c *daemonConfig) { c.HeartbeatMisses = -1 }, "-heartbeat-misses"},
+		{"negative batch slots", func(c *daemonConfig) { c.BatchSlots = -4 }, "-batch-slots"},
+		{"negative code budget", func(c *daemonConfig) { c.CodeBudget = -1 }, "-code-budget"},
+		{"negative mem limit", func(c *daemonConfig) { c.MemLimit = -1 }, "-mem-limit"},
+		{"zero advert ttl", func(c *daemonConfig) { c.AdvertTTL = 0 }, "-advert-ttl"},
+		{"zero tenant weight", func(c *daemonConfig) { c.TenantWeight = 0 }, "-tenant-weight"},
+		{"malformed tenant spec", func(c *daemonConfig) { c.Tenants = "alice" }, "-tenants"},
+		{"non-numeric tenant weight", func(c *daemonConfig) { c.Tenants = "alice:fast" }, "-tenants"},
+		{"zero tenant spec weight", func(c *daemonConfig) { c.Tenants = "alice:0" }, "-tenants"},
+		{"duplicate tenant", func(c *daemonConfig) { c.Tenants = "alice:1,alice:2" }, "-tenants"},
+	}
+	for _, tc := range cases {
+		cfg := goodConfig()
+		tc.mutate(&cfg)
+		err := cfg.validate()
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("%s: validate() = %v, want accepted", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: validate() accepted a nonsense value", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("%s: error %q does not name the offending flag %s", tc.name, err, tc.wantFlag)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants(" alice:4, bob:1 ,carol:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"alice": 4, "bob": 1, "carol": 2}
+	if len(got) != len(want) {
+		t.Fatalf("parseTenants = %v, want %v", got, want)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("parseTenants[%s] = %d, want %d", name, got[name], w)
+		}
+	}
+	if m, err := parseTenants("  "); err != nil || m != nil {
+		t.Fatalf("blank spec = (%v, %v), want (nil, nil)", m, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consumergrid/internal/advert"
@@ -30,6 +31,10 @@ import (
 type Controller struct {
 	svc  *service.Service
 	logf func(format string, args ...any)
+
+	// farmSeq numbers farm submissions; with the tenant it forms the
+	// key that places each farm on a donor-pool shard.
+	farmSeq atomic.Int64
 
 	mu   sync.Mutex
 	pool *DonorPool
@@ -61,6 +66,10 @@ type RunOptions struct {
 	MaxPeers int
 	// ForceLocal skips discovery and runs everything in-process.
 	ForceLocal bool
+	// PoolShards forces the donor-pool shard count. 0 derives one shard
+	// per overlay ring member (shard ownership then agrees with advert
+	// placement); explicit values suit tests and grids with few supers.
+	PoolShards int
 }
 
 // Report describes a completed run.
@@ -226,6 +235,11 @@ type FarmOptions struct {
 	StragglerFactor float64
 	MaxSpeculative  int
 	Quorum          int
+	// Tenant names the submitting tenant: it picks the farm's donor-pool
+	// shard, charges the fair-share admission queue, and labels the
+	// despatch envelope, spans and metrics. Empty means the default
+	// tenant.
+	Tenant string
 }
 
 // RunFarm discovers workers and streams the chunks through them with
@@ -233,10 +247,18 @@ type FarmOptions struct {
 // that chunk to an alternate peer with the checkpointed state restored,
 // so the committed output stream matches an uninterrupted run.
 func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts FarmOptions) (*service.FarmReport, error) {
+	tenant := opts.Tenant
+	if tenant == "" {
+		tenant = service.DefaultTenant
+	}
 	// A running donor pool already holds push-maintained candidates, so
-	// the per-farm discovery round trip is skipped entirely. An empty
-	// pool (or no pool) falls back to a pull query.
-	peers := c.pooledPeers(opts.Discovery.MaxPeers)
+	// the per-farm discovery round trip is skipped entirely: the farm's
+	// (tenant, sequence) key hashes onto one pool shard, whose donors
+	// become the candidate set — selection, ranking and despatch then
+	// run shard-locally. An empty pool (or no pool) falls back to a
+	// pull query.
+	farmKey := fmt.Sprintf("tenant/%s/farm/%d", tenant, c.farmSeq.Add(1))
+	peers := c.pooledShardPeers(opts.Discovery.MaxPeers, farmKey)
 	if peers == nil {
 		var err error
 		peers, err = c.DiscoverPeers(opts.Discovery)
@@ -247,7 +269,7 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("controller: no peers available for farm")
 	}
-	c.log("controller: farming %d chunks over %d peers", len(chunks), len(peers))
+	c.log("controller: farming %d chunks for tenant %s over %d peers", len(chunks), tenant, len(peers))
 	return c.svc.FarmChunks(ctx, chunks, service.FarmOptions{
 		Body:            opts.Body,
 		Peers:           peers,
@@ -263,6 +285,7 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 		StragglerFactor: opts.StragglerFactor,
 		MaxSpeculative:  opts.MaxSpeculative,
 		Quorum:          opts.Quorum,
+		Tenant:          tenant,
 	})
 }
 
@@ -277,7 +300,23 @@ func (c *Controller) pooledPeers(max int) []service.PeerRef {
 	if p == nil {
 		return nil
 	}
-	peers := p.Peers()
+	return capPeers(p.Peers(), max)
+}
+
+// pooledShardPeers snapshots the shard owning key (whole-pool fallback
+// when that shard is empty), capped to max when positive. Nil when no
+// pool is running or no donor is known anywhere.
+func (c *Controller) pooledShardPeers(max int, key string) []service.PeerRef {
+	c.mu.Lock()
+	p := c.pool
+	c.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return capPeers(p.ShardPeers(key), max)
+}
+
+func capPeers(peers []service.PeerRef, max int) []service.PeerRef {
 	if len(peers) == 0 {
 		return nil
 	}

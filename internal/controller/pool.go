@@ -16,16 +16,42 @@ import (
 // with the overlay and the super-peers push donor arrivals, departures
 // and capability changes as they happen. RunFarm then reads the live
 // pool instead of paying a discovery round trip per farm.
+//
+// The pool is sharded: each shard owns the slice of donors the
+// overlay's consistent-hash ring maps to it (the same Ring that places
+// adverts, so shard ownership and advert placement agree), with its own
+// mutex and maps. A farm is placed on one shard by hashing its
+// (tenant, farm) key, so concurrent farms on different shards select
+// candidates, rank health and race speculative attempts without ever
+// touching a shared lock — the despatch plane scales with the shard
+// count instead of serialising on one pool mutex.
 type DonorPool struct {
 	ctl   *Controller
 	subID string
 
-	mu       sync.Mutex
-	byAdvert map[string]string     // advert ID -> peer ID (retractions carry only the ID)
-	donors   map[string]donorEntry // by peer ID
-	events   int
+	// ring places donors and farms onto shards. Its members are the
+	// overlay ring's nodes at StartDonorPool time (one shard per
+	// super-peer) unless RunOptions.PoolShards forced a synthetic
+	// shard count; membership is fixed for the pool's lifetime.
+	ring   *overlay.Ring
+	shards map[string]*poolShard
+	names  []string // sorted shard names
+
+	// byAdvert resolves retractions (which carry only the advert ID)
+	// back to the peer, and thus the owning shard. Touched only by the
+	// single event-loop goroutine, so it needs no lock.
+	byAdvert map[string]string
 
 	wg sync.WaitGroup
+}
+
+// poolShard is one independently-locked slice of the donor pool.
+type poolShard struct {
+	name string
+
+	mu     sync.Mutex
+	donors map[string]donorEntry // by peer ID
+	events int
 }
 
 type donorEntry struct {
@@ -54,19 +80,39 @@ func discoveryQuery(opts RunOptions) advert.Query {
 }
 
 // StartDonorPool subscribes the controller to donor adverts matching
-// the given filters and keeps a live pool from the pushes. Requires the
-// service to be running on the overlay. The pool stays registered until
-// Close; subsequent RunFarm calls draw peers from it without querying.
+// the given filters and keeps a live sharded pool from the pushes.
+// Requires the service to be running on the overlay. The pool stays
+// registered until Close; subsequent RunFarm calls draw peers from
+// their farm's shard without querying.
 func (c *Controller) StartDonorPool(opts RunOptions) (*DonorPool, error) {
 	cl := c.svc.Overlay()
 	if cl == nil {
 		return nil, fmt.Errorf("controller: donor pool requires the discovery overlay")
 	}
+	var names []string
+	if opts.PoolShards > 0 {
+		for i := 0; i < opts.PoolShards; i++ {
+			names = append(names, fmt.Sprintf("shard-%d", i))
+		}
+	} else if r := cl.Ring(); r != nil {
+		// Default ownership: one shard per overlay ring member, placed
+		// by the same consistent hash that places the adverts.
+		names = r.Nodes()
+	}
+	if len(names) == 0 {
+		names = []string{"shard-0"}
+	}
+	sort.Strings(names)
 	p := &DonorPool{
 		ctl:      c,
 		subID:    "donor-pool/" + c.svc.PeerID(),
+		ring:     overlay.NewRing(0, names...),
+		shards:   make(map[string]*poolShard, len(names)),
+		names:    names,
 		byAdvert: make(map[string]string),
-		donors:   make(map[string]donorEntry),
+	}
+	for _, n := range names {
+		p.shards[n] = &poolShard{name: n, donors: make(map[string]donorEntry)}
 	}
 	events, err := cl.Subscribe(p.subID, discoveryQuery(opts))
 	if err != nil {
@@ -83,40 +129,65 @@ func (c *Controller) StartDonorPool(opts RunOptions) (*DonorPool, error) {
 	return p, nil
 }
 
+// shardForDonor maps a donor onto its owning shard.
+func (p *DonorPool) shardForDonor(peerID string) *poolShard {
+	return p.shardFor("donor/" + peerID)
+}
+
+// shardFor resolves any placement key to a shard. A key the ring maps
+// to an unknown member (cannot happen with a fixed ring, but cheap to
+// guard) falls back to the first shard.
+func (p *DonorPool) shardFor(key string) *poolShard {
+	if sh, ok := p.shards[p.ring.Primary(key)]; ok {
+		return sh
+	}
+	return p.shards[p.names[0]]
+}
+
 func (p *DonorPool) loop(events <-chan overlay.Event) {
 	for ev := range events {
-		p.mu.Lock()
-		p.events++
 		if ev.Retracted {
-			if peerID, ok := p.byAdvert[ev.ID]; ok {
-				delete(p.byAdvert, ev.ID)
-				delete(p.donors, peerID)
+			peerID, ok := p.byAdvert[ev.ID]
+			if !ok {
+				continue
 			}
+			delete(p.byAdvert, ev.ID)
+			sh := p.shardForDonor(peerID)
+			sh.mu.Lock()
+			sh.events++
+			delete(sh.donors, peerID)
+			sh.mu.Unlock()
 		} else if ev.Ad != nil {
 			cpu, _ := strconv.ParseFloat(ev.Ad.Attr(advert.AttrCPUMHz), 64)
 			p.byAdvert[ev.ID] = ev.Ad.PeerID
-			p.donors[ev.Ad.PeerID] = donorEntry{
+			sh := p.shardForDonor(ev.Ad.PeerID)
+			sh.mu.Lock()
+			sh.events++
+			sh.donors[ev.Ad.PeerID] = donorEntry{
 				ref: service.PeerRef{ID: ev.Ad.PeerID, Addr: ev.Ad.Addr},
 				cpu: cpu,
 			}
+			sh.mu.Unlock()
 		}
-		p.mu.Unlock()
 	}
 }
 
-// Peers snapshots the live donors, strongest advertised CPU first and
-// the controller's own peer excluded — the same order DiscoverPeers
-// produces, minus the round trips.
-func (p *DonorPool) Peers() []service.PeerRef {
-	p.mu.Lock()
-	entries := make([]donorEntry, 0, len(p.donors))
-	for id, e := range p.donors {
+// peersOf snapshots one shard's donors, strongest advertised CPU first
+// and the controller's own peer excluded.
+func (p *DonorPool) peersOf(sh *poolShard) []service.PeerRef {
+	sh.mu.Lock()
+	entries := make([]donorEntry, 0, len(sh.donors))
+	for id, e := range sh.donors {
 		if id == p.ctl.svc.PeerID() {
 			continue
 		}
 		entries = append(entries, e)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
+	return sortedRefs(entries)
+}
+
+func sortedRefs(entries []donorEntry) []service.PeerRef {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].cpu != entries[j].cpu {
 			return entries[i].cpu > entries[j].cpu
@@ -130,15 +201,66 @@ func (p *DonorPool) Peers() []service.PeerRef {
 	return out
 }
 
+// Peers snapshots the live donors across every shard, strongest
+// advertised CPU first and the controller's own peer excluded — the
+// same order DiscoverPeers produces, minus the round trips.
+func (p *DonorPool) Peers() []service.PeerRef {
+	var entries []donorEntry
+	for _, name := range p.names {
+		sh := p.shards[name]
+		sh.mu.Lock()
+		for id, e := range sh.donors {
+			if id == p.ctl.svc.PeerID() {
+				continue
+			}
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
+	}
+	return sortedRefs(entries)
+}
+
+// ShardPeers snapshots the donors of the shard owning key — the
+// shard-local candidate set a farm despatches over. A shard that holds
+// no donors (small grids, uneven hash) falls back to the whole pool so
+// a farm never starves while donors exist elsewhere.
+func (p *DonorPool) ShardPeers(key string) []service.PeerRef {
+	if peers := p.peersOf(p.shardFor(key)); len(peers) > 0 {
+		return peers
+	}
+	return p.Peers()
+}
+
+// ShardCount reports the number of shards.
+func (p *DonorPool) ShardCount() int { return len(p.names) }
+
+// ShardSizes reports each shard's donor count, keyed by shard name —
+// observability for webstatus and tests.
+func (p *DonorPool) ShardSizes() map[string]int {
+	out := make(map[string]int, len(p.names))
+	for _, name := range p.names {
+		sh := p.shards[name]
+		sh.mu.Lock()
+		out[name] = len(sh.donors)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Size reports the current donor count (excluding self).
 func (p *DonorPool) Size() int { return len(p.Peers()) }
 
-// Events reports how many pushes the pool has absorbed — observability
-// for the /overlay page and tests.
+// Events reports how many pushes the pool has absorbed across shards —
+// observability for the /overlay page and tests.
 func (p *DonorPool) Events() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.events
+	total := 0
+	for _, name := range p.names {
+		sh := p.shards[name]
+		sh.mu.Lock()
+		total += sh.events
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Close withdraws the subscription and stops the pool.

@@ -86,6 +86,7 @@ func All() []Experiment {
 		{"T4", "§3.3: distribution-policy comparison", T4},
 		{"T5", "§2/§3.1: gateway launch (fork vs batch) and enrolment model", T5},
 		{"T6", "§4 at scale: flood vs flat rendezvous vs super-peer overlay (1k-5k peers)", T6},
+		{"T7", "Multi-tenant despatch plane: throughput fairness and p99 scheduling latency", T7},
 		{"A1", "Ablation: checkpointing under churn", A1},
 		{"A2", "Ablation: on-demand vs pre-staged code", A2},
 		{"A3", "Live churn with failover (idle gates + parallel despatch)", A3},

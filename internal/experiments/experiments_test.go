@@ -51,7 +51,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("ZZ"); ok {
 		t.Error("bogus experiment found")
 	}
-	if len(All()) != 15 {
+	if len(All()) != 16 {
 		t.Errorf("experiment count = %d", len(All()))
 	}
 }

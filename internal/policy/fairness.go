@@ -1,0 +1,48 @@
+// Fairness measurement for the multi-tenant despatch plane. Jain's
+// index is the standard scalar for "how evenly was the resource
+// shared": 1.0 when every tenant got an identical allocation, 1/n when
+// one tenant took everything. The tenancy experiment (T7) and the
+// tenant-smoke CI gate both score per-tenant farm throughput with it.
+package policy
+
+// JainIndex computes Jain's fairness index over the allocations:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// ranging from 1/n (maximally unfair) to 1 (perfectly fair). An empty
+// or all-zero input scores 1 — nothing was allocated, so nothing was
+// allocated unfairly. Negative allocations make no sense for
+// throughput shares and are treated as zero.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// WeightedJainIndex scores allocations against per-tenant weights: each
+// allocation is normalised by its weight first, so a tenant with weight
+// 2 receiving twice the throughput of a weight-1 tenant scores a
+// perfect 1. Weights <= 0 count as 1.
+func WeightedJainIndex(xs, weights []float64) float64 {
+	norm := make([]float64, len(xs))
+	for i, x := range xs {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		norm[i] = x / w
+	}
+	return JainIndex(norm)
+}

@@ -1,0 +1,53 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"perfectly fair", []float64{5, 5, 5, 5}, 1},
+		{"empty is vacuously fair", nil, 1},
+		{"all idle is vacuously fair", []float64{0, 0, 0}, 1},
+		{"single tenant", []float64{42}, 1},
+		{"total starvation of n-1", []float64{10, 0, 0, 0}, 0.25},
+		{"two of four starved", []float64{8, 8, 0, 0}, 0.5},
+		{"mild imbalance", []float64{4, 5, 6}, (15.0 * 15.0) / (3 * (16.0 + 25.0 + 36.0))},
+		{"negatives clamp to zero", []float64{10, -3, 0}, 100.0 / (3 * 100.0)},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	// 1/n <= J <= 1 for any non-degenerate allocation.
+	xs := []float64{1, 3, 9, 27, 81}
+	j := JainIndex(xs)
+	if j < 1.0/float64(len(xs)) || j > 1 {
+		t.Fatalf("JainIndex(%v) = %v outside [1/n, 1]", xs, j)
+	}
+}
+
+func TestWeightedJainIndex(t *testing.T) {
+	// A 2:1 split at 2:1 weights is perfectly fair; at equal weights it
+	// is not.
+	xs := []float64{20, 10}
+	if j := WeightedJainIndex(xs, []float64{2, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("weighted 2:1 split at 2:1 weights: J = %v, want 1", j)
+	}
+	if j := WeightedJainIndex(xs, []float64{1, 1}); j >= 1 {
+		t.Errorf("2:1 split at equal weights should be unfair, got J = %v", j)
+	}
+	// Non-positive weights count as 1 rather than dividing by zero.
+	if j := WeightedJainIndex([]float64{5, 5}, []float64{0, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("zero weight should default to 1: J = %v, want 1", j)
+	}
+}

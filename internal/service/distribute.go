@@ -47,6 +47,10 @@ type RemotePart struct {
 	// by task name): despatching with the state captured from another
 	// peer is the migration mechanism of §3.6.2.
 	RestoreState map[string][]byte
+	// Tenant identifies whose farm this part belongs to. It travels in
+	// the run envelope so the hosting peer's spans and metrics carry the
+	// same identity; empty means DefaultTenant.
+	Tenant string
 }
 
 // RemoteJob is a despatched part awaiting completion.
@@ -95,6 +99,9 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 	// hosting peer's execute span links into the same trace.
 	despatch := s.tracer.Start("", "", "despatch", s.opts.PeerID)
 	despatch.SetAttr("to", part.Peer.ID)
+	if part.Tenant != "" {
+		despatch.SetAttr("tenant", part.Tenant)
+	}
 	defer despatch.End()
 	xfer := s.tracer.Start(despatch.TraceID(), despatch.SpanID(), "transfer", s.opts.PeerID)
 	payload := encodeRunPayload(xmlBytes, part.RestoreState)
@@ -106,6 +113,9 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 	}
 	if codeAddr != "" {
 		headers["codeAddr"] = codeAddr
+	}
+	if part.Tenant != "" {
+		headers["tenant"] = part.Tenant
 	}
 	for i, label := range part.InLabels {
 		headers[fmt.Sprintf("in.%d.label", i)] = label

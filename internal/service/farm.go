@@ -80,12 +80,20 @@ type FarmOptions struct {
 	// Speculate for the chunk's launch strategy.
 	Quorum int
 
+	// Tenant names the submitting tenant: admission slots are charged to
+	// its fair-share queue, the identity rides every despatch envelope,
+	// and the farm's committed chunks and egress bytes land on
+	// tenant-labelled series. Empty means DefaultTenant.
+	Tenant string
+
 	// datums holds every chunk's canonical payloads (and digests),
 	// computed once per farm; manifests is the data-tier state when the
-	// controller runs the chunk store. Both are farm-internal: FarmChunks
-	// populates them after applying defaults.
+	// controller runs the chunk store; tstats caches the tenant's farm
+	// series. All are farm-internal: FarmChunks populates them after
+	// applying defaults.
 	datums    [][]manifestDatum
 	manifests *farmManifests
+	tstats    *tenantFarmStats
 }
 
 func (o FarmOptions) withFarmDefaults(res ResilienceOptions) FarmOptions {
@@ -106,6 +114,9 @@ func (o FarmOptions) withFarmDefaults(res ResilienceOptions) FarmOptions {
 	}
 	if o.MaxSpeculative <= 0 {
 		o.MaxSpeculative = 1
+	}
+	if o.Tenant == "" {
+		o.Tenant = DefaultTenant
 	}
 	return o
 }
@@ -186,6 +197,8 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 			opts.Quorum, len(opts.Peers))
 	}
 	opts = opts.withFarmDefaults(s.res)
+	opts.tstats = s.tenantFarm(opts.Tenant)
+	opts.tstats.farms.Inc()
 	// Canonically encode every datum once: the payloads feed the digests,
 	// the attempt streams, and (data tier on) the pinned chunks and ring
 	// replicas — so re-despatches and speculative backups never re-pay
@@ -226,6 +239,7 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 		}
 		report.PeerChunks[peerID]++
 		chunksCommitted.Inc()
+		opts.tstats.chunks.Inc()
 		if opts.AfterChunk != nil {
 			opts.AfterChunk(c)
 		}
@@ -301,7 +315,7 @@ func (s *Service) stragglerThreshold(peerID string, opts FarmOptions) time.Durat
 // holds FarmChunks open until all are reaped. specRace marks waste
 // caused by a speculative race (vs. a farm-level cancellation).
 func (s *Service) abandonRacers(inflight map[int]*farmInflight, results <-chan farmResult,
-	report *FarmReport, losers *sync.WaitGroup, specRace bool) {
+	report *FarmReport, losers *sync.WaitGroup, tenant string, specRace bool) {
 	if len(inflight) == 0 {
 		return
 	}
@@ -314,7 +328,7 @@ func (s *Service) abandonRacers(inflight map[int]*farmInflight, results <-chan f
 		defer losers.Done()
 		for i := 0; i < remaining; i++ {
 			r := <-results
-			s.admit.release()
+			s.admit.release(tenant)
 			n := int64(len(r.got))
 			atomic.AddInt64(&report.WastedOutputs, n)
 			s.resStats.WastedItems.Add(n)
@@ -359,15 +373,15 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 				return false, nil
 			}
 			if spec {
-				if !s.admit.tryAcquire() {
+				if !s.admit.tryAcquire(opts.Tenant) {
 					return false, nil
 				}
-			} else if err := s.admit.acquire(ctx, s.shutdown); err != nil {
+			} else if err := s.admit.acquire(ctx, s.shutdown, opts.Tenant); err != nil {
 				return false, err
 			}
 			if needsProbe {
 				if err := s.probeFarmPeer(peer); err != nil {
-					s.admit.release()
+					s.admit.release(opts.Tenant)
 					attemptsUsed++
 					s.logf("service: farm %d chunk %d probe of %s failed: %v", farmID, c, peer.ID, err)
 					continue
@@ -416,7 +430,7 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 		}
 		select {
 		case <-ctx.Done():
-			s.abandonRacers(inflight, results, report, losers, false)
+			s.abandonRacers(inflight, results, report, losers, opts.Tenant, false)
 			return nil, nil, "", ctx.Err()
 		case <-stragglerC:
 			stragglerC = nil
@@ -438,7 +452,7 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 			fl := inflight[r.idx]
 			delete(inflight, r.idx)
 			delete(busy, fl.peer.ID)
-			s.admit.release()
+			s.admit.release(opts.Tenant)
 			if r.err == nil && len(r.got) == len(chunk) {
 				s.health.ReportSuccess(fl.peer.ID, time.Since(fl.start))
 				if opts.manifests != nil {
@@ -450,7 +464,7 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 					report.SpeculationWins++
 					s.resStats.SpeculationWins.Inc()
 				}
-				s.abandonRacers(inflight, results, report, losers, true)
+				s.abandonRacers(inflight, results, report, losers, opts.Tenant, true)
 				return r.got, r.newState, fl.peer.ID, nil
 			}
 			s.health.ReportFailure(fl.peer.ID)
@@ -467,7 +481,10 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 // commits only a majority-agreed result digest. Fast failures are
 // replaced from the remaining candidates while the attempt budget
 // lasts; the vote happens once every launched attempt has resolved, so
-// the outcome is independent of arrival order. An inconclusive vote
+// the outcome is independent of arrival order. Under a tight admission
+// budget the k voters ballot in smaller concurrent batches rather than
+// all at once — prior ballots stay live across batches, so the vote is
+// unchanged, and the chunk never blocks on a slot while holding one. An inconclusive vote
 // (all attempts resolved, no digest at majority) widens the electorate
 // by one fresh voter per pass — prior ballots stay live, so an honest
 // early voter can still anchor the eventual majority — and ends the
@@ -505,12 +522,24 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 			if !ok {
 				return false, nil
 			}
-			if err := s.admit.acquire(ctx, s.shutdown); err != nil {
+			// Deadlock discipline (same as the speculative path): block
+			// for a slot only while holding none. Votes still in flight
+			// hold slots that this very loop releases when it drains
+			// results, so a blocking acquire here would be hold-and-wait
+			// — with a budget below k, or several quorum farms racing,
+			// the despatch plane would seize. Top-ups past the first
+			// voter are opportunistic instead: skip now, drain a result,
+			// retry with the freed slot.
+			if len(inflight) > 0 {
+				if !s.admit.tryAcquire(opts.Tenant) {
+					return false, nil
+				}
+			} else if err := s.admit.acquire(ctx, s.shutdown, opts.Tenant); err != nil {
 				return false, err
 			}
 			if needsProbe {
 				if err := s.probeFarmPeer(peer); err != nil {
-					s.admit.release()
+					s.admit.release(opts.Tenant)
 					attemptsUsed++
 					continue
 				}
@@ -542,7 +571,7 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 		for len(successes)+len(inflight) < k {
 			launched, err := launchOne()
 			if err != nil {
-				s.abandonRacers(inflight, results, report, losers, false)
+				s.abandonRacers(inflight, results, report, losers, opts.Tenant, false)
 				return nil, nil, "", err
 			}
 			if !launched {
@@ -625,12 +654,12 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 		}
 		select {
 		case <-ctx.Done():
-			s.abandonRacers(inflight, results, report, losers, false)
+			s.abandonRacers(inflight, results, report, losers, opts.Tenant, false)
 			return nil, nil, "", ctx.Err()
 		case r := <-results:
 			fl := inflight[r.idx]
 			delete(inflight, r.idx)
-			s.admit.release()
+			s.admit.release(opts.Tenant)
 			if r.err == nil && len(r.got) == len(chunk) {
 				digest, derr := resultDigest(r.got, r.newState)
 				if derr == nil {
@@ -696,6 +725,7 @@ func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.D
 		Iterations:   1,
 		Seed:         opts.Seed,
 		RestoreState: state,
+		Tenant:       opts.Tenant,
 	}, opts.CodeAddr)
 	if err != nil {
 		return nil, nil, err
@@ -718,6 +748,7 @@ func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.D
 			payload := opts.manifests.manifestFor(c, peer.Addr)
 			if sendErr = out.SendManifest(payload); sendErr == nil {
 				s.resStats.FarmEgressBytes.Add(int64(len(payload)))
+				opts.tstats.egress.Add(int64(len(payload)))
 			}
 		}
 	} else {
@@ -729,6 +760,7 @@ func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.D
 				break
 			}
 			s.resStats.FarmEgressBytes.Add(int64(len(d.payload)))
+			opts.tstats.egress.Add(int64(len(d.payload)))
 		}
 	}
 	// Abandoned mid-stream: cancel the remote job before signalling

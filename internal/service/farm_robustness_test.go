@@ -270,47 +270,47 @@ func TestFarmContextCancelMidChunk(t *testing.T) {
 // context dies.
 func TestAdmissionControl(t *testing.T) {
 	var sheds int
-	a := newAdmission(1, true, func() { sheds++ })
-	if err := a.acquire(context.Background(), nil); err != nil {
+	a := newAdmission(1, true, "adm-test", nil, 0, func(string) { sheds++ })
+	if err := a.acquire(context.Background(), nil, "alice"); err != nil {
 		t.Fatal(err)
 	}
-	err := a.acquire(context.Background(), nil)
+	err := a.acquire(context.Background(), nil, "alice")
 	var overload *OverloadError
-	if !errors.As(err, &overload) || overload.Limit != 1 {
-		t.Fatalf("over-budget acquire = %v, want *OverloadError{Limit:1}", err)
+	if !errors.As(err, &overload) || overload.Limit != 1 || overload.Tenant != "alice" {
+		t.Fatalf("over-budget acquire = %v, want *OverloadError{Tenant:alice, Limit:1}", err)
 	}
 	if sheds != 1 {
 		t.Errorf("shed counter = %d, want 1", sheds)
 	}
-	if a.tryAcquire() {
+	if a.tryAcquire("alice") {
 		t.Error("tryAcquire succeeded over budget")
 	}
-	a.release()
-	if !a.tryAcquire() {
+	a.release("alice")
+	if !a.tryAcquire("alice") {
 		t.Error("tryAcquire failed with a free slot")
 	}
-	a.release()
+	a.release("alice")
 
-	b := newAdmission(1, false, nil)
-	if err := b.acquire(context.Background(), nil); err != nil {
+	b := newAdmission(1, false, "adm-test-b", nil, 0, nil)
+	if err := b.acquire(context.Background(), nil, ""); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	if err := b.acquire(ctx, nil); !errors.Is(err, context.DeadlineExceeded) {
+	if err := b.acquire(ctx, nil, ""); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("blocked acquire = %v, want deadline exceeded", err)
 	}
-	b.release()
-	if err := b.acquire(context.Background(), nil); err != nil {
+	b.release("")
+	if err := b.acquire(context.Background(), nil, ""); err != nil {
 		t.Fatalf("acquire after release = %v", err)
 	}
-	b.release()
+	b.release("")
 
 	var nilAdm *admission
-	if err := nilAdm.acquire(context.Background(), nil); err != nil {
+	if err := nilAdm.acquire(context.Background(), nil, ""); err != nil {
 		t.Fatalf("nil admission refused: %v", err)
 	}
-	nilAdm.release()
+	nilAdm.release("")
 }
 
 // TestFarmShedsOverBudget: with a 1-slot shedding budget, the farm's
@@ -333,14 +333,14 @@ func TestFarmShedsOverBudget(t *testing.T) {
 	}
 
 	// Hold the only slot; the next acquire must shed and count it.
-	if err := ctl.admit.acquire(context.Background(), nil); err != nil {
+	if err := ctl.admit.acquire(context.Background(), nil, ""); err != nil {
 		t.Fatal(err)
 	}
 	var overload *OverloadError
-	if err := ctl.admit.acquire(context.Background(), nil); !errors.As(err, &overload) {
+	if err := ctl.admit.acquire(context.Background(), nil, ""); !errors.As(err, &overload) {
 		t.Fatalf("held-budget acquire = %v, want *OverloadError", err)
 	}
-	ctl.admit.release()
+	ctl.admit.release("")
 	if got := ctl.Resilience().Snapshot().DespatchSheds; got != 1 {
 		t.Errorf("despatch sheds = %d, want 1", got)
 	}

@@ -6,6 +6,7 @@ package service
 
 import (
 	"bytes"
+	"fmt"
 
 	"consumergrid/internal/jxtaserve"
 	"consumergrid/internal/metrics"
@@ -16,6 +17,7 @@ import (
 const (
 	MethodMetrics = "triana.metrics"
 	MethodTraces  = "triana.traces"
+	MethodTenants = "triana.tenants"
 )
 
 // handleMetrics serves the process registry in Prometheus text format.
@@ -25,6 +27,25 @@ func (s *Service) handleMetrics(req *jxtaserve.Message) (*jxtaserve.Message, err
 		return nil, err
 	}
 	reply := &jxtaserve.Message{Payload: buf.Bytes()}
+	reply.SetHeader("peer", s.opts.PeerID)
+	return reply, nil
+}
+
+// handleTenants serves the fair-share scheduler's per-tenant ledger as
+// an aligned text table. The optional set-tenant/set-weight header
+// pair adjusts that tenant's weight before the snapshot is taken
+// (trianactl tenant -weight rides this).
+func (s *Service) handleTenants(req *jxtaserve.Message) (*jxtaserve.Message, error) {
+	if tenant := req.Header("set-tenant"); tenant != "" {
+		if w := req.Header("set-weight"); w != "" {
+			var weight int
+			if _, err := fmt.Sscanf(w, "%d", &weight); err != nil || weight <= 0 {
+				return nil, fmt.Errorf("service: tenant weight %q must be a positive integer", w)
+			}
+			s.SetTenantWeight(tenant, weight)
+		}
+	}
+	reply := &jxtaserve.Message{Payload: []byte(s.TenantsText())}
 	reply.SetHeader("peer", s.opts.PeerID)
 	return reply, nil
 }

@@ -96,6 +96,14 @@ type Options struct {
 	// backpressure instead of blocking when the budget is exhausted.
 	MaxInflightDespatches int
 	ShedDespatchOverload  bool
+	// Tenants seeds the fair-share admission scheduler with named
+	// tenants and their weights (a tenant with weight 2 drains its
+	// despatch backlog twice as fast as one with weight 1). Tenants not
+	// listed here are admitted on first use at TenantDefaultWeight.
+	Tenants map[string]int
+	// TenantDefaultWeight is the weight assumed for tenants not listed
+	// in Tenants (default 1).
+	TenantDefaultWeight int
 	// Overlay opts the daemon into the super-peer discovery overlay;
 	// when set, the discovery agent is routed through it (Mode becomes
 	// ModeOverlay). Nil keeps the flat Discovery config as given.
@@ -215,7 +223,8 @@ func New(opts Options) (*Service, error) {
 	healthOpts.Owner = opts.PeerID
 	s.health = health.New(healthOpts)
 	s.admit = newAdmission(opts.MaxInflightDespatches, opts.ShedDespatchOverload,
-		s.resStats.DespatchSheds.Inc)
+		opts.PeerID, opts.Tenants, opts.TenantDefaultWeight,
+		func(string) { s.resStats.DespatchSheds.Inc() })
 	if len(opts.Certified) > 0 {
 		s.certified = make(map[string]bool, len(opts.Certified))
 		for _, u := range opts.Certified {
@@ -255,6 +264,7 @@ func New(opts Options) (*Service, error) {
 	host.Handle(MethodBilling, s.handleBilling)
 	host.Handle(MethodMetrics, s.handleMetrics)
 	host.Handle(MethodTraces, s.handleTraces)
+	host.Handle(MethodTenants, s.handleTenants)
 	return s, nil
 }
 
@@ -291,6 +301,10 @@ func (s *Service) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.shutdown)
+	// Fail queued admission waiters with the closed outcome before the
+	// transports go down, so no farm blocks on a slot that will never
+	// free.
+	s.admit.close()
 	if s.ownRM {
 		s.rm.Close()
 	}
@@ -545,6 +559,10 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 	}
 	seed, _ := strconv.ParseInt(req.Header("seed"), 10, 64)
 	requester := req.Header("from")
+	tenant := req.Header("tenant")
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	// Adopt the caller's trace so the hosting peer's spans land in the
 	// same tree as the despatching peer's (IDs travel in the envelope).
 	traceID, parentSpan := trace.Extract(req.Header)
@@ -671,6 +689,7 @@ func (s *Service) handleRun(req *jxtaserve.Message) (*jxtaserve.Message, error) 
 	run := func(ctx context.Context) error {
 		span := s.tracer.Start(traceID, parentSpan, "execute", s.opts.PeerID)
 		span.SetAttr("job", id)
+		span.SetAttr("tenant", tenant)
 		defer span.End()
 		var wg sync.WaitGroup
 		var sendErr error

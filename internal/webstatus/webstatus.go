@@ -160,7 +160,30 @@ func resilienceTable(b *strings.Builder, svc *service.Service) {
 		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)
 	}
 	b.WriteString("</table>")
+	tenantTable(b, svc)
 	chunkstoreTable(b, svc)
+}
+
+// tenantTable renders the fair-share scheduler's per-tenant ledger:
+// who is using the despatch budget, who is queued behind it, and who
+// has been shed.
+func tenantTable(b *strings.Builder, svc *service.Service) {
+	tenants, inflight, limit := svc.Tenants()
+	b.WriteString("<h2>tenants</h2>")
+	fmt.Fprintf(b, "<p>despatch budget %d, %d in flight</p>", limit, inflight)
+	if len(tenants) == 0 {
+		b.WriteString("<p>no tenants observed yet</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>tenant</th><th>weight</th><th>inflight</th>" +
+		"<th>queued</th><th>admits</th><th>sheds</th><th>p99 wait (ms)</th></tr>")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%d</td><td>%d</td>"+
+			"<td>%d</td><td>%d</td><td>%d</td><td>%.2f</td></tr>",
+			html.EscapeString(t.Tenant), t.Weight, t.Inflight, t.Queued,
+			t.Admits, t.Sheds, t.P99WaitMS)
+	}
+	b.WriteString("</table>")
 }
 
 // chunkstoreTable renders the data-tier cache: where this peer's farm

@@ -39,7 +39,9 @@ for series in \
     engine_cow_clones_total \
     chunkstore_cache_hits_total \
     chunkstore_fetch_total \
-    service_farm_egress_bytes_total; do
+    service_farm_egress_bytes_total \
+    service_tenant_admits_total \
+    service_tenant_inflight; do
     if ! grep -q "$series" "$OUT"; then
         echo "metrics-smoke: scrape is missing $series" >&2
         status=1
