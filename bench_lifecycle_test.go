@@ -1,0 +1,64 @@
+package consumergrid_test
+
+// Lifecycle checkpoint benches: the crash-safe state snapshot's full
+// round trip (encode + fsync'd atomic save + load + CRC-checked
+// decode) and the codec alone, over section sizes shaped like a busy
+// daemon — a few KB of billing and health, tens of KB of adverts, and
+// a farm journal plus chunk-pin set in the hundreds of KB. ns/op of
+// the durable round trip bounds how often a daemon can afford
+// per-chunk checkpoints; snapshot-KB tracks the encoded size. Tracked
+// by the benchreg snapshots (BENCH_*-lifecycle.json).
+
+import (
+	"math/rand"
+	"testing"
+
+	"consumergrid/internal/lifecycle"
+)
+
+// benchSnapshot builds a snapshot with daemon-shaped section sizes.
+func benchSnapshot() *lifecycle.Snapshot {
+	rng := rand.New(rand.NewSource(1))
+	section := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	s := lifecycle.NewSnapshot()
+	s.Set("meta", section(64))
+	s.Set("billing", section(4<<10))
+	s.Set("health", section(8<<10))
+	s.Set("adverts", section(48<<10))
+	s.Set("farms", section(256<<10))
+	s.Set("chunk-pins", section(512<<10))
+	return s
+}
+
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	dir := b.TempDir()
+	snap := benchSnapshot()
+	size := len(snap.Encode())
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Save(dir, "bench.state"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lifecycle.Load(dir, "bench.state"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size)/1024, "snapshot-KB")
+}
+
+func BenchmarkCheckpointCodec(b *testing.B) {
+	snap := benchSnapshot()
+	enc := snap.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lifecycle.Decode(snap.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	trianactl ping -addr host:port           # probe one daemon
 //	trianactl metrics -addr host:port        # live registry, Prometheus text
 //	trianactl traces -addr host:port         # recent despatch trace trees
+//	trianactl drain -addr host:port -wait    # graceful drain, then report
 //	trianactl run -workflow wf.xml -rendezvous host:port -iterations 20
 //	trianactl export -example figure1        # write a canonical workflow XML
 package main
@@ -78,6 +79,8 @@ func main() {
 		err = cmdTenant(args)
 	case "overlay":
 		err = cmdOverlay(args)
+	case "drain":
+		err = cmdDrain(args)
 	case "run":
 		err = cmdRun(args)
 	case "export":
@@ -92,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|tenant|overlay|run|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|tenant|overlay|drain|run|export} [flags]")
 }
 
 func cmdUnits(args []string) error {
@@ -414,6 +417,43 @@ func cmdOverlay(args []string) error {
 			return nil
 		}
 	}
+}
+
+// cmdDrain asks a daemon to drain gracefully: stop admitting new
+// farms, finish in-flight work, retract its adverts, hand off
+// super-peer state and checkpoint. With -wait the command blocks until
+// the drain completes and reports what it achieved; without it the
+// drain is kicked off and current progress printed.
+func cmdDrain(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	timeout := fs.Duration("timeout", service.DefaultDrainTimeout, "bound on waiting for in-flight work")
+	wait := fs.Bool("wait", true, "block until the drain completes")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	host, err := jxtaserve.NewHost(fmt.Sprintf("drain-%d", os.Getpid()), jxtaserve.TCP{}, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	headers := map[string]string{"timeout": timeout.String()}
+	if *wait {
+		headers["wait"] = "1"
+	}
+	reply, err := host.Request(*addr, service.MethodDrain, nil, headers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state:             %s\n", reply.Header("state"))
+	fmt.Printf("farms in flight:   %s\n", reply.Header("farms"))
+	fmt.Printf("slots in flight:   %s\n", reply.Header("inflight"))
+	fmt.Printf("adverts retracted: %s\n", reply.Header("advertsRetracted"))
+	fmt.Printf("handoff adverts:   %s\n", reply.Header("handoffAdverts"))
+	fmt.Printf("handoff chunks:    %s\n", reply.Header("handoffChunks"))
+	fmt.Printf("drained cleanly:   %s\n", reply.Header("drained"))
+	return nil
 }
 
 func cmdRun(args []string) error {

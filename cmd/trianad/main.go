@@ -23,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,7 @@ import (
 	"consumergrid/internal/discovery"
 	"consumergrid/internal/gateway"
 	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/lifecycle"
 	"consumergrid/internal/sandbox"
 	"consumergrid/internal/service"
 	"consumergrid/internal/units"
@@ -54,7 +56,15 @@ import (
 	_ "consumergrid/internal/units/unitio"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run hosts the daemon's whole life and returns its exit code, so
+// deferred teardown executes before the process exits. Signals map to
+// the lifecycle state machine: the first SIGTERM begins a graceful
+// drain (finish in-flight farms, retract adverts, hand off super-peer
+// state, checkpoint) and exits 0; SIGINT — or any second signal while
+// draining — aborts fast with a non-zero code.
+func run() int {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
 		id         = flag.String("id", "", "peer ID (default: host-derived)")
@@ -96,6 +106,10 @@ func main() {
 
 		tenants      = flag.String("tenants", "", "comma-separated tenant:weight pairs seeding the fair-share despatch scheduler (e.g. alice:4,bob:1)")
 		tenantWeight = flag.Int("tenant-weight", 1, "fair-share weight for tenants not listed in -tenants")
+
+		drainTimeout = flag.Duration("drain-timeout", service.DefaultDrainTimeout, "bound on waiting for in-flight work during a graceful drain (first SIGTERM)")
+		stateDir     = flag.String("state-dir", "", "checkpoint daemon state here and restore it on restart (empty disables)")
+		ckptEvery    = flag.Duration("checkpoint-interval", 0, "periodic state checkpoint interval (0 = default 30s, negative disables the ticker)")
 	)
 	flag.Parse()
 
@@ -133,7 +147,7 @@ func main() {
 			Binary: *wireBinary && *wireMux,
 			Window: *wireWindow,
 		})
-		return
+		return 0
 	}
 
 	pol := sandbox.Policy{MaxMemory: *memLimit}
@@ -176,80 +190,149 @@ func main() {
 			certifiedList = append(certifiedList, u)
 		}
 	}
-	svc, err := service.New(service.Options{
-		PeerID:    *id,
-		Transport: jxtaserve.TCP{},
-		Addr:      *listen,
-		Discovery: discovery.Config{
-			Mode:         discovery.ModeRendezvous,
-			Rendezvous:   rdvAddrs,
-			QueryTimeout: *queryTimeout,
+	// The runner owns start order (service → advertising → webstatus →
+	// pprof) and stops everything in reverse on the way out, so adverts
+	// stop renewing before the service's sockets close.
+	var (
+		svc     *service.Service
+		stopAdv func()
+	)
+	runner := lifecycle.NewRunner(lifecycle.Options{Owner: *id, Logf: log.Printf})
+	runner.Register(lifecycle.Component{
+		Name: "service",
+		Start: func() error {
+			var err error
+			svc, err = service.New(service.Options{
+				PeerID:    *id,
+				Transport: jxtaserve.TCP{},
+				Addr:      *listen,
+				Discovery: discovery.Config{
+					Mode:         discovery.ModeRendezvous,
+					Rendezvous:   rdvAddrs,
+					QueryTimeout: *queryTimeout,
+				},
+				Resilience: service.ResilienceOptions{
+					RequestTimeout:    *rpcTimeout,
+					MaxAttempts:       *rpcAttempts,
+					BaseDelay:         *rpcBackoff,
+					MaxDelay:          *rpcBackoffCap,
+					HeartbeatInterval: *hbInterval,
+					HeartbeatMisses:   *hbMisses,
+				},
+				Overlay: overlayOpts,
+				Wire: jxtaserve.WireOptions{
+					Mux:    *wireMux,
+					Binary: *wireBinary && *wireMux,
+					Window: *wireWindow,
+				},
+				DataTier: service.DataTierOptions{
+					Enable:       *dataTier,
+					CacheBytes:   *chunkCache,
+					FetchTimeout: *chunkTimeout,
+				},
+				Sandbox:             pol,
+				RM:                  rm,
+				Tenants:             tenantWeights,
+				TenantDefaultWeight: *tenantWeight,
+				CodeBudget:          *codeBudget,
+				CPUMHz:              *cpuMHz,
+				FreeRAMMB:           *ramMB,
+				PeerGroup:           *group,
+				RequireCode:         *require,
+				Certified:           certifiedList,
+				StateDir:            *stateDir,
+				CheckpointInterval:  *ckptEvery,
+				Logf:                log.Printf,
+			})
+			return err
 		},
-		Resilience: service.ResilienceOptions{
-			RequestTimeout:    *rpcTimeout,
-			MaxAttempts:       *rpcAttempts,
-			BaseDelay:         *rpcBackoff,
-			MaxDelay:          *rpcBackoffCap,
-			HeartbeatInterval: *hbInterval,
-			HeartbeatMisses:   *hbMisses,
-		},
-		Overlay: overlayOpts,
-		Wire: jxtaserve.WireOptions{
-			Mux:    *wireMux,
-			Binary: *wireBinary && *wireMux,
-			Window: *wireWindow,
-		},
-		DataTier: service.DataTierOptions{
-			Enable:       *dataTier,
-			CacheBytes:   *chunkCache,
-			FetchTimeout: *chunkTimeout,
-		},
-		Sandbox:             pol,
-		RM:                  rm,
-		Tenants:             tenantWeights,
-		TenantDefaultWeight: *tenantWeight,
-		CodeBudget:          *codeBudget,
-		CPUMHz:              *cpuMHz,
-		FreeRAMMB:           *ramMB,
-		PeerGroup:           *group,
-		RequireCode:         *require,
-		Certified:           certifiedList,
-		Logf:                log.Printf,
+		Stop: func() error { return svc.Close() },
 	})
-	if err != nil {
-		log.Fatalf("trianad: %v", err)
-	}
-	defer svc.Close()
-	if len(rdvAddrs) > 0 || overlayOpts != nil {
-		if err := svc.Advertise(*ttl); err != nil {
-			log.Fatalf("trianad: enrolment failed: %v", err)
-		}
-		// Keep the advertisement fresh at half its lifetime so rendezvous
-		// caches age out peers that vanish.
-		stop := svc.StartAdvertising(*ttl/2, *ttl)
-		defer stop()
-	}
+	runner.Register(lifecycle.Component{
+		Name: "advertising",
+		Start: func() error {
+			if len(rdvAddrs) == 0 && overlayOpts == nil {
+				return nil
+			}
+			if err := svc.Advertise(*ttl); err != nil {
+				return fmt.Errorf("enrolment failed: %w", err)
+			}
+			// Keep the advertisement fresh at half its lifetime so rendezvous
+			// caches age out peers that vanish.
+			stopAdv = svc.StartAdvertising(*ttl/2, *ttl)
+			return nil
+		},
+		Stop: func() error {
+			if stopAdv != nil {
+				stopAdv()
+			}
+			return nil
+		},
+	})
 	if *httpAddr != "" {
-		srv, err := webstatus.Serve(*httpAddr, svc)
-		if err != nil {
-			log.Fatalf("trianad: status server: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("trianad: browser status at http://%s/", *httpAddr)
+		// Supervised: a crashed status loop restarts with backoff instead
+		// of silently taking the /healthz and /readyz probes down.
+		runner.Supervise("webstatus", func(stop <-chan struct{}) error {
+			srv := &http.Server{Addr: *httpAddr, Handler: webstatus.Handler(svc)}
+			go func() { <-stop; srv.Close() }()
+			log.Printf("trianad: browser status at http://%s/", *httpAddr)
+			if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		}, lifecycle.SuperviseOptions{})
 	}
 	if *pprofAddr != "" {
-		// DefaultServeMux carries only the pprof handlers here; nothing
-		// else in the daemon registers on it.
-		pprofSrv := &http.Server{Addr: *pprofAddr}
-		go pprofSrv.ListenAndServe()
-		defer pprofSrv.Close()
-		log.Printf("trianad: pprof at http://%s/debug/pprof/", *pprofAddr)
+		var pprofSrv *http.Server
+		runner.Register(lifecycle.Component{
+			Name: "pprof",
+			Start: func() error {
+				// DefaultServeMux carries only the pprof handlers here; nothing
+				// else in the daemon registers on it.
+				pprofSrv = &http.Server{Addr: *pprofAddr}
+				go pprofSrv.ListenAndServe()
+				log.Printf("trianad: pprof at http://%s/debug/pprof/", *pprofAddr)
+				return nil
+			},
+			Stop: func() error { pprofSrv.Close(); return nil },
+		})
 	}
+
+	if err := runner.StartAll(); err != nil {
+		log.Printf("trianad: %v", err)
+		return 1
+	}
+	runner.SetState(lifecycle.Running)
 	log.Printf("trianad: peer %s listening at %s (%d units, cpu %d MHz, ram %d MB)",
 		*id, svc.Addr(), len(units.Names()), *cpuMHz, *ramMB)
 
-	wait()
-	log.Printf("trianad: shutting down")
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	first := <-sig
+	if first != syscall.SIGTERM {
+		// SIGINT: the operator wants out now — no drain, non-zero exit.
+		log.Printf("trianad: %v — fast shutdown", first)
+		runner.StopAll()
+		return 1
+	}
+
+	log.Printf("trianad: SIGTERM — draining (timeout %v); send another signal to abort", *drainTimeout)
+	runner.SetState(lifecycle.Draining)
+	select {
+	case <-svc.BeginDrain(*drainTimeout):
+		rep := svc.DrainReport()
+		log.Printf("trianad: drain complete (adverts retracted %d, handoff %d adverts / %d chunks, clean=%v); shutting down",
+			rep.AdvertsRetracted, rep.HandoffAdverts, rep.HandoffChunks, rep.Drained)
+		if err := runner.StopAll(); err != nil {
+			log.Printf("trianad: shutdown: %v", err)
+			return 1
+		}
+		return 0
+	case second := <-sig:
+		log.Printf("trianad: %v during drain — fast abort", second)
+		runner.StopAll()
+		return 1
+	}
 }
 
 // runRendezvous hosts a bare rendezvous peer: a discovery cache that

@@ -1,0 +1,90 @@
+package chunkstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Digests lists every resident digest, pinned or not — the enumeration
+// a draining super-peer uses to hand its chunk replicas to ring
+// successors.
+func (s *Store) Digests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for d := range s.entries {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ExportPinned serialises the pinned working set (digest + payload per
+// entry) for the daemon's crash-safe checkpoint. Only pinned entries
+// go to disk: they are the chunks live farms depend on the controller
+// to serve; the unpinned LRU is just cache and refills on demand.
+// Nested pins flatten to one — on restore the set is re-pinned once.
+func (s *Store) ExportPinned() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var pinned []*entry
+	for _, e := range s.entries {
+		if e.pins > 0 {
+			pinned = append(pinned, e)
+		}
+	}
+	out := binary.AppendUvarint(nil, uint64(len(pinned)))
+	for _, e := range pinned {
+		out = appendChunkBlob(out, []byte(e.digest))
+		out = appendChunkBlob(out, e.data)
+	}
+	return out
+}
+
+// RestorePinned re-pins a set exported by ExportPinned, verifying each
+// payload against its digest (a checkpoint restored from disk gets the
+// same distrust as bytes fetched from a peer). Returns how many chunks
+// were restored.
+func (s *Store) RestorePinned(b []byte) (int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, errors.New("chunkstore: bad pinned-set count")
+	}
+	b = b[n:]
+	restored := 0
+	for i := uint64(0); i < count; i++ {
+		dig, rest, err := readChunkBlob(b)
+		if err != nil {
+			return restored, fmt.Errorf("chunkstore: pinned entry %d digest: %w", i, err)
+		}
+		data, rest, err := readChunkBlob(rest)
+		if err != nil {
+			return restored, fmt.Errorf("chunkstore: pinned entry %q data: %w", dig, err)
+		}
+		b = rest
+		if got := Digest(data); got != string(dig) {
+			s.digestMismatch.Inc()
+			return restored, fmt.Errorf("chunkstore: restored chunk %s hashes to %s", short(string(dig)), short(got))
+		}
+		s.Pin(string(dig), append([]byte(nil), data...))
+		restored++
+	}
+	return restored, nil
+}
+
+func appendChunkBlob(out, b []byte) []byte {
+	out = binary.AppendUvarint(out, uint64(len(b)))
+	return append(out, b...)
+}
+
+func readChunkBlob(p []byte) (blob, rest []byte, err error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return nil, nil, errors.New("bad blob length")
+	}
+	p = p[sz:]
+	if uint64(len(p)) < n {
+		return nil, nil, errors.New("blob truncated")
+	}
+	return p[:n], p[n:], nil
+}

@@ -1,0 +1,102 @@
+package health
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Export serialises every peer's durable health state — score, breaker
+// position, consecutive-failure count, cooldown penalty, and the
+// dead/suspect flags — so a restarted daemon resumes distrusting the
+// peers it had already learned about instead of re-paying the
+// discovery cost of each bad donor. Latency rings and the half-open
+// probe slot are deliberately dropped: they are short-horizon signals
+// that would be stale by the time a supervisor restarts us.
+func (t *Tracker) Export() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := binary.AppendUvarint(nil, uint64(len(t.peers)))
+	for id, p := range t.peers {
+		out = binary.AppendUvarint(out, uint64(len(id)))
+		out = append(out, id...)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.score))
+		out = binary.AppendUvarint(out, uint64(p.state))
+		out = binary.AppendUvarint(out, uint64(p.consecFails))
+		out = binary.AppendUvarint(out, uint64(p.cooldown))
+		var flags byte
+		if p.dead {
+			flags |= 1
+		}
+		if p.suspect {
+			flags |= 2
+		}
+		out = append(out, flags)
+	}
+	return out
+}
+
+// Restore merges an Export payload into the tracker. Open breakers
+// restart their cooldown clock at restore time (the outage may have
+// healed while we were down, and half-open probing will find out at
+// the usual pace). Peers already tracked are overwritten. Returns how
+// many peers were restored.
+func (t *Tracker) Restore(b []byte) (int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, errors.New("health: bad peer count")
+	}
+	b = b[n:]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.opts.Now()
+	for i := uint64(0); i < count; i++ {
+		idLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < idLen {
+			return int(i), fmt.Errorf("health: peer %d: truncated id", i)
+		}
+		id := string(b[n : n+int(idLen)])
+		b = b[n+int(idLen):]
+		if len(b) < 8 {
+			return int(i), fmt.Errorf("health: peer %s: truncated score", id)
+		}
+		score := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		state, n1 := binary.Uvarint(b)
+		b = b[n1:]
+		fails, n2 := binary.Uvarint(b)
+		b = b[n2:]
+		cooldown, n3 := binary.Uvarint(b)
+		b = b[n3:]
+		if n1 <= 0 || n2 <= 0 || n3 <= 0 || len(b) < 1 {
+			return int(i), fmt.Errorf("health: peer %s: truncated record", id)
+		}
+		flags := b[0]
+		b = b[1:]
+		if math.IsNaN(score) || score < 0 || score > 1 || State(state) > Open {
+			return int(i), fmt.Errorf("health: peer %s: implausible record", id)
+		}
+		p := t.get(id)
+		p.score = score
+		p.state = State(state)
+		p.consecFails = int(fails)
+		p.cooldown = time.Duration(cooldown)
+		if p.cooldown < t.opts.OpenTimeout {
+			p.cooldown = t.opts.OpenTimeout
+		}
+		if p.cooldown > t.opts.MaxOpenTimeout {
+			p.cooldown = t.opts.MaxOpenTimeout
+		}
+		p.dead = flags&1 != 0
+		p.suspect = flags&2 != 0
+		p.probing = false
+		if p.state == Open {
+			p.openedAt = now
+		}
+		p.scoreGauge.Set(p.score)
+		p.stateGauge.Set(float64(p.state))
+	}
+	return int(count), nil
+}

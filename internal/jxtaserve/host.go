@@ -23,6 +23,7 @@ type Host struct {
 	mu       sync.Mutex
 	inputs   map[string]*InputPipe // by pipe name
 	handlers map[string]Handler    // by rpc method
+	quiesced map[string]bool       // methods refused while draining
 	source   ChunkSource           // answers chunk.fetch conns
 	resolver ManifestResolver      // materialises pipe.manifest frames
 	closed   bool
@@ -284,9 +285,16 @@ func (h *Host) FetchChunk(addr, digest string, timeout time.Duration) ([]byte, e
 }
 
 func (h *Host) serveRPC(conn Conn, req *Message) {
+	method := req.Header("method")
 	h.mu.Lock()
-	handler := h.handlers[req.Header("method")]
+	handler := h.handlers[method]
+	quiesced := h.quiesced[method]
 	h.mu.Unlock()
+	if quiesced {
+		conn.Send(&Message{Kind: KindRPCError,
+			Headers: map[string]string{"error": "draining: " + method + " refused at " + h.peerID}})
+		return
+	}
 	if handler == nil {
 		conn.Send(&Message{Kind: KindRPCError,
 			Headers: map[string]string{"error": "no such method " + req.Header("method")}})
@@ -311,6 +319,30 @@ func (h *Host) Handle(method string, fn Handler) {
 	h.mu.Lock()
 	h.handlers[method] = fn
 	h.mu.Unlock()
+}
+
+// Quiesce refuses new requests for the listed methods from now on:
+// callers get an *RPCError whose message starts with "draining:".
+// In-flight handlers, pipe traffic, and every other method keep
+// working — this is how a draining daemon stops accepting new work
+// without cutting the conversations that finish the old. Quiescing is
+// one-way; a drained host is expected to exit, not recover.
+func (h *Host) Quiesce(methods ...string) {
+	h.mu.Lock()
+	if h.quiesced == nil {
+		h.quiesced = make(map[string]bool, len(methods))
+	}
+	for _, m := range methods {
+		h.quiesced[m] = true
+	}
+	h.mu.Unlock()
+}
+
+// Quiesced reports whether a method is currently refused.
+func (h *Host) Quiesced(method string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quiesced[method]
 }
 
 // Request dials addr, performs one RPC round trip, and closes the

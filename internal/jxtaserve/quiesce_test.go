@@ -1,0 +1,51 @@
+package jxtaserve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestQuiesceRefusesListedMethodsOnly: a quiesced method is refused at
+// the wire with a draining RPC error naming the peer, while every
+// other method keeps serving — the selective gate a draining daemon
+// uses to stop admitting work without dropping status RPCs.
+func TestQuiesceRefusesListedMethodsOnly(t *testing.T) {
+	tr := NewInProc()
+	srv, err := NewHost("quiesce-srv", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("grid.run", func(req *Message) (*Message, error) {
+		return &Message{Payload: []byte("ran")}, nil
+	})
+	srv.Handle("grid.status", func(req *Message) (*Message, error) {
+		return &Message{Payload: []byte("status")}, nil
+	})
+	cli, err := NewHost("quiesce-cli", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if _, err := cli.Request(srv.Addr(), "grid.run", nil, nil); err != nil {
+		t.Fatalf("grid.run before quiesce: %v", err)
+	}
+	srv.Quiesce("grid.run")
+	if !srv.Quiesced("grid.run") || srv.Quiesced("grid.status") {
+		t.Fatal("Quiesced reports the wrong methods")
+	}
+
+	_, err = cli.Request(srv.Addr(), "grid.run", nil, nil)
+	var rpcErr *RPCError
+	if !errors.As(err, &rpcErr) {
+		t.Fatalf("quiesced method: err = %v, want *RPCError", err)
+	}
+	if !strings.Contains(rpcErr.Remote, "draining") || !strings.Contains(rpcErr.Remote, "quiesce-srv") {
+		t.Fatalf("refusal %q does not name the drain or the peer", rpcErr.Remote)
+	}
+	if _, err := cli.Request(srv.Addr(), "grid.status", nil, nil); err != nil {
+		t.Fatalf("unlisted method refused during quiesce: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package lifecycle
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := NewSnapshot()
+	s.Set("billing", []byte("requester-a:42"))
+	s.Set("health", bytes.Repeat([]byte{0xab}, 256))
+	s.Set("empty", nil)
+	s.Set("adverts", []byte("<advert/>"))
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Names()) != len(s.Names()) {
+		t.Fatalf("sections = %v, want %v", got.Names(), s.Names())
+	}
+	for _, name := range s.Names() {
+		want, _ := s.Get(name)
+		b, ok := got.Get(name)
+		if !ok {
+			t.Fatalf("section %q missing after round trip", name)
+		}
+		if !bytes.Equal(b, want) {
+			t.Fatalf("section %q = %q, want %q", name, b, want)
+		}
+	}
+}
+
+func TestSnapshotEncodeIsDeterministic(t *testing.T) {
+	a, b := sampleSnapshot().Encode(), sampleSnapshot().Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of identical sections differ")
+	}
+}
+
+func TestSnapshotDetectsBitFlip(t *testing.T) {
+	enc := sampleSnapshot().Encode()
+	for _, i := range []int{0, len(snapMagic) + 1, len(enc) / 2, len(enc) - 1} {
+		dam := append([]byte(nil), enc...)
+		dam[i] ^= 0x40
+		if _, err := Decode(dam); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestSnapshotDetectsTornWrite(t *testing.T) {
+	enc := sampleSnapshot().Encode()
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := Decode(enc[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestSaveLoadAndAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewSnapshot()
+	s1.Set("gen", []byte("one"))
+	if _, err := s1.Save(dir, "trianad.state"); err != nil {
+		t.Fatalf("Save 1: %v", err)
+	}
+	s2 := NewSnapshot()
+	s2.Set("gen", []byte("two"))
+	if _, err := s2.Save(dir, "trianad.state"); err != nil {
+		t.Fatalf("Save 2: %v", err)
+	}
+	got, err := Load(dir, "trianad.state")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if b, _ := got.Get("gen"); string(b) != "two" {
+		t.Fatalf("loaded gen = %q, want the replacing snapshot", b)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("state dir holds %d entries, want just the snapshot (no temp litter)", len(ents))
+	}
+}
+
+func TestLoadMissingReportsNotExist(t *testing.T) {
+	if _, err := Load(t.TempDir(), "nope.state"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestLoadTornFileReportsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := sampleSnapshot()
+	if _, err := s.Save(dir, "trianad.state"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	enc := s.Encode()
+	if err := os.WriteFile(filepath.Join(dir, "trianad.state"), enc[:len(enc)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "trianad.state"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveCreatesStateDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "state")
+	if _, err := sampleSnapshot().Save(dir, "trianad.state"); err != nil {
+		t.Fatalf("Save into missing dir: %v", err)
+	}
+	if _, err := Load(dir, "trianad.state"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+}

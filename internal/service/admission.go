@@ -64,6 +64,13 @@ func (e *OverloadError) Error() string {
 // is distinct from a shed and never bumps shed counters.
 var errAdmissionClosed = errors.New("service: shutting down")
 
+// ErrDraining is the typed refusal a draining controller gives new
+// farms: the daemon is finishing its in-flight work before exiting and
+// admits nothing new. Distinct from an *OverloadError (retry soon) —
+// a draining daemon is going away, so callers should resubmit to
+// another controller. Detect it with errors.Is.
+var ErrDraining = errors.New("service: draining, not admitting new farms")
+
 // defaultMaxInflightDespatches bounds concurrent despatch attempts when
 // Options.MaxInflightDespatches is unset. High enough that tests and
 // small farms never notice, low enough that a runaway fan-out cannot
@@ -113,8 +120,10 @@ type admission struct {
 	limit     int
 	shed      bool
 	closed    bool
-	inflight  int // total slots in use, across tenants
-	waiting   int // total live queued waiters, across tenants
+	draining  bool // beginFarm refuses; slot acquires keep working
+	farms     int  // farms between beginFarm and endFarm
+	inflight  int  // total slots in use, across tenants
+	waiting   int  // total live queued waiters, across tenants
 	vtime     uint64
 	owner     string // peer ID, labels the per-tenant series
 	defWeight int
@@ -410,6 +419,106 @@ func (a *admission) close() {
 	a.mu.Unlock()
 	for _, t := range failed {
 		close(t.ready)
+	}
+}
+
+// beginFarm registers a farm with the scheduler. While the scheduler
+// is draining (or closed) new farms are refused with ErrDraining /
+// errAdmissionClosed; farms already registered keep acquiring slots
+// for their remaining chunks, which is what lets a drain finish
+// in-flight work instead of failing it. Pair every successful
+// beginFarm with endFarm.
+func (a *admission) beginFarm(tenant string) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return errAdmissionClosed
+	}
+	if a.draining {
+		return ErrDraining
+	}
+	a.farms++
+	return nil
+}
+
+// endFarm balances a successful beginFarm.
+func (a *admission) endFarm() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.farms--
+	a.mu.Unlock()
+}
+
+// beginDrain flips the scheduler into drain mode: beginFarm starts
+// refusing, everything else keeps working. Idempotent.
+func (a *admission) beginDrain() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// counts reports the live farms and in-flight slots, for drain
+// progress gauges.
+func (a *admission) counts() (farms, inflight int) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.farms, a.inflight
+}
+
+// awaitIdle waits (polling) until no farm is registered and no slot is
+// held, or the timeout passes, and reports whether idle was reached.
+// progress, when non-nil, observes each poll — the drain path feeds
+// the drain_inflight gauge from it.
+func (a *admission) awaitIdle(timeout time.Duration, progress func(farms, inflight int)) bool {
+	if a == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		farms, inflight := a.counts()
+		if progress != nil {
+			progress(farms, inflight)
+		}
+		if farms == 0 && inflight == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// awaitInflightDrained waits until every granted slot is released (or
+// the timeout passes). Close uses it so overlay teardown cannot race
+// in-flight despatch attempts against a vanishing ring; unlike
+// awaitIdle it ignores registered farms, which can legitimately
+// outlive Close (their next acquire fails with errAdmissionClosed).
+func (a *admission) awaitInflightDrained(timeout time.Duration) bool {
+	if a == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		_, inflight := a.counts()
+		if inflight == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -340,3 +340,95 @@ func TestRunErrorsDoNotRetry(t *testing.T) {
 		t.Errorf("remote rejection was retried %d times", got)
 	}
 }
+
+// TestRestartRecoveryResumesCheckpointedFarm is the crash-safety
+// acceptance case: a controller with a state dir dies (context cancel)
+// after committing two chunks of a four-chunk farm. A fresh daemon
+// started over the same state dir restores the farm journal, replays
+// the committed outputs byte for byte, resumes despatching at chunk 2,
+// and the full output stream equals the fault-free baseline. The
+// resumed run despatches only the remaining chunks — nothing is
+// double-billed to the donors.
+func TestRestartRecoveryResumesCheckpointedFarm(t *testing.T) {
+	want := faultFreeBaseline(t, chaosSeed, chaosChunksN, chaosPerChunk)
+	stateDir := t.TempDir()
+	chunks := chaosChunks(chaosSeed, chaosChunksN, chaosPerChunk)
+
+	// Incarnation 1: crash mid-farm, after chunk index 1 commits (and
+	// its per-commit checkpoint hits the state dir).
+	n1 := simnet.New()
+	ctl1 := newService(t, n1.Peer("rr-ctl"), "rr-ctl", Options{
+		Resilience: chaosResilience(), StateDir: stateDir, CheckpointInterval: -1,
+	})
+	var peers1 []PeerRef
+	for _, label := range []string{"w1", "w2", "w3"} {
+		w := newService(t, n1.Peer(label), label, Options{})
+		peers1 = append(peers1, PeerRef{ID: label, Addr: w.Addr()})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := ctl1.FarmChunks(ctx, chunks, FarmOptions{
+		Body:           func() *taskgraph.Graph { return accumBody(t) },
+		Peers:          peers1,
+		AttemptTimeout: 10 * time.Second,
+		ResumeKey:      "rr-farm",
+		AfterChunk: func(c int) {
+			if c == 1 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("crashed incarnation reported a completed farm")
+	}
+	ctl1.Close()
+
+	// Incarnation 2: a fresh network (the old donors are gone with the
+	// old process), same peer ID, same state dir.
+	n2 := simnet.New()
+	ctl2 := newService(t, n2.Peer("rr-ctl"), "rr-ctl", Options{
+		Resilience: chaosResilience(), StateDir: stateDir, CheckpointInterval: -1,
+	})
+	var peers2 []PeerRef
+	for _, label := range []string{"w1", "w2", "w3"} {
+		w := newService(t, n2.Peer(label), label, Options{})
+		peers2 = append(peers2, PeerRef{ID: label, Addr: w.Addr()})
+	}
+	rep, err := ctl2.FarmChunks(context.Background(), chunks, FarmOptions{
+		Body:           func() *taskgraph.Graph { return accumBody(t) },
+		Peers:          peers2,
+		AttemptTimeout: 10 * time.Second,
+		ResumeKey:      "rr-farm",
+	})
+	if err != nil {
+		t.Fatalf("resumed farm failed: %v (report %+v)", err, rep)
+	}
+	if rep.ResumedChunks != 2 {
+		t.Fatalf("resumed %d chunks from the journal, want 2", rep.ResumedChunks)
+	}
+	assertSameOutputs(t, rep.Outputs, want)
+	despatched := 0
+	for _, c := range rep.PeerChunks {
+		despatched += c
+	}
+	if despatched != chaosChunksN-rep.ResumedChunks {
+		t.Fatalf("resumed run despatched %d chunks, want %d (journal chunks must not re-despatch)",
+			despatched, chaosChunksN-rep.ResumedChunks)
+	}
+
+	// Third incarnation: the completed farm's journal was cleared, so
+	// the same key starts fresh rather than replaying stale outputs.
+	rep3, err := ctl2.FarmChunks(context.Background(), chunks, FarmOptions{
+		Body:           func() *taskgraph.Graph { return accumBody(t) },
+		Peers:          peers2,
+		AttemptTimeout: 10 * time.Second,
+		ResumeKey:      "rr-farm",
+	})
+	if err != nil {
+		t.Fatalf("re-run after completion failed: %v", err)
+	}
+	if rep3.ResumedChunks != 0 {
+		t.Fatalf("completed farm's journal leaked: resumed %d chunks", rep3.ResumedChunks)
+	}
+	assertSameOutputs(t, rep3.Outputs, want)
+}

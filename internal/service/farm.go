@@ -86,6 +86,16 @@ type FarmOptions struct {
 	// tenant-labelled series. Empty means DefaultTenant.
 	Tenant string
 
+	// ResumeKey names this farm in the daemon's crash-safe farm ledger.
+	// With Options.StateDir set, every chunk commit journals its outputs
+	// and carried state to the checkpoint; a restarted daemon running the
+	// same farm (same ResumeKey, same chunks, same Body) skips the
+	// committed prefix and replays its recorded outputs byte for byte,
+	// so the resumed output stream equals an uninterrupted run's and no
+	// committed chunk is despatched — or billed — twice. Empty disables
+	// journaling for this farm.
+	ResumeKey string
+
 	// datums holds every chunk's canonical payloads (and digests),
 	// computed once per farm; manifests is the data-tier state when the
 	// controller runs the chunk store; tstats caches the tenant's farm
@@ -147,6 +157,10 @@ type FarmReport struct {
 	// QuorumDisagreements counts quorum votes where a peer's result
 	// digest disagreed with the committed majority.
 	QuorumDisagreements int64
+	// ResumedChunks counts chunks skipped because a restored journal
+	// (FarmOptions.ResumeKey) had already committed them in a previous
+	// process; their outputs were replayed, not recomputed.
+	ResumedChunks int
 }
 
 // farmResult is one attempt's terminal report, delivered on the chunk
@@ -197,6 +211,14 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 			opts.Quorum, len(opts.Peers))
 	}
 	opts = opts.withFarmDefaults(s.res)
+	// Register with the admission scheduler before any slot is taken: a
+	// draining daemon refuses the farm here (ErrDraining), while farms
+	// registered before the drain keep acquiring slots for their
+	// remaining chunks and finish normally.
+	if err := s.admit.beginFarm(opts.Tenant); err != nil {
+		return nil, err
+	}
+	defer s.admit.endFarm()
 	opts.tstats = s.tenantFarm(opts.Tenant)
 	opts.tstats.farms.Inc()
 	// Canonically encode every datum once: the payloads feed the digests,
@@ -215,13 +237,38 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 	report := &FarmReport{PeerChunks: make(map[string]int)}
 	state := opts.InitialState
 
+	// Resume: a journal restored from a checkpoint replays the
+	// committed prefix — outputs byte for byte, carried state intact —
+	// and the despatch loop starts at the first uncommitted chunk.
+	resumeFrom := 0
+	if opts.ResumeKey != "" {
+		if j := s.farms.resume(opts.ResumeKey); j != nil && j.committed <= len(chunks) {
+			for _, ob := range j.outputs {
+				d, err := types.Unmarshal(ob)
+				if err != nil {
+					return report, fmt.Errorf("service: replaying journal %q: %w", opts.ResumeKey, err)
+				}
+				report.Outputs = append(report.Outputs, d)
+			}
+			if len(j.state) > 0 {
+				state = j.state
+			}
+			resumeFrom = j.committed
+			report.ResumedChunks = j.committed
+			s.farms.begin(opts.ResumeKey, j)
+		} else {
+			s.farms.begin(opts.ResumeKey, nil)
+		}
+	}
+
 	// losers reaps abandoned racing attempts: they are cancelled, keep
 	// running until the cancel lands, and must be accounted (waste,
 	// admission slots) before the farm returns.
 	var losers sync.WaitGroup
 	defer losers.Wait()
 
-	for c, chunk := range chunks {
+	for c := resumeFrom; c < len(chunks); c++ {
+		chunk := chunks[c]
 		got, newState, peerID, err := func() ([]types.Data, map[string][]byte, string, error) {
 			chunksInflight.Add(1)
 			defer chunksInflight.Add(-1)
@@ -240,11 +287,40 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 		report.PeerChunks[peerID]++
 		chunksCommitted.Inc()
 		opts.tstats.chunks.Inc()
+		if opts.ResumeKey != "" {
+			// Journal the commit, then make it durable before AfterChunk
+			// (the chaos tests crash there): a kill after this point
+			// resumes past this chunk instead of re-running it.
+			marshalled := make([][]byte, 0, len(got))
+			for _, d := range got {
+				p, merr := types.Marshal(d)
+				if merr != nil {
+					return report, fmt.Errorf("service: journaling chunk %d: %w", c, merr)
+				}
+				marshalled = append(marshalled, p)
+			}
+			s.farms.commit(opts.ResumeKey, marshalled, state)
+			if s.opts.StateDir != "" {
+				if cerr := s.CheckpointNow(); cerr != nil {
+					s.logf("service: farm %q chunk %d checkpoint: %v", opts.ResumeKey, c, cerr)
+				}
+			}
+		}
 		if opts.AfterChunk != nil {
 			opts.AfterChunk(c)
 		}
 	}
 	report.FinalState = state
+	if opts.ResumeKey != "" {
+		// The farm is complete; drop the journal so a restart does not
+		// replay a finished farm, and persist the removal.
+		s.farms.finish(opts.ResumeKey)
+		if s.opts.StateDir != "" {
+			if cerr := s.CheckpointNow(); cerr != nil {
+				s.logf("service: farm %q completion checkpoint: %v", opts.ResumeKey, cerr)
+			}
+		}
+	}
 	return report, nil
 }
 

@@ -1,0 +1,327 @@
+package service
+
+// The graceful-lifecycle battery: admission drain semantics, a drain
+// under live multi-tenant farm load (the ISSUE's acceptance scenario),
+// checkpoint/restore of the daemon's durable state, and a repeated
+// Start→Drain→Stop cycle that must not leak goroutines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"consumergrid/internal/chunkstore"
+	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/taskgraph"
+)
+
+// TestAdmissionDrainGatesFarmsNotSlots: drain mode refuses new farms
+// with the typed sentinel but keeps granting despatch slots, so farms
+// registered before the drain can finish their remaining chunks.
+func TestAdmissionDrainGatesFarmsNotSlots(t *testing.T) {
+	a := newAdmission(2, false, "drain-unit", nil, 1, nil)
+	defer a.close()
+	if err := a.beginFarm("alice"); err != nil {
+		t.Fatalf("beginFarm before drain: %v", err)
+	}
+	a.beginDrain()
+	if err := a.beginFarm("bob"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("beginFarm during drain: err = %v, want ErrDraining", err)
+	}
+	if !a.tryAcquire("alice") {
+		t.Fatal("draining admission refused a slot for an in-flight farm")
+	}
+	if a.awaitIdle(30*time.Millisecond, nil) {
+		t.Fatal("awaitIdle reported idle with a farm and a slot live")
+	}
+	var sawProgress bool
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		a.release("alice")
+		a.endFarm()
+	}()
+	if !a.awaitIdle(2*time.Second, func(farms, inflight int) { sawProgress = true }) {
+		t.Fatal("awaitIdle never settled after release")
+	}
+	if !sawProgress {
+		t.Fatal("awaitIdle progress callback never fired")
+	}
+}
+
+// TestDrainUnderTenantLoad is the acceptance scenario: four tenants'
+// farms are mid-flight when the drain begins. Every in-flight farm
+// must complete (zero failures), a farm submitted after the drain
+// begins gets ErrDraining, the daemon's adverts are retracted from the
+// overlay, and its super-peer store is handed to the ring successor
+// before the drain reports done.
+func TestDrainUnderTenantLoad(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	seed := newService(t, tr, "dl-seed", Options{
+		Overlay: &OverlayOptions{SuperPeer: true, Replication: 2, SyncInterval: -1, SweepInterval: -1},
+	})
+	ctl := newService(t, tr, "dl-ctl", Options{
+		Overlay: &OverlayOptions{
+			SuperPeers: []string{seed.Addr()}, SuperPeer: true,
+			Replication: 2, SyncInterval: -1, SweepInterval: -1,
+		},
+	})
+	// Ring membership must agree on every participant (the bootstrap
+	// seed cannot know the ctl's auto-assigned address up front), or the
+	// seed never replicates writes back to the ctl's own store.
+	seed.Overlay().Ring().Add(ctl.Addr())
+	var peers []PeerRef
+	for _, label := range []string{"dl-w1", "dl-w2", "dl-w3"} {
+		w := newService(t, tr, label, Options{})
+		peers = append(peers, PeerRef{ID: label, Addr: w.Addr()})
+	}
+	if err := ctl.Advertise(time.Hour); err != nil {
+		t.Fatalf("advertise: %v", err)
+	}
+	if got := ctl.Overlay().Stats().Published; got == 0 {
+		t.Fatal("controller published no adverts; the retraction path would be vacuous")
+	}
+
+	// Four tenants' farms; the drain fires only once every farm has
+	// committed its first chunk, so all are provably in flight.
+	const nFarms = 4
+	var inFlight sync.WaitGroup
+	inFlight.Add(nFarms)
+	var drainOnce sync.Once
+	drained := make(chan struct{})
+	go func() {
+		inFlight.Wait()
+		drainOnce.Do(func() {
+			<-ctl.BeginDrain(30 * time.Second)
+			close(drained)
+		})
+	}()
+
+	var farms sync.WaitGroup
+	errs := make([]error, nFarms)
+	reports := make([]*FarmReport, nFarms)
+	for i := 0; i < nFarms; i++ {
+		i := i
+		farms.Add(1)
+		go func() {
+			defer farms.Done()
+			first := true
+			reports[i], errs[i] = ctl.FarmChunks(context.Background(),
+				chaosChunks(int64(100+i), 3, 4), FarmOptions{
+					Tenant:         fmt.Sprintf("tenant-%d", i),
+					Body:           func() *taskgraph.Graph { return accumBody(t) },
+					Peers:          peers,
+					AttemptTimeout: 10 * time.Second,
+					AfterChunk: func(c int) {
+						if first {
+							first = false
+							inFlight.Done()
+						}
+					},
+				})
+		}()
+	}
+	farms.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight farm %d failed during drain: %v", i, err)
+		}
+		if len(reports[i].Outputs) != 3*4 {
+			t.Fatalf("farm %d outputs = %d, want %d", i, len(reports[i].Outputs), 3*4)
+		}
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed")
+	}
+
+	if ctl.Ready() {
+		t.Fatal("drained daemon still reports ready")
+	}
+	if _, err := ctl.FarmChunks(context.Background(), chaosChunks(1, 1, 2), FarmOptions{
+		Tenant: "late", Body: func() *taskgraph.Graph { return accumBody(t) },
+		Peers: peers, AttemptTimeout: 5 * time.Second,
+	}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("farm after drain: err = %v, want ErrDraining", err)
+	}
+
+	rep := ctl.DrainReport()
+	if !rep.Drained {
+		t.Fatalf("drain report says in-flight work remained: %+v", rep)
+	}
+	if rep.AdvertsRetracted == 0 {
+		t.Fatalf("no adverts retracted: %+v", rep)
+	}
+	if got := ctl.Overlay().Stats().Published; got != 0 {
+		t.Fatalf("%d adverts still published after drain", got)
+	}
+	if rep.HandoffAdverts == 0 {
+		t.Fatalf("super-peer handoff pushed nothing to the ring successor: %+v", rep)
+	}
+}
+
+// TestCheckpointRestoreRoundTrip: a daemon's billing ledger, health
+// view, pinned chunks and super-peer advert store all survive a
+// checkpointed shutdown and appear in a fresh daemon started over the
+// same state dir — no re-discovery, no re-publish.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	ctlDir, donorDir := t.TempDir(), t.TempDir()
+	ctlOpts := Options{
+		StateDir: ctlDir, CheckpointInterval: -1,
+		DataTier: DataTierOptions{Enable: true},
+		Overlay:  &OverlayOptions{SuperPeer: true, Replication: 1, SyncInterval: -1, SweepInterval: -1},
+	}
+	ctl := newService(t, tr, "ck-ctl", ctlOpts)
+	donor := newService(t, tr, "ck-w1", Options{StateDir: donorDir, CheckpointInterval: -1})
+
+	if err := ctl.Advertise(time.Hour); err != nil {
+		t.Fatalf("advertise: %v", err)
+	}
+	pinData := []byte("pinned chunk payload")
+	pinDigest := chunkstore.Digest(pinData)
+	ctl.ChunkStore().Pin(pinDigest, pinData)
+
+	if _, err := ctl.FarmChunks(context.Background(), chaosChunks(7, 2, 3), FarmOptions{
+		Body:  func() *taskgraph.Graph { return accumBody(t) },
+		Peers: []PeerRef{{ID: "ck-w1", Addr: donor.Addr()}},
+	}); err != nil {
+		t.Fatalf("farm: %v", err)
+	}
+
+	wantBilling := donor.Billing()
+	if len(wantBilling) == 0 {
+		t.Fatal("donor ledger empty; nothing to round-trip")
+	}
+	wantHealth := ctl.Health().Snapshot()
+	if len(wantHealth) == 0 {
+		t.Fatal("controller health view empty; nothing to round-trip")
+	}
+	wantLive, _ := ctl.OverlaySuper().Entries()
+	if wantLive == 0 {
+		t.Fatal("super store empty; nothing to round-trip")
+	}
+	if err := ctl.CheckpointNow(); err != nil {
+		t.Fatalf("CheckpointNow(ctl): %v", err)
+	}
+	if err := donor.CheckpointNow(); err != nil {
+		t.Fatalf("CheckpointNow(donor): %v", err)
+	}
+	ctl.Close()
+	donor.Close()
+
+	ctl2 := newService(t, tr, "ck-ctl", ctlOpts)
+	donor2 := newService(t, tr, "ck-w1", Options{StateDir: donorDir, CheckpointInterval: -1})
+
+	if got := donor2.Billing(); !reflect.DeepEqual(got, wantBilling) {
+		t.Errorf("restored billing = %+v, want %+v", got, wantBilling)
+	}
+	got := ctl2.Health().Snapshot()
+	found := false
+	for _, p := range got {
+		if p.Peer != "ck-w1" {
+			continue
+		}
+		found = true
+		for _, w := range wantHealth {
+			if w.Peer == "ck-w1" && (p.Score != w.Score || p.State != w.State) {
+				t.Errorf("restored health for ck-w1 = score %v state %v, want %v %v",
+					p.Score, p.State, w.Score, w.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("restored health view lost peer ck-w1 (have %+v)", got)
+	}
+	if data, ok := ctl2.ChunkStore().Get(pinDigest); !ok || string(data) != string(pinData) {
+		t.Errorf("restored chunk pin: ok=%v data=%q", ok, data)
+	}
+	if live, _ := ctl2.OverlaySuper().Entries(); live != wantLive {
+		t.Errorf("restored super store has %d live adverts, want %d", live, wantLive)
+	}
+}
+
+// TestLifecycleCyclesDoNotLeakGoroutines: 50 full Start→Drain→Stop
+// cycles of a checkpointing daemon (same peer ID, same state dir, so
+// every cycle also restores the previous one's snapshot) must return
+// the process to its starting goroutine count.
+func TestLifecycleCyclesDoNotLeakGoroutines(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	dir := filepath.Join(t.TempDir(), "state")
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 50; i++ {
+		svc, err := New(Options{
+			PeerID: "cycle-peer", Transport: tr,
+			StateDir: dir, CheckpointInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: New: %v", i, err)
+		}
+		select {
+		case <-svc.BeginDrain(2 * time.Second):
+		case <-time.After(10 * time.Second):
+			t.Fatalf("cycle %d: drain hung", i)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatalf("cycle %d: Close: %v", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle after 50 cycles: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainRPCReportsProgress: the triana.drain RPC (trianactl drain's
+// transport) kicks off the drain and, with wait=1, blocks until it
+// completes and reports what it achieved.
+func TestDrainRPCReportsProgress(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	svc := newService(t, tr, "rpc-drain", Options{})
+	caller, err := jxtaserve.NewHost("rpc-drain-caller", tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	reply, err := caller.Request(svc.Addr(), MethodDrain, nil,
+		map[string]string{"timeout": "5s", "wait": "1"})
+	if err != nil {
+		t.Fatalf("drain RPC: %v", err)
+	}
+	if got := reply.Header("state"); got != "draining" {
+		t.Errorf("state header = %q, want draining", got)
+	}
+	if got := reply.Header("drained"); got != "true" {
+		t.Errorf("drained header = %q, want true (idle daemon)", got)
+	}
+	if got := reply.Header("farms"); got != "0" {
+		t.Errorf("farms header = %q, want 0", got)
+	}
+
+	// Quiesced triana.run now refuses with a draining error.
+	_, err = caller.Request(svc.Addr(), MethodRun, nil, nil)
+	var rpcErr *jxtaserve.RPCError
+	if !errors.As(err, &rpcErr) || !strings.Contains(rpcErr.Remote, "draining") {
+		t.Fatalf("quiesced triana.run: err = %v, want a draining RPC refusal", err)
+	}
+}

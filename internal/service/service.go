@@ -31,6 +31,7 @@ import (
 	"consumergrid/internal/gateway"
 	"consumergrid/internal/health"
 	"consumergrid/internal/jxtaserve"
+	"consumergrid/internal/lifecycle"
 	"consumergrid/internal/mcode"
 	"consumergrid/internal/metrics"
 	"consumergrid/internal/overlay"
@@ -121,6 +122,16 @@ type Options struct {
 	// negotiate per despatch, so mixed grids interoperate (a legacy donor
 	// still gets streamed payloads).
 	DataTier DataTierOptions
+	// StateDir, when set, enables crash-safe state: the billing ledger,
+	// advert store, chunk-pin set, per-peer health state and resumable
+	// farm journals are checkpointed to a versioned CRC-checked snapshot
+	// in this directory (atomic rename, tolerant of torn writes) and
+	// restored by New on the next start. Empty disables persistence.
+	StateDir string
+	// CheckpointInterval is the periodic checkpoint cadence when
+	// StateDir is set (default 30s; negative disables the periodic
+	// loop, leaving per-commit and on-drain/close checkpoints).
+	CheckpointInterval time.Duration
 	// Logf receives diagnostics; may be nil.
 	Logf func(format string, args ...any)
 }
@@ -152,6 +163,15 @@ type Service struct {
 	chunkFetchTimeout time.Duration
 
 	tracer *trace.Recorder // span recorder for despatch lifecycles
+
+	// Lifecycle: the daemon's state machine position, its single drain,
+	// and the crash-safe checkpoint plumbing (see lifecycle.go and
+	// checkpoint.go).
+	lcState      atomic.Int32 // lifecycle.State
+	drains       drainState
+	lcMetrics    lifecycleMetrics
+	farms        *farmLedger // resumable farm journals
+	checkpointMu sync.Mutex  // serialises snapshot writes
 
 	// Goroutine ownership: every background goroutine the service spawns
 	// (advertising, heartbeats, pipe bridges, output senders) registers
@@ -217,7 +237,11 @@ func New(opts Options) (*Service, error) {
 		billing:  newLedger(),
 		tracer:   trace.Default(),
 		shutdown: make(chan struct{}),
+		farms:    newFarmLedger(),
 	}
+	s.drains.done = make(chan struct{})
+	s.registerLifecycleMetrics()
+	s.setLifecycleState(lifecycle.Starting)
 	registerResilience(opts.PeerID, &s.resStats)
 	healthOpts := opts.Health
 	healthOpts.Owner = opts.PeerID
@@ -265,6 +289,34 @@ func New(opts Options) (*Service, error) {
 	host.Handle(MethodMetrics, s.handleMetrics)
 	host.Handle(MethodTraces, s.handleTraces)
 	host.Handle(MethodTenants, s.handleTenants)
+	host.Handle(MethodDrain, s.handleDrain)
+	if opts.StateDir != "" {
+		if err := s.restoreCheckpoint(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		interval := opts.CheckpointInterval
+		if interval == 0 {
+			interval = defaultCheckpointInterval
+		}
+		if interval > 0 {
+			s.goBG(func() {
+				ticker := time.NewTicker(interval)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-s.shutdown:
+						return
+					case <-ticker.C:
+						if err := s.CheckpointNow(); err != nil {
+							s.logf("service: %s periodic checkpoint: %v", opts.PeerID, err)
+						}
+					}
+				}
+			})
+		}
+	}
+	s.setLifecycleState(lifecycle.Running)
 	return s, nil
 }
 
@@ -305,6 +357,20 @@ func (s *Service) Close() error {
 	// transports go down, so no farm blocks on a slot that will never
 	// free.
 	s.admit.close()
+	// Then let granted slots resolve before the ring is torn down: a
+	// farm goroutine mid-despatch racing a vanished overlay produced
+	// spurious shard-fallback warnings. Attempts either finish against
+	// the still-live transports or fail fast once the wait expires.
+	if !s.admit.awaitInflightDrained(2 * time.Second) {
+		s.logf("service: %s: closing with despatch attempts still in flight", s.opts.PeerID)
+	}
+	// On-shutdown checkpoint, after in-flight commits landed their
+	// journal entries but before any state-holding component dies.
+	if s.opts.StateDir != "" {
+		if cerr := s.CheckpointNow(); cerr != nil {
+			s.logf("service: %s: shutdown checkpoint: %v", s.opts.PeerID, cerr)
+		}
+	}
 	if s.ownRM {
 		s.rm.Close()
 	}
@@ -321,6 +387,7 @@ func (s *Service) Close() error {
 		s.muxT.Close()
 	}
 	s.bg.Wait()
+	s.setLifecycleState(lifecycle.Stopped)
 	return err
 }
 
@@ -384,7 +451,9 @@ func (s *Service) StartAdvertising(interval, ttl time.Duration) (stop func()) {
 			case <-s.shutdown:
 				return
 			case <-ticker.C:
-				if !s.available.Load() {
+				if !s.available.Load() || s.Draining() {
+					// Busy or draining peers fall out of discovery as
+					// their last advert's TTL expires.
 					continue
 				}
 				if err := s.Advertise(ttl); err != nil {

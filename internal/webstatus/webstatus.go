@@ -28,6 +28,9 @@ import (
 //	GET /traces    recent despatch traces as indented span trees
 //	GET /overlay   the discovery overlay: ring membership, publishes,
 //	               subscriptions and (for super-peers) the advert store
+//	GET /healthz   liveness probe: 200 while the daemon serves HTTP
+//	GET /readyz    readiness probe: 200 while admitting, 503 once
+//	               draining or stopped
 func Handler(svc *service.Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +99,23 @@ func Handler(svc *service.Service) http.Handler {
 		overlayTables(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the daemon's HTTP loop is serving. Stays 200 even
+		// while draining — a draining daemon must not be killed early.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: admitting new work. Flips to 503 the moment a drain
+		// begins so load balancers stop routing farms here.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !svc.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %s\n", svc.LifecycleState())
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

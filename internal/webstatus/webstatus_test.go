@@ -255,3 +255,55 @@ func TestOverlayPage(t *testing.T) {
 		t.Errorf("/overlay published count wrong:\n%s", page)
 	}
 }
+
+// TestProbesFlipOnDrain exercises the Kubernetes-style probe pair:
+// /healthz stays 200 for the daemon's whole life, while /readyz is 200
+// only while the service admits new work and flips to 503 the moment a
+// drain begins.
+func TestProbesFlipOnDrain(t *testing.T) {
+	tr := jxtaserve.NewInProc()
+	svc, err := service.New(service.Options{PeerID: "probe-peer", Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	probe := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := probe("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz before drain = %d %q, want 200 ok", code, body)
+	}
+	if code, body := probe("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz before drain = %d %q, want 200 ready", code, body)
+	}
+
+	done := svc.BeginDrain(5 * time.Second)
+	if code, body := probe("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz during drain = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness must hold while draining)", code)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if code, _ := probe("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want it to stay 503", code)
+	}
+}
