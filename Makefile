@@ -3,7 +3,7 @@
 
 GOFLAGS ?=
 
-.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance datastore-smoke tenant-smoke drain-smoke
+.PHONY: build test race race-resilience bench bench-smoke metrics-smoke chaos-smoke overlay-smoke wire-conformance datastore-smoke tenant-smoke drain-smoke groups-smoke
 
 build:
 	go build ./...
@@ -94,6 +94,20 @@ drain-smoke:
 	go test -race ./internal/service/ -run 'TestAdmissionDrainGatesFarmsNotSlots|TestDrainUnderTenantLoad|TestDrainRPCReportsProgress|TestCheckpointRestoreRoundTrip|TestRestartRecoveryResumesCheckpointedFarm|TestLifecycleCyclesDoNotLeakGoroutines' -count=1 -v
 	go test -race ./internal/jxtaserve/ -run 'TestQuiesce' -count=1
 	go test -race ./internal/webstatus/ -run 'TestProbesFlipOnDrain' -count=1
+
+# Capability identity groups: the capgroup canonicalisation / advert /
+# index unit suite, the mixed-ring controller acceptance battery (group
+# despatch, single-group quorum electorates, counted whole-pool
+# fallback, poolless pull resolution), the group-committed farm and
+# ErrNoQuorumCapacity regressions, the group-shard overlay resilience
+# trio (super kill, anti-entropy repair, bounded ring remap), and the
+# -caps / -require-caps flag-validation table.
+groups-smoke:
+	go test ./internal/capgroup/ -count=1
+	go test ./internal/controller/ -run 'TestGroup' -count=1 -v
+	go test ./internal/service/ -run 'TestGroup' -count=1
+	go test ./internal/overlay/ -run 'TestGroup' -count=1
+	go test ./cmd/trianad/ -run 'TestValidate|TestParseCaps' -count=1
 
 # Discovery-overlay chaos: seeded simnet with 3 super-peers (R=2), one
 # killed mid-run. Asserts every advert published before the kill stays

@@ -13,6 +13,7 @@
 //	trianactl ping -addr host:port           # probe one daemon
 //	trianactl metrics -addr host:port        # live registry, Prometheus text
 //	trianactl traces -addr host:port         # recent despatch trace trees
+//	trianactl groups -addr host:port         # capability groups and members
 //	trianactl drain -addr host:port -wait    # graceful drain, then report
 //	trianactl run -workflow wf.xml -rendezvous host:port -iterations 20
 //	trianactl export -example figure1        # write a canonical workflow XML
@@ -77,6 +78,8 @@ func main() {
 		err = cmdTraces(args)
 	case "tenant":
 		err = cmdTenant(args)
+	case "groups":
+		err = cmdGroups(args)
 	case "overlay":
 		err = cmdOverlay(args)
 	case "drain":
@@ -95,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|tenant|overlay|drain|run|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: trianactl {units|describe|validate|peers|ping|billing|metrics|traces|tenant|groups|overlay|drain|run|export} [flags]")
 }
 
 func cmdUnits(args []string) error {
@@ -351,6 +354,19 @@ func cmdTenant(args []string) error {
 		return fmt.Errorf("-tenant and -weight must be given together")
 	}
 	return fetchObservability(*addr, service.MethodTenants, headers)
+}
+
+// cmdGroups dumps the capability groups a daemon can see — its own
+// capability set and group key, then every group/<key> membership
+// shard on the overlay with the members ranked by advertised CPU.
+func cmdGroups(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("-addr required")
+	}
+	return fetchObservability(*addr, service.MethodGroups, nil)
 }
 
 // cmdOverlay inspects the super-peer discovery overlay: it lists ring

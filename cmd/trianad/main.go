@@ -107,6 +107,9 @@ func run() int {
 		tenants      = flag.String("tenants", "", "comma-separated tenant:weight pairs seeding the fair-share despatch scheduler (e.g. alice:4,bob:1)")
 		tenantWeight = flag.Int("tenant-weight", 1, "fair-share weight for tenants not listed in -tenants")
 
+		caps        = flag.String("caps", "", "extra capability key=value pairs joined into this peer's capability group identity (e.g. gpu=none,zone=eu)")
+		requireCaps = flag.String("require-caps", "", "capability key=value pairs farms despatched by this peer require of donors (e.g. units=r-1a2b3c4d)")
+
 		drainTimeout = flag.Duration("drain-timeout", service.DefaultDrainTimeout, "bound on waiting for in-flight work during a graceful drain (first SIGTERM)")
 		stateDir     = flag.String("state-dir", "", "checkpoint daemon state here and restore it on restart (empty disables)")
 		ckptEvery    = flag.Duration("checkpoint-interval", 0, "periodic state checkpoint interval (0 = default 30s, negative disables the ticker)")
@@ -127,11 +130,21 @@ func run() int {
 		AdvertTTL:       *ttl,
 		Tenants:         *tenants,
 		TenantWeight:    *tenantWeight,
+		Caps:            *caps,
+		RequireCaps:     *requireCaps,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatalf("trianad: %v", err)
 	}
 	tenantWeights, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
+	capsMap, err := parseCaps("-caps", *caps)
+	if err != nil {
+		log.Fatalf("trianad: %v", err)
+	}
+	requireCapsMap, err := parseCaps("-require-caps", *requireCaps)
 	if err != nil {
 		log.Fatalf("trianad: %v", err)
 	}
@@ -234,6 +247,8 @@ func run() int {
 				RM:                  rm,
 				Tenants:             tenantWeights,
 				TenantDefaultWeight: *tenantWeight,
+				Caps:                capsMap,
+				RequireCaps:         requireCapsMap,
 				CodeBudget:          *codeBudget,
 				CPUMHz:              *cpuMHz,
 				FreeRAMMB:           *ramMB,

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"consumergrid/internal/capgroup"
 )
 
 // daemonConfig carries the numeric flag values through validation —
@@ -30,6 +32,8 @@ type daemonConfig struct {
 	AdvertTTL       time.Duration
 	Tenants         string
 	TenantWeight    int
+	Caps            string
+	RequireCaps     string
 }
 
 // validate rejects out-of-range flag values with a message naming the
@@ -76,7 +80,26 @@ func (c daemonConfig) validate() error {
 	if _, err := parseTenants(c.Tenants); err != nil {
 		return err
 	}
+	if _, err := parseCaps("-caps", c.Caps); err != nil {
+		return err
+	}
+	if _, err := parseCaps("-require-caps", c.RequireCaps); err != nil {
+		return err
+	}
 	return nil
+}
+
+// parseCaps parses a -caps / -require-caps spec ("key=value,...") into
+// the map service.Options takes, failing fast with a message naming
+// the offending flag. The syntax rules (no duplicate keys, no empty
+// keys or values, no canonical-form separators) live in capgroup so
+// every parser agrees.
+func parseCaps(flagName, spec string) (map[string]string, error) {
+	out, err := capgroup.ParseList(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flagName, err)
+	}
+	return out, nil
 }
 
 // parseTenants parses the -tenants spec ("alice:4,bob:1") into the

@@ -23,6 +23,8 @@ func goodConfig() daemonConfig {
 		AdvertTTL:       time.Minute,
 		Tenants:         "alice:4,bob:1",
 		TenantWeight:    1,
+		Caps:            "gpu=none,zone=eu",
+		RequireCaps:     "units=r-1a2b3c4d",
 	}
 }
 
@@ -58,6 +60,16 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		{"non-numeric tenant weight", func(c *daemonConfig) { c.Tenants = "alice:fast" }, "-tenants"},
 		{"zero tenant spec weight", func(c *daemonConfig) { c.Tenants = "alice:0" }, "-tenants"},
 		{"duplicate tenant", func(c *daemonConfig) { c.Tenants = "alice:1,alice:2" }, "-tenants"},
+		{"empty caps stay legal", func(c *daemonConfig) { c.Caps, c.RequireCaps = "", " " }, ""},
+		{"caps without equals", func(c *daemonConfig) { c.Caps = "gpu" }, "-caps"},
+		{"caps with empty key", func(c *daemonConfig) { c.Caps = "=cuda" }, "-caps"},
+		{"caps with empty value", func(c *daemonConfig) { c.Caps = "gpu=" }, "-caps"},
+		{"caps with empty entry", func(c *daemonConfig) { c.Caps = "gpu=none,," }, "-caps"},
+		{"duplicate caps key", func(c *daemonConfig) { c.Caps = "gpu=none,gpu=cuda" }, "-caps"},
+		{"caps with reserved separator", func(c *daemonConfig) { c.Caps = "gpu=a;b" }, "-caps"},
+		{"require-caps without equals", func(c *daemonConfig) { c.RequireCaps = "units" }, "-require-caps"},
+		{"require-caps empty value", func(c *daemonConfig) { c.RequireCaps = "units= " }, "-require-caps"},
+		{"duplicate require-caps key", func(c *daemonConfig) { c.RequireCaps = "mem=512MB,mem=1024MB" }, "-require-caps"},
 	}
 	for _, tc := range cases {
 		cfg := goodConfig()
@@ -76,6 +88,29 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.wantFlag) {
 			t.Errorf("%s: error %q does not name the offending flag %s", tc.name, err, tc.wantFlag)
 		}
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	got, err := parseCaps("-caps", " gpu=none, zone = eu ,tier=gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"gpu": "none", "zone": "eu", "tier": "gold"}
+	if len(got) != len(want) {
+		t.Fatalf("parseCaps = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("parseCaps[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+	if m, err := parseCaps("-caps", "  "); err != nil || m != nil {
+		t.Fatalf("blank spec = (%v, %v), want (nil, nil)", m, err)
+	}
+	if _, err := parseCaps("-require-caps", "a=1,a=2"); err == nil ||
+		!strings.Contains(err.Error(), "-require-caps") {
+		t.Fatalf("duplicate key error %v does not name the flag", err)
 	}
 }
 

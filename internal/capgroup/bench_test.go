@@ -1,0 +1,45 @@
+package capgroup
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"consumergrid/internal/advert"
+)
+
+// BenchmarkGroupMatch measures the despatch-path group resolution: one
+// pushed advert decoded into the index, then a requirement resolved to
+// its best-populated group — the per-farm cost RunFarm pays when
+// RequireCaps is set against a live donor pool of 32 groups x 8 peers.
+func BenchmarkGroupMatch(b *testing.B) {
+	idx := NewIndex()
+	var ads []*advert.Advertisement
+	for g := 0; g < 32; g++ {
+		caps := Set{
+			KeyUnits:    fmt.Sprintf("r-%08d", g%4),
+			KeyCPUClass: []string{"low", "mid", "high", "turbo"}[g%4],
+			KeyMem:      fmt.Sprintf("%dMB", 256<<(g%4)),
+			"zone":      fmt.Sprintf("z%d", g),
+		}
+		for p := 0; p < 8; p++ {
+			id := fmt.Sprintf("worker-%d-%d", g, p)
+			ads = append(ads, MembershipAdvert(id, "127.0.0.1:0", caps, 1000+p, time.Minute))
+			idx.Put(caps.Key(), caps, Member{PeerID: id, CPUMHz: float64(1000 + p)})
+		}
+	}
+	req := map[string]string{KeyUnits: "r-00000002", KeyCPUClass: "high"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad := ads[i%len(ads)]
+		caps, key, ok := FromAdvert(ad)
+		if !ok {
+			b.Fatal("fixture advert failed to decode")
+		}
+		idx.Put(key, caps, Member{PeerID: ad.PeerID, CPUMHz: 1000})
+		if _, ok := idx.Match(req); !ok {
+			b.Fatal("requirement stopped matching")
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"consumergrid/internal/advert"
+	"consumergrid/internal/capgroup"
 	"consumergrid/internal/engine"
 	"consumergrid/internal/policy"
 	"consumergrid/internal/service"
@@ -62,6 +63,15 @@ type RunOptions struct {
 	MinFreeRAMMB float64
 	// PeerGroup restricts candidates to a virtual peer group.
 	PeerGroup string
+	// RequireCaps restricts candidates to donors whose capability set
+	// carries every listed key=value pair exactly (trianad
+	// -require-caps). RunFarm resolves it through the donor pool's
+	// group index to one capability group — despatch, speculation and
+	// quorum then stay inside that group — while an empty or unknown
+	// group falls back to the health-ranked whole pool, counted on
+	// capgroup_fallback_total. Pull-path discovery filters service
+	// adverts by the same pairs.
+	RequireCaps map[string]string
 	// MaxPeers bounds the candidate list (0 = unbounded).
 	MaxPeers int
 	// ForceLocal skips discovery and runs everything in-process.
@@ -258,18 +268,19 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 	// run shard-locally. An empty pool (or no pool) falls back to a
 	// pull query.
 	farmKey := fmt.Sprintf("tenant/%s/farm/%d", tenant, c.farmSeq.Add(1))
-	peers := c.pooledShardPeers(opts.Discovery.MaxPeers, farmKey)
-	if peers == nil {
-		var err error
-		peers, err = c.DiscoverPeers(opts.Discovery)
-		if err != nil {
-			return nil, fmt.Errorf("controller: farm discovery: %w", err)
-		}
+	peers, group, members, err := c.farmCandidates(farmKey, opts.Discovery)
+	if err != nil {
+		return nil, fmt.Errorf("controller: farm discovery: %w", err)
 	}
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("controller: no peers available for farm")
 	}
-	c.log("controller: farming %d chunks for tenant %s over %d peers", len(chunks), tenant, len(peers))
+	if group != "" {
+		c.log("controller: farming %d chunks for tenant %s over group %s (%d members)",
+			len(chunks), tenant, group, len(peers))
+	} else {
+		c.log("controller: farming %d chunks for tenant %s over %d peers", len(chunks), tenant, len(peers))
+	}
 	return c.svc.FarmChunks(ctx, chunks, service.FarmOptions{
 		Body:            opts.Body,
 		Peers:           peers,
@@ -286,7 +297,84 @@ func (c *Controller) RunFarm(ctx context.Context, chunks [][]types.Data, opts Fa
 		MaxSpeculative:  opts.MaxSpeculative,
 		Quorum:          opts.Quorum,
 		Tenant:          tenant,
+		Group:           group,
+		GroupMembers:    members,
 	})
+}
+
+// farmCandidates picks one farm's candidate set. With a capability
+// requirement, the donor pool's group index (or, poolless, a pull
+// query over group adverts) resolves it to one capability group whose
+// members become the candidates — and the farm commits to that group.
+// No populated matching group falls back to the ungrouped path,
+// counted on capgroup_fallback_total, so a momentarily empty group
+// never fails a farm. Without a requirement: the farm's pool shard,
+// then a pull query.
+func (c *Controller) farmCandidates(farmKey string, opts RunOptions) (peers []service.PeerRef, group string, members map[string]bool, err error) {
+	if len(opts.RequireCaps) > 0 {
+		c.mu.Lock()
+		p := c.pool
+		c.mu.Unlock()
+		var refs []service.PeerRef
+		var ok bool
+		if p != nil {
+			group, refs, ok = p.MatchGroup(opts.RequireCaps)
+		} else {
+			group, refs, ok = c.discoverGroup(opts.RequireCaps)
+		}
+		if ok {
+			refs = capPeers(refs, opts.MaxPeers)
+			members = make(map[string]bool, len(refs))
+			for _, r := range refs {
+				members[r.ID] = true
+			}
+			return refs, group, members, nil
+		}
+		capgroup.CountFallback()
+		c.log("controller: no populated capability group matches %v; falling back to the whole pool", opts.RequireCaps)
+		group = ""
+		// The fallback deliberately drops the requirement: a pull query
+		// still carrying the cap filters would find nothing either.
+		opts.RequireCaps = nil
+	}
+	peers = c.pooledShardPeers(opts.MaxPeers, farmKey)
+	if peers == nil {
+		peers, err = c.DiscoverPeers(opts)
+	}
+	return peers, "", nil, err
+}
+
+// discoverGroup is the pull-path group resolution for controllers
+// without a running donor pool: query group adverts, build a transient
+// index, match. The transient index never touches the pool's gauges.
+func (c *Controller) discoverGroup(req map[string]string) (string, []service.PeerRef, bool) {
+	ads, err := c.svc.Discovery().Discover(advert.Query{Kind: advert.KindGroup}, 0)
+	if err != nil {
+		c.log("controller: group discovery failed: %v", err)
+		return "", nil, false
+	}
+	idx := capgroup.NewIndex()
+	for _, ad := range ads {
+		caps, key, ok := capgroup.FromAdvert(ad)
+		if !ok {
+			continue
+		}
+		cpu, _ := strconv.ParseFloat(ad.Attr(advert.AttrCPUMHz), 64)
+		idx.Put(key, caps, capgroup.Member{PeerID: ad.PeerID, Addr: ad.Addr, CPUMHz: cpu})
+	}
+	for _, key := range idx.MatchAll(req) {
+		var refs []service.PeerRef
+		for _, m := range idx.Members(key) {
+			if m.PeerID == c.svc.PeerID() {
+				continue
+			}
+			refs = append(refs, service.PeerRef{ID: m.PeerID, Addr: m.Addr})
+		}
+		if len(refs) > 0 {
+			return key, refs, true
+		}
+	}
+	return "", nil, false
 }
 
 // pooledPeers snapshots the donor pool, capped to max when positive.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"consumergrid/internal/advert"
+	"consumergrid/internal/capgroup"
 	"consumergrid/internal/overlay"
 	"consumergrid/internal/service"
 )
@@ -42,6 +43,13 @@ type DonorPool struct {
 	// single event-loop goroutine, so it needs no lock.
 	byAdvert map[string]string
 
+	// groups is the capability-group partition of the pool: a second
+	// push-maintained subscription (Kind "group") feeds a live
+	// membership index, so "any member of group G" resolves without a
+	// discovery round trip. gsubID names that subscription.
+	groups *capgroup.Index
+	gsubID string
+
 	wg sync.WaitGroup
 }
 
@@ -75,6 +83,16 @@ func discoveryQuery(opts RunOptions) advert.Query {
 	}
 	if opts.PeerGroup != "" {
 		q.Attrs = map[string]string{advert.AttrGroup: opts.PeerGroup}
+	}
+	if len(opts.RequireCaps) > 0 {
+		// Capability pairs ride service adverts as cap.* attributes, so
+		// the pull path selects only capability-matching donors.
+		if q.Attrs == nil {
+			q.Attrs = map[string]string{}
+		}
+		for k, v := range opts.RequireCaps {
+			q.Attrs[capgroup.AttrCap+k] = v
+		}
 	}
 	return q
 }
@@ -118,10 +136,24 @@ func (c *Controller) StartDonorPool(opts RunOptions) (*DonorPool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.wg.Add(1)
+	// The group partition: membership adverts push through their own
+	// subscription into a live index, each event loop owning its own
+	// advert-ID map.
+	p.groups = capgroup.NewIndex()
+	p.gsubID = p.subID + "/groups"
+	gevents, err := cl.Subscribe(p.gsubID, advert.Query{Kind: advert.KindGroup})
+	if err != nil {
+		cl.Unsubscribe(p.subID)
+		return nil, err
+	}
+	p.wg.Add(2)
 	go func() {
 		defer p.wg.Done()
 		p.loop(events)
+	}()
+	go func() {
+		defer p.wg.Done()
+		p.groupLoop(gevents)
 	}()
 	c.mu.Lock()
 	c.pool = p
@@ -170,6 +202,69 @@ func (p *DonorPool) loop(events <-chan overlay.Event) {
 			sh.mu.Unlock()
 		}
 	}
+}
+
+// groupLoop absorbs membership pushes into the group index. Like loop,
+// it owns its advert-ID map outright — retractions carry only the
+// advert ID, and only this goroutine touches the map.
+func (p *DonorPool) groupLoop(events <-chan overlay.Event) {
+	type groupRef struct{ key, peerID string }
+	byAdvert := make(map[string]groupRef)
+	for ev := range events {
+		if ev.Retracted {
+			ref, ok := byAdvert[ev.ID]
+			if !ok {
+				continue
+			}
+			delete(byAdvert, ev.ID)
+			p.groups.Drop(ref.key, ref.peerID)
+		} else if ev.Ad != nil {
+			caps, key, ok := capgroup.FromAdvert(ev.Ad)
+			if !ok {
+				continue
+			}
+			cpu, _ := strconv.ParseFloat(ev.Ad.Attr(advert.AttrCPUMHz), 64)
+			byAdvert[ev.ID] = groupRef{key: key, peerID: ev.Ad.PeerID}
+			p.groups.Put(key, caps, capgroup.Member{
+				PeerID: ev.Ad.PeerID, Addr: ev.Ad.Addr, CPUMHz: cpu,
+			})
+		} else {
+			continue
+		}
+		capgroup.SetIndexGauges(p.groups.Counts())
+	}
+}
+
+// GroupIndex exposes the live membership index.
+func (p *DonorPool) GroupIndex() *capgroup.Index { return p.groups }
+
+// Groups snapshots every group the pool has observed.
+func (p *DonorPool) Groups() []capgroup.GroupInfo { return p.groups.Snapshot() }
+
+// GroupPeers snapshots the members of one group, strongest advertised
+// CPU first and the controller's own peer excluded.
+func (p *DonorPool) GroupPeers(key string) []service.PeerRef {
+	var out []service.PeerRef
+	for _, m := range p.groups.Members(key) {
+		if m.PeerID == p.ctl.svc.PeerID() {
+			continue
+		}
+		out = append(out, service.PeerRef{ID: m.PeerID, Addr: m.Addr})
+	}
+	return out
+}
+
+// MatchGroup resolves a capability requirement to the best-populated
+// matching group that holds at least one despatchable member. False
+// means no populated group matches — the caller falls back to the
+// health-ranked whole pool.
+func (p *DonorPool) MatchGroup(req map[string]string) (string, []service.PeerRef, bool) {
+	for _, key := range p.groups.MatchAll(req) {
+		if peers := p.GroupPeers(key); len(peers) > 0 {
+			return key, peers, true
+		}
+	}
+	return "", nil, false
 }
 
 // peersOf snapshots one shard's donors, strongest advertised CPU first
@@ -263,10 +358,11 @@ func (p *DonorPool) Events() int {
 	return total
 }
 
-// Close withdraws the subscription and stops the pool.
+// Close withdraws both subscriptions and stops the pool.
 func (p *DonorPool) Close() {
 	if cl := p.ctl.svc.Overlay(); cl != nil {
-		cl.Unsubscribe(p.subID) // closes the event channel; loop exits
+		cl.Unsubscribe(p.subID)  // closes the event channel; loop exits
+		cl.Unsubscribe(p.gsubID) // same for the group partition
 	}
 	p.wg.Wait()
 	p.ctl.mu.Lock()

@@ -1,0 +1,170 @@
+package overlay
+
+// Capability-group shard resilience: group/<key> membership adverts
+// ride the same R-way topical placement as donor adverts, so killing a
+// super that owns a group shard must lose no member, anti-entropy must
+// repair a replica that missed membership writes, and ring remaps must
+// stay bounded — a member joining a group changes no placement at all.
+
+import (
+	"fmt"
+	"testing"
+
+	"consumergrid/internal/advert"
+	"consumergrid/internal/capgroup"
+)
+
+// groupAd builds a verifiable membership advert for a synthetic group
+// distinguished by a zone capability.
+func groupAd(zone string, member int) *advert.Advertisement {
+	caps := capgroup.Set{"units": "r-test", "zone": zone}
+	return capgroup.MembershipAdvert(
+		fmt.Sprintf("peer-%s-%d", zone, member), "addr:"+zone,
+		caps, 1000+member, 0)
+}
+
+// TestGroupShardSurvivesSuperKill: three supers at R=2, three groups
+// of four members each, one super killed. Every group's full
+// membership must stay queryable through the surviving replica — zero
+// lost members — and the adverts must still decode as verified group
+// membership.
+func TestGroupShardSurvivesSuperKill(t *testing.T) {
+	c := newCluster(t, 3, 2, nil)
+	c.net.FaultSeed(11)
+	pub := c.client("pub", 2)
+
+	zones := []string{"eu", "us", "ap"}
+	const membersPerGroup = 4
+	keys := make(map[string]string, len(zones)) // zone -> group key
+	for _, zone := range zones {
+		for m := 0; m < membersPerGroup; m++ {
+			ad := groupAd(zone, m)
+			keys[zone] = ad.Name
+			if err := pub.Publish(ad); err != nil {
+				t.Fatalf("publish %s member %d: %v", zone, m, err)
+			}
+		}
+	}
+
+	c.net.Kill("super-1")
+
+	for _, zone := range zones {
+		got, err := pub.Query(advert.Query{Kind: advert.KindGroup, Name: keys[zone]}, 0)
+		if err != nil {
+			t.Fatalf("query group %s after kill: %v", zone, err)
+		}
+		members := make(map[string]bool)
+		for _, ad := range got {
+			caps, key, ok := capgroup.FromAdvert(ad)
+			if !ok || key != keys[zone] || caps["zone"] != zone {
+				t.Fatalf("group %s returned an unverifiable advert %+v", zone, ad)
+			}
+			members[ad.PeerID] = true
+		}
+		if len(members) != membersPerGroup {
+			t.Fatalf("group %s has %d/%d members after killing super-1 — membership loss at R=2",
+				zone, len(members), membersPerGroup)
+		}
+	}
+}
+
+// TestGroupShardAntiEntropyRepair: a super partitioned away while a
+// group gains members must converge after healing — one sync round
+// pulls the missed membership writes, and a second finds nothing.
+func TestGroupShardAntiEntropyRepair(t *testing.T) {
+	c := newCluster(t, 2, 2, nil)
+	pub := c.client("pub", 2)
+
+	c.net.Partition([]string{"super-1"}, []string{"super-0", "pub"})
+	const members = 5
+	var key string
+	for m := 0; m < members; m++ {
+		ad := groupAd("repair", m)
+		key = ad.Name
+		if err := pub.Publish(ad); err != nil {
+			t.Fatalf("publish during partition: %v", err)
+		}
+	}
+	if live, _ := c.supers[1].Entries(); live != 0 {
+		t.Fatalf("partitioned super has %d entries, want 0", live)
+	}
+
+	c.net.Heal()
+	pulled, err := c.supers[1].SyncWith(c.hosts[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled != members {
+		t.Fatalf("sync pulled %d membership adverts, want %d", pulled, members)
+	}
+	if pulled, _ := c.supers[1].SyncWith(c.hosts[0].Addr()); pulled != 0 {
+		t.Fatalf("second sync pulled %d, want 0 (non-convergent)", pulled)
+	}
+	got, err := pub.Query(advert.Query{Kind: advert.KindGroup, Name: key}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != members {
+		t.Fatalf("repaired group has %d/%d members", len(got), members)
+	}
+}
+
+// TestGroupRingRemapIsBounded pins the churn bounds of the group tier:
+// a member joining a group is just another advert on an unchanged ring
+// — zero topics remap — and a super joining the ring remaps only a
+// bounded fraction of group topics, never a wholesale reshuffle.
+func TestGroupRingRemapIsBounded(t *testing.T) {
+	const groups, r = 200, 2
+	topic := func(i int) string {
+		caps := capgroup.Set{"units": "r-test", "zone": fmt.Sprintf("z%d", i)}
+		return TopicKey(string(advert.KindGroup), caps.Key())
+	}
+
+	ring := NewRing(0, "super-0", "super-1", "super-2")
+	before := make(map[int][]string, groups)
+	for i := 0; i < groups; i++ {
+		before[i] = ring.Owners(topic(i), r)
+	}
+
+	// Member join: membership adverts add entries under an existing
+	// topic; the ring does not change, so neither does any placement.
+	for i := 0; i < groups; i++ {
+		after := ring.Owners(topic(i), r)
+		for j := range after {
+			if after[j] != before[i][j] {
+				t.Fatalf("group %d owners changed without a ring change: %v -> %v",
+					i, before[i], after)
+			}
+		}
+	}
+
+	// Super join: a fourth ring member may claim its keyspace share,
+	// but the remapped fraction must stay near r/nodes — not a
+	// wholesale reshuffle.
+	ring.Add("super-3")
+	remapped := 0
+	for i := 0; i < groups; i++ {
+		after := ring.Owners(topic(i), r)
+		changed := false
+		for j := range after {
+			if after[j] != before[i][j] {
+				changed = true
+			}
+		}
+		if changed {
+			remapped++
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("no group topic remapped after a super join — the new super owns nothing")
+	}
+	// Each topic has r owner slots; each slot moves to the new node
+	// with probability ~1/4, so ~r/4 of topics see a change. Allow
+	// generous slack over the 200-topic sample: anything beyond 80%
+	// above the expectation signals a broken consistent hash.
+	expect := groups * r / 4
+	if limit := expect * 9 / 5; remapped > limit {
+		t.Fatalf("super join remapped %d/%d group topics, want <= %d (~bounded by r/nodes)",
+			remapped, groups, limit)
+	}
+}

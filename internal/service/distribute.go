@@ -51,6 +51,10 @@ type RemotePart struct {
 	// the run envelope so the hosting peer's spans and metrics carry the
 	// same identity; empty means DefaultTenant.
 	Tenant string
+	// Group is the capability group the part was despatched within; it
+	// lands on the despatch span so traces show which electorate the
+	// part belonged to. Empty means the despatch was not group-scoped.
+	Group string
 }
 
 // RemoteJob is a despatched part awaiting completion.
@@ -101,6 +105,9 @@ func (s *Service) despatchCtx(ctx context.Context, part RemotePart, codeAddr str
 	despatch.SetAttr("to", part.Peer.ID)
 	if part.Tenant != "" {
 		despatch.SetAttr("tenant", part.Tenant)
+	}
+	if part.Group != "" {
+		despatch.SetAttr("capgroup", part.Group)
 	}
 	defer despatch.End()
 	xfer := s.tracer.Start(despatch.TraceID(), despatch.SpanID(), "transfer", s.opts.PeerID)

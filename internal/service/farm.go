@@ -26,14 +26,23 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"consumergrid/internal/capgroup"
 	"consumergrid/internal/taskgraph"
 	"consumergrid/internal/types"
 )
+
+// ErrNoQuorumCapacity reports a quorum farm that could not assemble —
+// or widen — its electorate without drawing voters from outside the
+// committed capability group. Out-of-group candidates are skipped, not
+// mixed in: their results would carry incomparable digests. Callers
+// distinguish it from ordinary attempt exhaustion with errors.Is.
+var ErrNoQuorumCapacity = errors.New("no quorum capacity within capability group")
 
 // FarmOptions configures FarmChunks.
 type FarmOptions struct {
@@ -86,6 +95,18 @@ type FarmOptions struct {
 	// tenant-labelled series. Empty means DefaultTenant.
 	Tenant string
 
+	// Group, when set, commits the farm to one capability group: only
+	// peers listed in GroupMembers are eligible for first despatch,
+	// failover, speculation or quorum ballots, so every voter's result
+	// digest comes from an interchangeable donor. A quorum that cannot
+	// reach majority without leaving the group ends with
+	// ErrNoQuorumCapacity instead of silently mixing groups. The group
+	// key also rides every despatched part's span.
+	Group string
+	// GroupMembers is the member peer-ID set of Group; required when
+	// Group is set.
+	GroupMembers map[string]bool
+
 	// ResumeKey names this farm in the daemon's crash-safe farm ledger.
 	// With Options.StateDir set, every chunk commit journals its outputs
 	// and carried state to the checkpoint; a restarted daemon running the
@@ -99,11 +120,13 @@ type FarmOptions struct {
 	// datums holds every chunk's canonical payloads (and digests),
 	// computed once per farm; manifests is the data-tier state when the
 	// controller runs the chunk store; tstats caches the tenant's farm
-	// series. All are farm-internal: FarmChunks populates them after
-	// applying defaults.
+	// series; eligible is the group-filtered candidate slice selection
+	// draws from (all of Peers when no group is committed). All are
+	// farm-internal: FarmChunks populates them after applying defaults.
 	datums    [][]manifestDatum
 	manifests *farmManifests
 	tstats    *tenantFarmStats
+	eligible  []PeerRef
 }
 
 func (o FarmOptions) withFarmDefaults(res ResilienceOptions) FarmOptions {
@@ -209,6 +232,29 @@ func (s *Service) FarmChunks(ctx context.Context, chunks [][]types.Data, opts Fa
 		// burning every chunk's attempt budget discovering it.
 		return nil, fmt.Errorf("service: FarmChunks Quorum %d exceeds %d peers — majority unreachable",
 			opts.Quorum, len(opts.Peers))
+	}
+	// A committed group narrows the eligible candidates before any
+	// despatch: out-of-group peers are invisible to selection, failover,
+	// speculation and quorum ballots alike. A quorum that cannot seat
+	// its electorate inside the group fails fast, same reasoning as the
+	// peer-count check above.
+	opts.eligible = opts.Peers
+	if opts.Group != "" {
+		opts.eligible = nil
+		for _, p := range opts.Peers {
+			if opts.GroupMembers[p.ID] {
+				opts.eligible = append(opts.eligible, p)
+			}
+		}
+		if len(opts.eligible) == 0 {
+			return nil, fmt.Errorf("service: FarmChunks committed to group %s but no candidate peer is a member",
+				opts.Group)
+		}
+		if opts.Quorum > len(opts.eligible) {
+			capgroup.CountQuorumCapacity()
+			return nil, fmt.Errorf("service: FarmChunks Quorum %d exceeds the %d members of group %s: %w",
+				opts.Quorum, len(opts.eligible), opts.Group, ErrNoQuorumCapacity)
+		}
 	}
 	opts = opts.withFarmDefaults(s.res)
 	// Register with the admission scheduler before any slot is taken: a
@@ -444,7 +490,7 @@ func (s *Service) runChunkSpeculative(ctx context.Context, chunk []types.Data,
 	// opportunistic: they skip (not fail) when no slot or peer is free.
 	launchOne := func(spec bool) (bool, error) {
 		for attemptsUsed < opts.ChunkAttempts {
-			peer, needsProbe, ok := s.nextFarmPeer(opts.Peers, busy, !spec)
+			peer, needsProbe, ok := s.nextFarmPeer(opts.eligible, busy, !spec)
 			if !ok {
 				return false, nil
 			}
@@ -594,7 +640,7 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 			// Gated peers are forced only when the chunk would otherwise
 			// fail outright — never to top up a quorum.
 			allowGated := len(successes) == 0 && len(inflight) == 0
-			peer, needsProbe, ok := s.nextFarmPeer(opts.Peers, busy, allowGated)
+			peer, needsProbe, ok := s.nextFarmPeer(opts.eligible, busy, allowGated)
 			if !ok {
 				return false, nil
 			}
@@ -724,6 +770,16 @@ func (s *Service) runChunkQuorum(ctx context.Context, chunk []types.Data,
 						farmID, c, v.peer.ID)
 				}
 			}
+			if opts.Group != "" && len(opts.eligible) < len(opts.Peers) && attemptsUsed < opts.ChunkAttempts {
+				// Budget remained but every fresh in-group voter is spent:
+				// the out-of-group candidates were deliberately skipped
+				// rather than mixed into the electorate, and the typed
+				// error says so.
+				capgroup.CountQuorumCapacity()
+				return nil, nil, "", fmt.Errorf(
+					"service: farm chunk %d: widening needs a fresh voter but group %s has none left (%d out-of-group candidates skipped): %w",
+					c, opts.Group, len(opts.Peers)-len(opts.eligible), ErrNoQuorumCapacity)
+			}
 			return nil, nil, "", fmt.Errorf(
 				"service: farm chunk %d found no quorum of %d among %d results after %d attempts",
 				c, majority, len(successes), attemptsUsed)
@@ -802,6 +858,7 @@ func (s *Service) farmAttempt(ctx context.Context, peer PeerRef, chunk []types.D
 		Seed:         opts.Seed,
 		RestoreState: state,
 		Tenant:       opts.Tenant,
+		Group:        opts.Group,
 	}, opts.CodeAddr)
 	if err != nil {
 		return nil, nil, err

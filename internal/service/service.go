@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"consumergrid/internal/advert"
+	"consumergrid/internal/capgroup"
 	"consumergrid/internal/chunkstore"
 	"consumergrid/internal/discovery"
 	"consumergrid/internal/engine"
@@ -105,6 +106,18 @@ type Options struct {
 	// TenantDefaultWeight is the weight assumed for tenants not listed
 	// in Tenants (default 1).
 	TenantDefaultWeight int
+	// Caps adds or overrides pairs in the peer's derived capability set
+	// (trianad -caps): the set — unit-registry version, CPU class,
+	// memory class, sandbox summary, data-tier support, plus these —
+	// canonicalises into the peer's capability-group key, advertised
+	// alongside the service advert so despatch can target "any member
+	// of group G".
+	Caps map[string]string
+	// RequireCaps, set on a despatching peer, restricts farm candidates
+	// to donors whose capability set carries every listed pair exactly
+	// (trianad -require-caps). The controller resolves it to a group;
+	// an empty or unknown group falls back to the whole pool.
+	RequireCaps map[string]string
 	// Overlay opts the daemon into the super-peer discovery overlay;
 	// when set, the discovery agent is routed through it (Mode becomes
 	// ModeOverlay). Nil keeps the flat Discovery config as given.
@@ -161,6 +174,9 @@ type Service struct {
 
 	chunks            *chunkstore.Store // nil unless the data tier is on
 	chunkFetchTimeout time.Duration
+
+	caps     capgroup.Set // derived capability set (see capgroup)
+	groupKey string       // caps.Key(), fixed for the daemon's lifetime
 
 	tracer *trace.Recorder // span recorder for despatch lifecycles
 
@@ -266,6 +282,18 @@ func New(opts Options) (*Service, error) {
 	if opts.DataTier.Enable || (opts.Overlay != nil && opts.Overlay.SuperPeer) {
 		s.setupDataTier(opts.DataTier)
 	}
+	// The capability identity is fixed at start: derived from the
+	// profile (registry version, CPU/memory class, sandbox, data tier)
+	// plus operator extras, and hashed into the group key the peer
+	// advertises membership of.
+	s.caps = capgroup.Derive(capgroup.Profile{
+		CPUMHz:    opts.CPUMHz,
+		FreeRAMMB: opts.FreeRAMMB,
+		Sandbox:   opts.Sandbox,
+		DataTier:  s.chunks != nil,
+		Extra:     opts.Caps,
+	})
+	s.groupKey = s.caps.Key()
 	discCfg := opts.Discovery
 	// A bootstrap super-peer may start with an empty ring list (it joins
 	// its own address); clients need at least one super to talk to.
@@ -289,6 +317,7 @@ func New(opts Options) (*Service, error) {
 	host.Handle(MethodMetrics, s.handleMetrics)
 	host.Handle(MethodTraces, s.handleTraces)
 	host.Handle(MethodTenants, s.handleTenants)
+	host.Handle(MethodGroups, s.handleGroups)
 	host.Handle(MethodDrain, s.handleDrain)
 	if opts.StateDir != "" {
 		if err := s.restoreCheckpoint(); err != nil {
@@ -421,16 +450,39 @@ func (s *Service) ServiceAdvert(ttl time.Duration) *advert.Advertisement {
 	if s.opts.PeerGroup != "" {
 		ad.SetAttr(advert.AttrGroup, s.opts.PeerGroup)
 	}
+	// Capability pairs and the derived group key ride the service advert
+	// too, so pull-path discovery can filter donors by capability even
+	// before any group index exists.
+	for k, v := range s.caps {
+		ad.SetAttr(capgroup.AttrCap+k, v)
+	}
+	ad.SetAttr(capgroup.AttrGroupKey, s.groupKey)
 	if ttl > 0 {
 		ad.Expires = time.Now().Add(ttl)
 	}
 	return ad
 }
 
+// GroupAdvert builds this peer's capability-group membership advert.
+// Its Name is the group key, so the overlay places it — and serves its
+// subscriptions — on the R ring owners of the group's topic.
+func (s *Service) GroupAdvert(ttl time.Duration) *advert.Advertisement {
+	return capgroup.MembershipAdvert(s.opts.PeerID, s.Addr(), s.caps, s.opts.CPUMHz, ttl)
+}
+
 // Advertise publishes the peer's service advertisement through discovery
-// — the "enrol in the Triana environment" step.
+// — the "enrol in the Triana environment" step — together with its
+// capability-group membership advert. Both are retracted by a drain and
+// age out with the same TTL.
 func (s *Service) Advertise(ttl time.Duration) error {
-	return s.disc.Publish(s.ServiceAdvert(ttl))
+	if err := s.disc.Publish(s.ServiceAdvert(ttl)); err != nil {
+		return err
+	}
+	if err := s.disc.Publish(s.GroupAdvert(ttl)); err != nil {
+		return err
+	}
+	capgroup.CountPublish()
+	return nil
 }
 
 // StartAdvertising re-publishes the service advertisement every interval

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strings"
 
+	"consumergrid/internal/capgroup"
 	"consumergrid/internal/metrics"
 	"consumergrid/internal/service"
 	"consumergrid/internal/trace"
@@ -28,6 +29,8 @@ import (
 //	GET /traces    recent despatch traces as indented span trees
 //	GET /overlay   the discovery overlay: ring membership, publishes,
 //	               subscriptions and (for super-peers) the advert store
+//	GET /groups    capability groups: this peer's identity and every
+//	               group/<key> membership shard it can see
 //	GET /healthz   liveness probe: 200 while the daemon serves HTTP
 //	GET /readyz    readiness probe: 200 while admitting, 503 once
 //	               draining or stopped
@@ -44,7 +47,7 @@ func Handler(svc *service.Service) http.Handler {
 			html.EscapeString(svc.PeerID()), html.EscapeString(svc.Addr()))
 		fetches, bytes := svc.Fetcher().Fetches()
 		fmt.Fprintf(&b, "<p>module bundles fetched on demand: %d (%d bytes)</p>", fetches, bytes)
-		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/overlay">overlay</a> · <a href="/units">units</a> · <a href="/metrics">metrics</a> · <a href="/traces">traces</a></p>`)
+		fmt.Fprintf(&b, `<p><a href="/jobs">jobs</a> · <a href="/billing">billing</a> · <a href="/resilience">resilience</a> · <a href="/overlay">overlay</a> · <a href="/groups">groups</a> · <a href="/units">units</a> · <a href="/metrics">metrics</a> · <a href="/traces">traces</a></p>`)
 		jobsTable(&b, svc)
 		resilienceTable(&b, svc)
 		footer(&b)
@@ -97,6 +100,14 @@ func Handler(svc *service.Service) http.Handler {
 		header(&b, "Overlay on "+svc.PeerID())
 		b.WriteString(`<meta http-equiv="refresh" content="2">`)
 		overlayTables(&b, svc)
+		footer(&b)
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/groups", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		header(&b, "Capability groups on "+svc.PeerID())
+		b.WriteString(`<meta http-equiv="refresh" content="2">`)
+		groupsTable(&b, svc)
 		footer(&b)
 		writeHTML(w, b.String())
 	})
@@ -234,6 +245,37 @@ func chunkstoreTable(b *strings.Builder, svc *service.Service) {
 	}
 	for _, r := range rows {
 		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", r.name, r.v)
+	}
+	b.WriteString("</table>")
+}
+
+// groupsTable renders this peer's capability identity and every
+// group/<key> membership shard discovery can see, members ranked the
+// same way despatch ranks them (CPU descending).
+func groupsTable(b *strings.Builder, svc *service.Service) {
+	fmt.Fprintf(b, "<p>this peer's group: <code>%s</code></p>", html.EscapeString(svc.GroupKey()))
+	fmt.Fprintf(b, "<p>capability set: <code>%s</code></p>", html.EscapeString(svc.Caps().Canon()))
+	if req := svc.RequiredCaps(); len(req) > 0 {
+		reqSet := capgroup.Set(req)
+		fmt.Fprintf(b, "<p>despatch requires: <code>%s</code></p>", html.EscapeString(reqSet.Canon()))
+	}
+	groups := svc.CapabilityGroups()
+	if len(groups) == 0 {
+		b.WriteString("<p>no groups visible</p>")
+		return
+	}
+	b.WriteString("<table><tr><th>group</th><th>caps</th><th>member</th><th>addr</th><th>CPU MHz</th></tr>")
+	for _, g := range groups {
+		for i, m := range g.Members {
+			key, canon := "", ""
+			if i == 0 {
+				key, canon = g.Key, g.Canon
+			}
+			fmt.Fprintf(b, "<tr><td><code>%s</code></td><td><code>%s</code></td>"+
+				"<td><code>%s</code></td><td><code>%s</code></td><td>%.0f</td></tr>",
+				html.EscapeString(key), html.EscapeString(canon),
+				html.EscapeString(m.PeerID), html.EscapeString(m.Addr), m.CPUMHz)
+		}
 	}
 	b.WriteString("</table>")
 }

@@ -41,7 +41,13 @@ for series in \
     chunkstore_fetch_total \
     service_farm_egress_bytes_total \
     service_tenant_admits_total \
-    service_tenant_inflight; do
+    service_tenant_inflight \
+    capgroup_groups \
+    capgroup_members \
+    capgroup_publish_total \
+    capgroup_match_total \
+    capgroup_fallback_total \
+    capgroup_quorum_capacity_errors_total; do
     if ! grep -q "$series" "$OUT"; then
         echo "metrics-smoke: scrape is missing $series" >&2
         status=1
